@@ -1,0 +1,30 @@
+"""Figures 7–8: gender and ethnicity breakdown of the tasker population.
+
+The paper observed 3,311 unique taskers, ≈72% male and ≈66% white.  The
+simulated population reproduces those shares (plus a small slice of
+profiles the AMT labeling step cannot classify).
+"""
+
+from __future__ import annotations
+
+from _util import emit
+from repro.experiments.quantification import figure7_8_demographics
+from repro.experiments.report import render_table
+from repro.marketplace.workers import TOTAL_WORKERS, generate_population
+
+
+def _render() -> str:
+    breakdown = figure7_8_demographics()
+    rows = [("total taskers", float(TOTAL_WORKERS), 3311.0)]
+    paper = {"Male": 0.72, "Female": 0.28, "White": 0.66, "Black": 0.21, "Asian": 0.13}
+    for attribute in ("gender", "ethnicity"):
+        for value, share in breakdown[attribute].items():
+            rows.append((f"{attribute}: {value}", share, paper.get(value, "—")))
+    return render_table(
+        "Figures 7-8 — tasker demographics", ("quantity", "measured", "paper"), rows
+    )
+
+
+def test_fig7_8_demographics(benchmark):
+    emit("fig7_8_demographics", _render())
+    benchmark(generate_population, 7)

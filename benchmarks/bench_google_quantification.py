@@ -1,0 +1,69 @@
+"""§5.2.2: Google job search fairness quantification.
+
+Headline shape: White Females are the most discriminated against and Black
+Males the least (their results diverge most/least); Washington, DC is the
+fairest location and London, UK the unfairest; Yard Work queries are the
+most unfair and Furniture Assembly the fairest — under both Kendall Tau and
+Jaccard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, paper_vs_measured
+from repro.experiments.quantification import (
+    google_fbox,
+    google_group_ranking,
+    google_location_ranking,
+    google_query_ranking,
+)
+
+@pytest.mark.parametrize("measure", ["kendall", "jaccard"])
+def test_google_group_quantification(benchmark, measure):
+    rows = [(row.member, row.value) for row in google_group_ranking(measure)]
+    emit(
+        f"google_groups_{measure}",
+        paper_vs_measured(
+            f"§5.2.2 — Google group unfairness ({measure}); paper: White Female "
+            "most, Black Male least",
+            rows,
+            None,
+            "group",
+        ),
+    )
+    fbox = google_fbox(measure)
+    benchmark(fbox.quantify, "group", 11)
+
+
+@pytest.mark.parametrize("measure", ["kendall", "jaccard"])
+def test_google_location_quantification(benchmark, measure):
+    rows = [(row.member, row.value) for row in google_location_ranking(measure)]
+    emit(
+        f"google_locations_{measure}",
+        paper_vs_measured(
+            f"§5.2.2 — Google location unfairness ({measure}); paper: London "
+            "unfairest, Washington DC fairest",
+            rows,
+            None,
+            "location",
+        ),
+    )
+    fbox = google_fbox(measure)
+    benchmark(fbox.quantify, "location", 12)
+
+
+@pytest.mark.parametrize("measure", ["kendall", "jaccard"])
+def test_google_query_quantification(benchmark, measure):
+    rows = [(row.member, row.value) for row in google_query_ranking(measure)]
+    emit(
+        f"google_queries_{measure}",
+        paper_vs_measured(
+            f"§5.2.2 — Google query unfairness ({measure}); paper: Yard Work "
+            "most unfair, Furniture Assembly fairest",
+            rows,
+            None,
+            "query",
+        ),
+    )
+    benchmark(google_query_ranking, measure)

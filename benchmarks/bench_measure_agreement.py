@@ -1,0 +1,88 @@
+"""Measure-agreement ablation: the paper's consistency claims.
+
+The paper reports that EMD and Exposure "yield the same observations" on
+TaskRabbit and that Kendall Tau and Jaccard "report mostly similar results"
+on Google.  This benchmark quantifies both claims as Spearman rank
+correlations between the per-member orderings of the measure pairs, and
+sweeps the EMD histogram bin count (DESIGN.md ablation #2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import spearmanr
+
+from _util import emit
+from repro.core.fbox import FBox
+from repro.core.attributes import default_schema
+from repro.experiments.datasets import build_google_dataset, build_taskrabbit_dataset
+from repro.experiments.report import render_table
+
+
+def _ranking_values(fbox, dimension):
+    members = fbox.cube.domain(dimension)
+    return [fbox.cube.aggregate_for(dimension, member) for member in members]
+
+
+def _agreement_report() -> str:
+    schema = default_schema()
+    rows = []
+
+    taskrabbit = build_taskrabbit_dataset(level="category")
+    emd = FBox.for_marketplace(taskrabbit, schema, measure="emd")
+    exposure = FBox.for_marketplace(taskrabbit, schema, measure="exposure")
+    for dimension in ("group", "query", "location"):
+        rho, _ = spearmanr(
+            _ranking_values(emd, dimension), _ranking_values(exposure, dimension)
+        )
+        rows.append((f"TaskRabbit EMD↔Exposure ({dimension}s)", float(rho)))
+
+    google = build_google_dataset(design="full")
+    kendall = FBox.for_search(google, schema, measure="kendall")
+    jaccard = FBox.for_search(google, schema, measure="jaccard")
+    for dimension in ("group", "query", "location"):
+        rho, _ = spearmanr(
+            _ranking_values(kendall, dimension), _ranking_values(jaccard, dimension)
+        )
+        rows.append((f"Google Kendall↔Jaccard ({dimension}s)", float(rho)))
+
+    return render_table(
+        "Measure agreement (Spearman rank correlation)",
+        ("measure pair", "rho"),
+        rows,
+    )
+
+
+def _bin_sweep_report() -> str:
+    schema = default_schema()
+    taskrabbit = build_taskrabbit_dataset(level="category")
+    reference = None
+    rows = []
+    for bins in (5, 10, 20, 40):
+        fbox = FBox.for_marketplace(taskrabbit, schema, measure="emd", bins=bins)
+        values = _ranking_values(fbox, "group")
+        if reference is None:
+            reference = values
+            rho = 1.0
+        else:
+            rho, _ = spearmanr(reference, values)
+        rows.append((f"bins={bins}", float(np.mean(values)), float(rho)))
+    return render_table(
+        "EMD bin-count ablation (group ranking stability vs bins=5)",
+        ("setting", "mean unfairness", "rank corr vs first"),
+        rows,
+    )
+
+
+def test_measure_agreement(benchmark):
+    emit("measure_agreement", _agreement_report())
+    schema = default_schema()
+    taskrabbit = build_taskrabbit_dataset(level="category")
+    fbox = FBox.for_marketplace(taskrabbit, schema, measure="emd")
+    fbox.cube
+    benchmark(lambda: _ranking_values(fbox, "group"))
+
+
+def test_emd_bin_sweep(benchmark):
+    emit("emd_bin_sweep", _bin_sweep_report())
+    benchmark(lambda: None)

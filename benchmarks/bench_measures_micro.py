@@ -1,0 +1,42 @@
+"""Microbenchmarks of the four unfairness measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.measures.emd import emd_from_values
+from repro.core.measures.exposure import exposure_deviation
+from repro.core.measures.jaccard import JaccardMeasure
+from repro.core.measures.kendall import kendall_tau_distance
+from repro.core.rankings import RankedList
+
+_RNG = np.random.default_rng(0)
+_LEFT = RankedList([f"r{i}" for i in _RNG.permutation(20)])
+_RIGHT = RankedList([f"r{i}" for i in _RNG.permutation(24)[:20]])
+_RANKING = RankedList([f"w{i}" for i in range(50)])
+_GROUP = [f"w{i}" for i in range(40, 50)]
+_OTHERS = {"rest": [f"w{i}" for i in range(40)]}
+_SCORES_A = list(_RNG.uniform(0.0, 0.6, size=12))
+_SCORES_B = list(_RNG.uniform(0.3, 1.0, size=30))
+
+
+def test_kendall_micro(benchmark):
+    value = benchmark(kendall_tau_distance, _LEFT, _RIGHT)
+    assert 0.0 <= value <= 1.0
+
+
+def test_jaccard_micro(benchmark):
+    measure = JaccardMeasure()
+    value = benchmark(measure, _LEFT, _RIGHT)
+    assert 0.0 <= value <= 1.0
+
+
+def test_emd_micro(benchmark):
+    value = benchmark(emd_from_values, _SCORES_A, _SCORES_B)
+    assert 0.0 <= value <= 1.0
+
+
+def test_exposure_micro(benchmark):
+    value = benchmark(exposure_deviation, _RANKING, _GROUP, _OTHERS)
+    assert value >= 0.0

@@ -1,0 +1,53 @@
+"""Pipeline-stage timings: crawl, study, cube materialization, indexing.
+
+Times the substrate stages the table benchmarks amortize away, on reduced
+scopes so the harness stays quick.
+"""
+
+from __future__ import annotations
+
+from repro.core.cube import UnfairnessCube
+from repro.core.fbox import FBox
+from repro.core.attributes import default_schema
+from repro.core.indices import build_family
+from repro.core.unfairness import MarketplaceUnfairness
+from repro.marketplace.crawl import run_crawl
+from repro.marketplace.site import TaskRabbitSite
+from repro.searchengine.engine import GoogleJobsEngine
+from repro.searchengine.study import StudyDesign, run_study
+
+_CITIES = ["Chicago, IL", "Boston, MA", "Birmingham, UK"]
+
+
+def test_marketplace_crawl(benchmark):
+    site = TaskRabbitSite(seed=29)
+    report = benchmark(run_crawl, site, "category", _CITIES)
+    assert report.queries_run == 24
+
+
+def test_google_study(benchmark):
+    engine = GoogleJobsEngine(seed=29)
+    design = StudyDesign(pairs=(("run errand", "London, UK"),))
+    report = benchmark(run_study, engine, design)
+    assert report.searches_executed == 90
+
+
+def test_cube_materialization(benchmark):
+    site = TaskRabbitSite(seed=29)
+    dataset = run_crawl(site, level="category", cities=_CITIES).dataset
+    schema = default_schema()
+    engine = MarketplaceUnfairness(dataset, schema, measure="emd")
+    fbox = FBox.for_marketplace(dataset, schema)
+    cube = benchmark(
+        UnfairnessCube.compute, engine, fbox.groups, fbox.queries, fbox.locations
+    )
+    assert cube.values.size == 11 * 8 * 3
+
+
+def test_index_family_build(benchmark):
+    site = TaskRabbitSite(seed=29)
+    dataset = run_crawl(site, level="category", cities=_CITIES).dataset
+    fbox = FBox.for_marketplace(dataset, default_schema())
+    cube = fbox.cube
+    family = benchmark(build_family, cube, "group")
+    assert len(family.pair_keys) == 8 * 3

@@ -1,0 +1,32 @@
+"""§5.2.1 drill-down: fairest/unfairest locations per job and jobs per city.
+
+The paper reports, e.g., that for Handyman and Run Errands the fairest
+location is in the San Francisco area and the unfairest Birmingham, UK; and
+that for Birmingham/Detroit/Nashville the fairest jobs are Delivery and
+Furniture Assembly while the unfairest are Yard Work / General Cleaning.
+"""
+
+from __future__ import annotations
+
+from _util import emit
+from repro.experiments.quantification import scoped_drilldown
+from repro.experiments.report import render_table
+
+
+def _render() -> str:
+    drill = scoped_drilldown()
+    blocks = []
+    for scope, rows in drill.items():
+        top = rows[:3]
+        bottom = rows[-3:]
+        table_rows = [("unfairest: " + r.member, r.value) for r in top]
+        table_rows += [("fairest: " + r.member, r.value) for r in reversed(bottom)]
+        blocks.append(
+            render_table(f"§5.2.1 drill-down — {scope}", ("member", "measured"), table_rows)
+        )
+    return "\n\n".join(blocks)
+
+
+def test_scoped_quantification(benchmark):
+    emit("scoped_quantification", _render())
+    benchmark(scoped_drilldown)

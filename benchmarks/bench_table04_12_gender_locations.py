@@ -1,0 +1,49 @@
+"""Tables 4 and 12: Male vs Female across TaskRabbit locations.
+
+Table 4 illustrates group-comparison output (Oklahoma City and Salt Lake
+City reversing the overall ordering); Table 12 reports the locations where
+females are treated more fairly than males under Exposure — in our
+calibration, the cities of ``FEMALE_FAIRER_LOCATIONS``.
+
+Deviation note (EXPERIMENTS.md): under the paper's literal comparables-only
+normalization, Male and Female — jointly exhaustive, mutually comparable —
+provably receive identical deviations, so this experiment runs with
+ranking-wide normalization, the only reading compatible with the paper's
+unequal published numbers.
+"""
+
+from __future__ import annotations
+
+from _util import emit
+from repro.calibration import FEMALE_FAIRER_LOCATIONS
+from repro.experiments.comparison import table4_and_12_gender_by_location
+from repro.experiments.report import render_comparison, render_table
+
+
+def _render() -> str:
+    report = table4_and_12_gender_by_location()
+    female_better = sorted(
+        (row for row in report.rows if row.value_r2 < row.value_r1),
+        key=lambda row: row.value_r2 - row.value_r1,
+    )
+    rows = [
+        (
+            str(row.member),
+            row.value_r1,
+            row.value_r2,
+            "calibrated flip" if row.member in FEMALE_FAIRER_LOCATIONS else "",
+        )
+        for row in female_better[:10]
+    ]
+    header = render_table(
+        "Tables 4/12 — locations where females fare better than males "
+        f"(overall M={report.overall_r1:.3f} F={report.overall_r2:.3f})",
+        ("location", "Males", "Females", "note"),
+        rows,
+    )
+    return header + "\n\n" + render_comparison("Full comparison report", report)
+
+
+def test_table04_12_gender_by_location(benchmark):
+    emit("table04_12_gender_locations", _render())
+    benchmark(table4_and_12_gender_by_location)

@@ -1,0 +1,52 @@
+"""Tables 6–7: equivalent search terms and the Google study design.
+
+Table 6 shows sample TaskRabbit queries with their five Keyword-Planner
+formulations; Table 7 the number of study locations per query category
+(yard work 4, general cleaning 3, event staffing / moving / run errand 1).
+"""
+
+from __future__ import annotations
+
+from _util import emit
+from repro.experiments.report import render_table
+from repro.searchengine.keyword_planner import term_variants
+from repro.searchengine.study import paper_design
+
+_TABLE7_PAPER = {
+    "yard work": 4,
+    "general cleaning": 3,
+    "event staffing": 1,
+    "moving job": 1,
+    "run errand": 1,
+}
+
+
+def _render_table6() -> str:
+    rows = []
+    for query in ("run errand", "yard work"):
+        for term in term_variants(query):
+            rows.append((query, term))
+    return render_table(
+        "Table 6 — equivalent Google search terms", ("query", "search term"), rows
+    )
+
+
+def _render_table7() -> str:
+    counts = paper_design().locations_per_query()
+    rows = [
+        (query, float(counts[query]), float(_TABLE7_PAPER[query]))
+        for query in _TABLE7_PAPER
+    ]
+    return render_table(
+        "Table 7 — locations per job", ("job", "measured", "paper"), rows, decimals=0
+    )
+
+
+def test_table06_keyword_variants(benchmark):
+    emit("table06_keyword_variants", _render_table6())
+    benchmark(term_variants, "general cleaning")
+
+
+def test_table07_study_design(benchmark):
+    emit("table07_study_design", _render_table7())
+    benchmark(lambda: paper_design().locations_per_query())

@@ -1,0 +1,30 @@
+"""Table 8: all TaskRabbit groups ranked by unfairness (EMD and Exposure).
+
+Headline shape to reproduce: Asian Females and Asian Males are the most
+discriminated against; White/Male groups sit at the bottom.  The benchmark
+times the group-fairness threshold query on the pre-materialized cube (the
+paper's Algorithm 1), not the crawl.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, paper_vs_measured
+from repro.calibration import TASKRABBIT_GROUP_EMD, TASKRABBIT_GROUP_EXPOSURE
+from repro.experiments.quantification import table8_group_ranking, taskrabbit_fbox
+
+_PAPER = {"emd": TASKRABBIT_GROUP_EMD, "exposure": TASKRABBIT_GROUP_EXPOSURE}
+
+
+@pytest.mark.parametrize("measure", ["emd", "exposure"])
+def test_table08_group_fairness(benchmark, measure):
+    rows = [(row.member, row.value) for row in table8_group_ranking(measure)]
+    emit(
+        f"table08_groups_{measure}",
+        paper_vs_measured(
+            f"Table 8 — group unfairness ({measure})", rows, _PAPER[measure], "group"
+        ),
+    )
+    fbox = taskrabbit_fbox(measure)
+    benchmark(fbox.quantify, "group", 11)

@@ -1,0 +1,27 @@
+"""Table 9: TaskRabbit job categories ranked by unfairness.
+
+Headline shape: Handyman and Yard Work are the most unfair jobs; Furniture
+Assembly and Delivery the fairest, under both EMD and Exposure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, paper_vs_measured
+from repro.calibration import TASKRABBIT_JOB_EMD, TASKRABBIT_JOB_EXPOSURE
+from repro.experiments.quantification import table9_job_ranking
+
+_PAPER = {"emd": TASKRABBIT_JOB_EMD, "exposure": TASKRABBIT_JOB_EXPOSURE}
+
+
+@pytest.mark.parametrize("measure", ["emd", "exposure"])
+def test_table09_job_fairness(benchmark, measure):
+    rows = [(row.member, row.value) for row in table9_job_ranking(measure)]
+    emit(
+        f"table09_jobs_{measure}",
+        paper_vs_measured(
+            f"Table 9 — job unfairness ({measure})", rows, _PAPER[measure], "job"
+        ),
+    )
+    benchmark(table9_job_ranking, measure)

@@ -1,0 +1,53 @@
+"""Tables 10–11: the ten least and most fair TaskRabbit cities.
+
+Headline shape: Birmingham, UK and Oklahoma City, OK are the least fair;
+Chicago and San Francisco among the fairest, over the full 5,361-query
+job-level crawl.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, paper_vs_measured
+from repro.calibration import (
+    TASKRABBIT_FAIREST_LOCATIONS,
+    TASKRABBIT_UNFAIREST_LOCATIONS,
+)
+from repro.experiments.quantification import (
+    table10_unfairest_locations,
+    table11_fairest_locations,
+    taskrabbit_fbox,
+)
+
+
+@pytest.mark.parametrize("measure", ["emd", "exposure"])
+def test_table10_unfairest_locations(benchmark, measure):
+    rows = [(row.member, row.value) for row in table10_unfairest_locations(measure)]
+    emit(
+        f"table10_unfairest_locations_{measure}",
+        paper_vs_measured(
+            f"Table 10 — ten unfairest cities ({measure})",
+            rows,
+            TASKRABBIT_UNFAIREST_LOCATIONS,
+            "city",
+        ),
+    )
+    fbox = taskrabbit_fbox(measure)
+    benchmark(fbox.quantify, "location", 10)
+
+
+@pytest.mark.parametrize("measure", ["emd", "exposure"])
+def test_table11_fairest_locations(benchmark, measure):
+    rows = [(row.member, row.value) for row in table11_fairest_locations(measure)]
+    emit(
+        f"table11_fairest_locations_{measure}",
+        paper_vs_measured(
+            f"Table 11 — ten fairest cities ({measure})",
+            rows,
+            TASKRABBIT_FAIREST_LOCATIONS,
+            "city",
+        ),
+    )
+    fbox = taskrabbit_fbox(measure)
+    benchmark(fbox.quantify, "location", 10, "least")

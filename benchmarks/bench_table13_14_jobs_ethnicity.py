@@ -1,0 +1,30 @@
+"""Tables 13–14: Lawn Mowing vs Event Decorating by ethnicity.
+
+Paper shape: overall, Lawn Mowing is less fair than Event Decorating; the
+comparison reverses for Whites under EMD (Table 13) and for Blacks under
+Exposure (Table 14) — the paper itself flags the measure disagreement as
+future work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit
+from repro.experiments.comparison import table13_14_jobs_by_ethnicity
+from repro.experiments.report import render_comparison
+
+_PAPER_SUBJECT = {"emd": "White", "exposure": "Black"}
+
+
+@pytest.mark.parametrize("measure", ["emd", "exposure"])
+def test_table13_14_jobs_by_ethnicity(benchmark, measure):
+    report = table13_14_jobs_by_ethnicity(measure)
+    table_number = 13 if measure == "emd" else 14
+    text = render_comparison(
+        f"Table {table_number} — Lawn Mowing vs Event Decorating ({measure}); "
+        f"paper: {_PAPER_SUBJECT[measure]} reverses",
+        report,
+    )
+    emit(f"table{table_number}_jobs_ethnicity_{measure}", text)
+    benchmark(table13_14_jobs_by_ethnicity, measure)

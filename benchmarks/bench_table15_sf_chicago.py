@@ -1,0 +1,25 @@
+"""Table 15: SF Bay Area vs Chicago across General Cleaning sub-jobs (EMD).
+
+Paper shape: San Francisco is the fairer of the two for General Cleaning
+overall, but the trend inverts for Back To Organized, Organize & Declutter
+and Organize Closet.
+"""
+
+from __future__ import annotations
+
+from _util import emit
+from repro.experiments.comparison import table15_locations_by_subjob
+from repro.experiments.report import render_comparison
+
+_PAPER_SUBJECTS = ("Back To Organized", "Organize & Declutter", "Organize Closet")
+
+
+def test_table15_sf_chicago(benchmark):
+    report = table15_locations_by_subjob()
+    text = render_comparison(
+        "Table 15 — SF Bay Area vs Chicago, General Cleaning sub-jobs (EMD); "
+        f"paper reverses: {', '.join(_PAPER_SUBJECTS)}",
+        report,
+    )
+    emit("table15_sf_chicago", text)
+    benchmark(table15_locations_by_subjob)

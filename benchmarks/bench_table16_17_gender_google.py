@@ -1,0 +1,32 @@
+"""Tables 16–17: Google gender comparison by location (Kendall / Jaccard).
+
+Paper shape: overall, females' results diverge slightly more than males';
+at Birmingham, Bristol, Detroit and New York City the ordering reverses.
+The reproduction compares White Male vs White Female (full profiles, whose
+comparable groups differ) because the literal marginal Male-vs-Female
+comparison is provably tied cell-by-cell under any pairwise-symmetric DIST
+— see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit
+from repro.calibration import GOOGLE_FEMALE_FAIRER_LOCATIONS
+from repro.experiments.comparison import table16_17_gender_by_location
+from repro.experiments.report import render_comparison
+
+_TABLE = {"kendall": 16, "jaccard": 17}
+
+
+@pytest.mark.parametrize("measure", ["kendall", "jaccard"])
+def test_table16_17_gender_by_location(benchmark, measure):
+    report = table16_17_gender_by_location(measure)
+    text = render_comparison(
+        f"Table {_TABLE[measure]} — WM vs WF by location ({measure}); paper "
+        f"reverses: {', '.join(sorted(GOOGLE_FEMALE_FAIRER_LOCATIONS))}",
+        report,
+    )
+    emit(f"table{_TABLE[measure]}_gender_locations_{measure}", text)
+    benchmark(table16_17_gender_by_location, measure)

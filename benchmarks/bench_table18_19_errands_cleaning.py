@@ -1,0 +1,28 @@
+"""Tables 18–19: Running Errands vs General Cleaning by ethnicity.
+
+Paper shape: the two queries are nearly tied overall with Running Errands a
+hair less fair; for Blacks (both tables) and Asians (Table 18) General
+Cleaning is the less fair of the two — a reversal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit
+from repro.experiments.comparison import table18_19_queries_by_ethnicity
+from repro.experiments.report import render_comparison
+
+_TABLE = {"kendall": 18, "jaccard": 19}
+
+
+@pytest.mark.parametrize("measure", ["kendall", "jaccard"])
+def test_table18_19_errands_cleaning(benchmark, measure):
+    report = table18_19_queries_by_ethnicity(measure)
+    text = render_comparison(
+        f"Table {_TABLE[measure]} — Running Errands vs General Cleaning "
+        f"({measure}); paper reverses Black (+ Asian under Kendall)",
+        report,
+    )
+    emit(f"table{_TABLE[measure]}_errands_cleaning_{measure}", text)
+    benchmark(table18_19_queries_by_ethnicity, measure)

@@ -1,0 +1,29 @@
+"""Tables 20–21: Boston vs Bristol across General Cleaning search terms.
+
+Paper shape: Bristol is less fair than Boston for general cleaning overall,
+but for the "office cleaning jobs" and "private cleaning jobs" term
+variants the comparison reverses — consistently under Kendall and Jaccard
+(the paper notes the two measures agree here).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit
+from repro.experiments.comparison import table20_21_locations_by_term
+from repro.experiments.report import render_comparison
+
+_TABLE = {"kendall": 20, "jaccard": 21}
+
+
+@pytest.mark.parametrize("measure", ["kendall", "jaccard"])
+def test_table20_21_boston_bristol(benchmark, measure):
+    report = table20_21_locations_by_term(measure)
+    text = render_comparison(
+        f"Table {_TABLE[measure]} — Boston vs Bristol, cleaning terms "
+        f"({measure}); paper reverses office/private cleaning jobs",
+        report,
+    )
+    emit(f"table{_TABLE[measure]}_boston_bristol_{measure}", text)
+    benchmark(table20_21_locations_by_term, measure)

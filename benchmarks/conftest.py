@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make `import _util` work regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))

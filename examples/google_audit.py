@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Audit a personalized search engine: the paper's Google case study.
+
+Runs the Figure 9 pipeline at reduced scale: recruit participants per
+(group, location) study, execute the five Keyword-Planner term variants per
+query through the Chrome-extension noise-control protocol, and quantify
+unfairness under Kendall Tau and Jaccard.
+
+Run:  python examples/google_audit.py
+"""
+
+from __future__ import annotations
+
+from repro import FBox, default_schema
+from repro.experiments.report import render_table
+from repro.searchengine import (
+    GoogleJobsEngine,
+    StudyDesign,
+    run_study,
+    term_variants,
+)
+
+DESIGN = StudyDesign(
+    pairs=(
+        ("yard work", "London, UK"),
+        ("yard work", "New York City, NY"),
+        ("general cleaning", "Boston, MA"),
+        ("general cleaning", "Bristol, UK"),
+        ("furniture assembly", "Washington, DC"),
+        ("run errand", "London, UK"),
+    )
+)
+
+
+def main() -> None:
+    engine = GoogleJobsEngine(seed=7)
+    report = run_study(engine, DESIGN)
+    print(
+        f"{report.studies} studies, {report.participants} participants, "
+        f"{report.searches_executed} searches executed\n"
+    )
+
+    schema = default_schema()
+    for measure in ("kendall", "jaccard"):
+        fbox = FBox.for_search(report.dataset, schema, measure=measure)
+
+        groups = fbox.quantify("group", k=6)
+        print(
+            render_table(
+                f"{measure}: most divergent groups",
+                ("group", "unfairness"),
+                [(str(member), value) for member, value in groups.entries],
+            )
+        )
+        print()
+
+        locations = fbox.quantify("location", k=len(fbox.locations), order="least")
+        print(
+            render_table(
+                f"{measure}: locations, fairest first",
+                ("location", "unfairness"),
+                [(str(member), value) for member, value in locations.entries],
+            )
+        )
+        print()
+
+    # Term-level view: which general-cleaning formulations diverge most?
+    fbox = FBox.for_search(
+        report.dataset, schema, queries=term_variants("general cleaning")
+    )
+    terms = fbox.quantify("query", k=5)
+    print(
+        render_table(
+            "General-cleaning term variants by unfairness",
+            ("term", "unfairness"),
+            [(str(member), value) for member, value in terms.entries],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Audit a marketplace end-to-end: the paper's TaskRabbit case study.
+
+Reproduces the §5.2.1 workflow at reduced scale: crawl every job category
+across a city sample, quantify unfairness along all three dimensions under
+both marketplace measures (EMD and Exposure), then drill into one job and
+one city.
+
+Run:  python examples/taskrabbit_audit.py
+"""
+
+from __future__ import annotations
+
+from repro import FBox, default_schema
+from repro.experiments.report import render_table
+from repro.marketplace import JOBS_BY_CATEGORY, TaskRabbitSite, run_crawl
+
+CITIES = [
+    "Birmingham, UK",
+    "Bristol, UK",
+    "Oklahoma City, OK",
+    "Nashville, TN",
+    "Chicago, IL",
+    "San Francisco, CA",
+    "Boston, MA",
+    "Washington, DC",
+]
+
+
+def quantify_everything(fbox: FBox, measure: str) -> None:
+    for dimension, k in (("group", 5), ("query", 8), ("location", 8)):
+        most = fbox.quantify(dimension, k=k)
+        print(
+            render_table(
+                f"{measure.upper()}: most unfair {dimension}s",
+                (dimension, "unfairness"),
+                [(str(member), value) for member, value in most.entries],
+            )
+        )
+        print()
+
+
+def drill_down(fbox: FBox) -> None:
+    # §5.2.1 style question: which city is fairest for Handyman work?
+    rows = sorted(
+        (
+            (city, fbox.aggregate(queries=["Handyman"], locations=[city]))
+            for city in fbox.locations
+        ),
+        key=lambda pair: pair[1],
+    )
+    print(render_table("Cities ranked for Handyman (fairest first)", ("city", "EMD"), rows))
+    print()
+
+    # ...and which job is fairest in Birmingham?
+    rows = sorted(
+        (
+            (category, fbox.aggregate(queries=[category], locations=["Birmingham, UK"]))
+            for category in JOBS_BY_CATEGORY
+        ),
+        key=lambda pair: pair[1],
+    )
+    print(render_table("Jobs ranked in Birmingham, UK (fairest first)", ("job", "EMD"), rows))
+
+
+def main() -> None:
+    site = TaskRabbitSite(seed=7)
+    dataset = run_crawl(site, level="category", cities=CITIES).dataset
+    schema = default_schema()
+    for measure in ("emd", "exposure"):
+        fbox = FBox.for_marketplace(dataset, schema, measure=measure)
+        quantify_everything(fbox, measure)
+    drill_down(FBox.for_marketplace(dataset, schema, measure="emd"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""repro — reproduction of "Fairness in Online Jobs: A Case Study on
+TaskRabbit and Google" (Amer-Yahia et al., EDBT 2020).
+
+A unified framework to quantify and compare group unfairness in online job
+rankings, plus full simulators of the two case-study substrates:
+
+* :mod:`repro.core` — groups and comparable groups, the four unfairness
+  measures (Kendall Tau, Jaccard, EMD, Exposure), the unfairness cube, the
+  three inverted-index families, Fagin-style top-k quantification
+  (Problem 1) and fairness comparison (Problem 2), all behind the
+  :class:`FBox` facade.
+* :mod:`repro.marketplace` — a TaskRabbit-style marketplace simulator and
+  crawl protocol.
+* :mod:`repro.searchengine` — a Google-job-search-style personalized engine,
+  the Chrome-extension noise-control protocol, and the Prolific-style user
+  study.
+* :mod:`repro.labeling` — the AMT majority-vote demographic labeling step.
+* :mod:`repro.experiments` — drivers regenerating every table and figure of
+  the paper's evaluation (§5).
+
+Quickstart::
+
+    from repro import FBox, default_schema
+    from repro.experiments.datasets import build_taskrabbit_dataset
+
+    dataset = build_taskrabbit_dataset(seed=7)
+    fbox = FBox.for_marketplace(dataset, default_schema(), measure="emd")
+    print(fbox.quantify("group", k=5).entries)
+"""
+
+from .core import (
+    AttributeSchema,
+    BreakdownRow,
+    ComparisonReport,
+    FBox,
+    Group,
+    RankedList,
+    TopKResult,
+    UnfairnessCube,
+    comparable_groups,
+    compare,
+    default_schema,
+    enumerate_groups,
+    group_lattice,
+    naive_top_k,
+    top_k,
+    variants,
+)
+from .data import (
+    MarketplaceDataset,
+    MarketplaceObservation,
+    SearchDataset,
+    SearchObservation,
+    SearchUser,
+    WorkerProfile,
+)
+from .exceptions import (
+    AlgorithmError,
+    CubeError,
+    DataError,
+    IndexError_,
+    MeasureError,
+    ReproError,
+    SchemaError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeSchema",
+    "BreakdownRow",
+    "ComparisonReport",
+    "FBox",
+    "Group",
+    "RankedList",
+    "TopKResult",
+    "UnfairnessCube",
+    "comparable_groups",
+    "compare",
+    "default_schema",
+    "enumerate_groups",
+    "group_lattice",
+    "naive_top_k",
+    "top_k",
+    "variants",
+    "MarketplaceDataset",
+    "MarketplaceObservation",
+    "SearchDataset",
+    "SearchObservation",
+    "SearchUser",
+    "WorkerProfile",
+    "AlgorithmError",
+    "CubeError",
+    "DataError",
+    "IndexError_",
+    "MeasureError",
+    "ReproError",
+    "SchemaError",
+    "__version__",
+]

@@ -1,0 +1,326 @@
+"""Paper-derived calibration targets for the synthetic substrates.
+
+We do not have the authors' 2019 crawls, so the simulators in
+:mod:`repro.marketplace` and :mod:`repro.searchengine` are *calibrated*: the
+bias intensities that drive their ranking models are derived from the
+unfairness values the paper reports, so the reproduced experiments match the
+paper in **shape** — which groups/jobs/locations are most and least unfair,
+and which breakdowns reverse — without pretending to match absolute numbers.
+
+Everything in this module is data transcribed from the paper's §5 tables,
+plus the override sets that encode the comparison results (Tables 12–21).
+DESIGN.md §2 documents the substitution rationale.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TASKRABBIT_GROUP_EMD",
+    "TASKRABBIT_GROUP_EXPOSURE",
+    "TASKRABBIT_JOB_EMD",
+    "TASKRABBIT_JOB_EXPOSURE",
+    "TASKRABBIT_UNFAIREST_LOCATIONS",
+    "TASKRABBIT_FAIREST_LOCATIONS",
+    "PROFILE_PENALTY",
+    "JOB_BIAS",
+    "LOCATION_BIAS",
+    "FEMALE_FAIRER_LOCATIONS",
+    "JOB_ETHNICITY_OVERRIDES",
+    "JOB_ETHNICITY_BOOSTS",
+    "LOCATION_CATEGORY_OVERRIDES",
+    "LOCATION_SUBJOB_OVERRIDES",
+    "GOOGLE_GROUP_DIVERGENCE",
+    "GOOGLE_LOCATION_DIVERGENCE",
+    "GOOGLE_QUERY_DIVERGENCE",
+    "GOOGLE_FEMALE_FAIRER_LOCATIONS",
+    "GOOGLE_QUERY_ETHNICITY_OVERRIDES",
+    "GOOGLE_LOCATION_SUBQUERY_OVERRIDES",
+    "profile_key",
+]
+
+# ---------------------------------------------------------------------------
+# TaskRabbit quantification targets (paper Tables 8–11)
+# ---------------------------------------------------------------------------
+
+TASKRABBIT_GROUP_EMD: dict[str, float] = {
+    # Table 8, EMD column (unfairest → fairest).
+    "Asian Female": 0.876,
+    "Asian Male": 0.755,
+    "Black Female": 0.726,
+    "Asian": 0.694,
+    "Black Male": 0.578,
+    "White Female": 0.542,
+    "Black": 0.498,
+    "Male": 0.468,
+    "Female": 0.468,
+    "White": 0.448,
+    "White Male": 0.421,
+}
+
+TASKRABBIT_GROUP_EXPOSURE: dict[str, float] = {
+    # Table 8, Exposure column.
+    "Asian Female": 0.821,
+    "Asian Male": 0.662,
+    "Black Female": 0.615,
+    "Asian": 0.594,
+    "Black Male": 0.413,
+    "White Female": 0.359,
+    "Black": 0.341,
+    "Female": 0.299,
+    "White Male": 0.154,
+    "Male": 0.117,
+    "White": 0.104,
+}
+
+TASKRABBIT_JOB_EMD: dict[str, float] = {
+    # Table 9, EMD column.
+    "Handyman": 0.692,
+    "Yard Work": 0.672,
+    "Event Staffing": 0.639,
+    "General Cleaning": 0.611,
+    "Moving": 0.604,
+    "Furniture Assembly": 0.541,
+    "Run Errands": 0.519,
+    "Delivery": 0.499,
+}
+
+TASKRABBIT_JOB_EXPOSURE: dict[str, float] = {
+    # Table 9, Exposure column.
+    "Handyman": 0.515,
+    "Event Staffing": 0.504,
+    "Yard Work": 0.5,
+    "General Cleaning": 0.456,
+    "Moving": 0.418,
+    "Furniture Assembly": 0.383,
+    "Run Errands": 0.352,
+    "Delivery": 0.331,
+}
+
+TASKRABBIT_UNFAIREST_LOCATIONS: dict[str, float] = {
+    # Table 10, EMD column (the 10 least fair cities).
+    "Birmingham, UK": 1.0,
+    "Oklahoma City, OK": 0.998,
+    "Bristol, UK": 0.91,
+    "Manchester, UK": 0.851,
+    "New Haven, CT": 0.838,
+    "Milwaukee, WI": 0.824,
+    "Indianapolis, IN": 0.815,
+    "Nashville, TN": 0.808,
+    "Detroit, MI": 0.806,
+    "Memphis, TN": 0.80,
+}
+
+TASKRABBIT_FAIREST_LOCATIONS: dict[str, float] = {
+    # Table 11, EMD column (the 10 fairest cities).
+    "Chicago, IL": 0.274,
+    "San Francisco, CA": 0.286,
+    "Washington, DC": 0.329,
+    "Los Angeles, CA": 0.33,
+    "Boston, MA": 0.353,
+    "Atlanta, GA": 0.4,
+    "Houston, TX": 0.417,
+    "Orlando, FL": 0.431,
+    "Philadelphia, PA": 0.45,
+    "San Diego, CA": 0.454,
+}
+
+# ---------------------------------------------------------------------------
+# Simulator bias intensities derived from the targets
+# ---------------------------------------------------------------------------
+
+
+def profile_key(gender: str, ethnicity: str) -> str:
+    """Canonical display key for a full profile (e.g. ``"Asian Female"``)."""
+    return f"{ethnicity} {gender}"
+
+
+def _rescale(values: dict[str, float], low: float, high: float) -> dict[str, float]:
+    """Map a target table linearly onto ``[low, high]``."""
+    smallest = min(values.values())
+    largest = max(values.values())
+    span = largest - smallest
+    if span == 0:
+        return {key: (low + high) / 2.0 for key in values}
+    return {
+        key: low + (value - smallest) / span * (high - low)
+        for key, value in values.items()
+    }
+
+
+#: Score penalty applied to each full demographic profile, derived from the
+#: Table 8 EMD ordering.  White Males (the reference group) get no penalty;
+#: Asian Females the largest.
+PROFILE_PENALTY: dict[str, float] = _rescale(
+    {
+        key: TASKRABBIT_GROUP_EMD[key]
+        for key in (
+            "Asian Female",
+            "Asian Male",
+            "Black Female",
+            "Black Male",
+            "White Female",
+            "White Male",
+        )
+    },
+    low=0.0,
+    high=1.0,
+)
+
+#: Per-job multiplier on the demographic penalty (Table 9 EMD ordering).
+JOB_BIAS: dict[str, float] = _rescale(TASKRABBIT_JOB_EMD, low=0.35, high=1.0)
+
+#: Per-location multiplier (Tables 10 and 11).  Cities absent from both
+#: tables take the midpoint via :func:`location_bias`.
+LOCATION_BIAS: dict[str, float] = {
+    **_rescale(TASKRABBIT_UNFAIREST_LOCATIONS, low=0.80, high=1.0),
+    **_rescale(TASKRABBIT_FAIREST_LOCATIONS, low=0.06, high=0.34),
+    # The SF Bay Area sits just outside Table 11's ten fairest cities, yet
+    # Table 15 shows it fairer than Chicago *for General Cleaning*; the
+    # category override below carries that interaction.
+    "San Francisco Bay Area, CA": 0.42,
+}
+
+_DEFAULT_LOCATION_BIAS = 0.55
+
+
+def location_bias(city: str) -> float:
+    """Penalty multiplier for a city (midpoint for uncalibrated cities)."""
+    return LOCATION_BIAS.get(city, _DEFAULT_LOCATION_BIAS)
+
+
+#: Cities where *females* are treated more fairly than males, reversing the
+#: overall trend — paper Table 12 (and the Chicago/Nashville/San Francisco
+#: claim in the introduction).  In these cities the gender component of the
+#: penalty lands on men instead of women.
+FEMALE_FAIRER_LOCATIONS: frozenset[str] = frozenset(
+    {
+        "Charlotte, NC",
+        "Chicago, IL",
+        "Nashville, TN",
+        "Norfolk, VA",
+        "San Francisco Bay Area, CA",
+        "St. Louis, MO",
+    }
+)
+
+#: (job, ethnicity) → multiplier on that ethnicity's penalty for that job.
+#: Encodes Tables 13–14: overall, Lawn Mowing is less fair than Event
+#: Decorating; the Asian penalty is inflated on Lawn Mowing and deflated on
+#: Event Decorating to preserve that, while the reversal for Whites is
+#: produced through :data:`JOB_ETHNICITY_BOOSTS` below.
+JOB_ETHNICITY_OVERRIDES: dict[tuple[str, str], float] = {
+    ("Lawn Mowing", "Asian"): 1.40,
+    ("Event Decorating", "Asian"): 0.70,
+    ("Lawn Mowing", "Black"): 0.75,
+    ("Event Decorating", "Black"): 1.15,
+}
+
+#: (job, ethnicity) → additive score *boost* (a negative penalty).  A boosted
+#: group floats above its comparable groups, which raises its measured
+#: unfairness for that job without raising everyone else's: this is how the
+#: White reversal of Tables 13–14 (Event Decorating less fair than Lawn
+#: Mowing for Whites, against the overall trend) is realized.
+JOB_ETHNICITY_BOOSTS: dict[tuple[str, str], float] = {
+    ("Event Decorating", "White"): 0.60,
+}
+
+#: (location, category) → multiplier on the location's penalty intensity
+#: for a whole job category.  Encodes Table 15's "All" row: the SF Bay Area
+#: is fairer than Chicago for General Cleaning work overall.
+LOCATION_CATEGORY_OVERRIDES: dict[tuple[str, str], float] = {
+    ("San Francisco Bay Area, CA", "General Cleaning"): 0.30,
+    ("Chicago, IL", "General Cleaning"): 8.0,
+}
+
+#: (location, sub-job) → multiplier on the location's penalty intensity for
+#: that sub-job, compounding any category override.  Encodes Table 15's
+#: breakdown rows: three General Cleaning sub-jobs where the SF Bay Area is
+#: *less* fair than Chicago, reversing the category-wide comparison.
+LOCATION_SUBJOB_OVERRIDES: dict[tuple[str, str], float] = {
+    ("San Francisco Bay Area, CA", "Back To Organized"): 7.0,
+    ("San Francisco Bay Area, CA", "Organize & Declutter"): 6.5,
+    ("San Francisco Bay Area, CA", "Organize Closet"): 7.5,
+    ("Chicago, IL", "Back To Organized"): 0.30,
+    ("Chicago, IL", "Organize & Declutter"): 0.35,
+    ("Chicago, IL", "Organize Closet"): 0.30,
+}
+
+# ---------------------------------------------------------------------------
+# Google job search calibration (§5.2.2, Tables 16–21)
+# ---------------------------------------------------------------------------
+
+#: Personalization divergence per demographic profile: how much a user's
+#: personalized results drift from the base ranking.  §5.2.2: White Females'
+#: results were most different, Black Males' most similar.
+GOOGLE_GROUP_DIVERGENCE: dict[str, float] = {
+    "White Female": 1.0,
+    "Asian Female": 0.74,
+    "Asian Male": 0.72,
+    "Black Female": 0.62,
+    "White Male": 0.45,
+    "Black Male": 0.25,
+}
+
+#: Per-location personalization strength.  §5.2.2: Washington, DC fairest
+#: (no divergence at all), London, UK unfairest.
+GOOGLE_LOCATION_DIVERGENCE: dict[str, float] = {
+    "London, UK": 1.0,
+    "Birmingham, UK": 0.92,
+    "Bristol, UK": 0.86,
+    "Manchester, UK": 0.80,
+    "Detroit, MI": 0.74,
+    "New York City, NY": 0.66,
+    "Pittsburgh, PA": 0.58,
+    "Charlotte, NC": 0.52,
+    "Boston, MA": 0.46,
+    "San Diego, CA": 0.40,
+    "Los Angeles, CA": 0.34,
+    "Washington, DC": 0.0,
+}
+
+#: Per-query personalization strength.  §5.2.2: Yard Work most unfair,
+#: Furniture Assembly most fair.
+GOOGLE_QUERY_DIVERGENCE: dict[str, float] = {
+    "yard work": 1.0,
+    "general cleaning": 0.62,
+    "moving job": 0.66,
+    "event staffing": 0.55,
+    "run errand": 0.52,
+    "furniture assembly": 0.15,
+}
+
+#: Locations where females' Google results are *more* consistent than
+#: males', reversing the overall ordering — Table 16's four rows.  (Table 17
+#: lists a different six under Jaccard because its overall ordering differs;
+#: the simulator encodes the Kendall-side set and lets the Jaccard view fall
+#: where it may, as the paper itself flags this divergence for future work.)
+GOOGLE_FEMALE_FAIRER_LOCATIONS: frozenset[str] = frozenset(
+    {
+        "Birmingham, UK",
+        "Bristol, UK",
+        "Detroit, MI",
+        "New York City, NY",
+    }
+)
+
+#: (query, ethnicity) → divergence multiplier.  Encodes Tables 18–19:
+#: overall, Running Errands and General Cleaning are nearly tied, but for
+#: Blacks and Asians General Cleaning diverges more.
+GOOGLE_QUERY_ETHNICITY_OVERRIDES: dict[tuple[str, str], float] = {
+    ("run errand", "White"): 2.6,
+    ("general cleaning", "White"): 0.40,
+    ("run errand", "Asian"): 0.85,
+    ("general cleaning", "Asian"): 1.15,
+    ("run errand", "Black"): 0.82,
+    ("general cleaning", "Black"): 1.22,
+}
+
+#: (location, sub-query) → divergence multiplier.  Encodes Tables 20–21:
+#: Bristol is less fair than Boston overall, but for office/private cleaning
+#: sub-queries Boston diverges more.
+GOOGLE_LOCATION_SUBQUERY_OVERRIDES: dict[tuple[str, str], float] = {
+    ("Boston, MA", "office cleaning jobs"): 1.45,
+    ("Bristol, UK", "office cleaning jobs"): 0.65,
+    ("Boston, MA", "private cleaning jobs"): 1.60,
+    ("Bristol, UK", "private cleaning jobs"): 0.55,
+}

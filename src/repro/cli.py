@@ -1,0 +1,281 @@
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
+
+Commands
+--------
+``generate``   build and save a dataset (TaskRabbit crawl or Google study)
+``quantify``   Problem 1: top/bottom-k groups, queries, or locations
+``compare``    Problem 2: breakdown members whose ordering reverses
+``reproduce``  regenerate one of the paper's tables/figures by name
+``toy``        print the paper's worked examples (Figures 1–5)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .core.attributes import default_schema
+from .core.fbox import FBox
+from .core.groups import Group
+from .data.io import (
+    load_marketplace_dataset,
+    load_search_dataset,
+    save_marketplace_dataset,
+    save_search_dataset,
+)
+from .exceptions import ReproError
+from .experiments import report as report_mod
+from .experiments.datasets import (
+    DEFAULT_SEED,
+    build_google_dataset,
+    build_taskrabbit_dataset,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fairness in online jobs: quantification and comparison (EDBT 2020 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="build and save a dataset")
+    generate.add_argument("site", choices=["taskrabbit", "google"])
+    generate.add_argument("output", help="output JSONL path")
+    generate.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    generate.add_argument(
+        "--level", choices=["category", "job"], default="category",
+        help="TaskRabbit crawl granularity",
+    )
+    generate.add_argument(
+        "--design", choices=["paper", "full"], default="full",
+        help="Google study design",
+    )
+
+    quantify = subparsers.add_parser("quantify", help="Problem 1: top/bottom-k")
+    _add_dataset_arguments(quantify)
+    quantify.add_argument("dimension", choices=["group", "query", "location"])
+    quantify.add_argument("-k", type=int, default=5)
+    quantify.add_argument("--order", choices=["most", "least"], default="most")
+    quantify.add_argument("--algorithm", choices=["fagin", "naive"], default="fagin")
+
+    compare = subparsers.add_parser("compare", help="Problem 2: reversal breakdown")
+    _add_dataset_arguments(compare)
+    compare.add_argument("dimension", choices=["group", "query", "location"])
+    compare.add_argument("r1", help="first member (group label as g=v,...; else literal)")
+    compare.add_argument("r2", help="second member")
+    compare.add_argument("breakdown", choices=["group", "query", "location"])
+
+    explain = subparsers.add_parser(
+        "explain", help="decompose one unfairness value into contributions"
+    )
+    _add_dataset_arguments(explain)
+    explain.add_argument("group", help="group label as attr=value[,attr=value]")
+    explain.add_argument("query")
+    explain.add_argument("location")
+
+    toy = subparsers.add_parser("toy", help="print the paper's worked examples")
+    del toy  # no extra arguments
+
+    reproduce = subparsers.add_parser("reproduce", help="regenerate a paper table")
+    reproduce.add_argument(
+        "target",
+        help="table8|table9|table10|table11|google-groups|google-locations|google-queries",
+    )
+    reproduce.add_argument("--measure", default=None)
+    reproduce.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    return parser
+
+
+def _add_dataset_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("site", choices=["taskrabbit", "google"])
+    sub.add_argument(
+        "--dataset", default=None, help="load a saved JSONL dataset instead of simulating"
+    )
+    sub.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    sub.add_argument("--measure", default=None, help="emd|exposure|kendall|jaccard")
+
+
+def _parse_member(dimension: str, text: str):
+    if dimension != "group":
+        return text
+    predicates = {}
+    for part in text.split(","):
+        if "=" not in part:
+            raise ReproError(
+                f"group members are written as attr=value[,attr=value]; got {text!r}"
+            )
+        name, value = part.split("=", 1)
+        predicates[name.strip()] = value.strip()
+    return Group(predicates)
+
+
+def _load_fbox(args) -> FBox:
+    schema = default_schema()
+    if args.site == "taskrabbit":
+        measure = args.measure or "emd"
+        if args.dataset:
+            dataset = load_marketplace_dataset(args.dataset)
+        else:
+            dataset = build_taskrabbit_dataset(seed=args.seed)
+        return FBox.for_marketplace(dataset, schema, measure=measure)
+    measure = args.measure or "kendall"
+    if args.dataset:
+        dataset = load_search_dataset(args.dataset)
+    else:
+        dataset = build_google_dataset(seed=args.seed)
+    return FBox.for_search(dataset, schema, measure=measure)
+
+
+def _command_generate(args) -> int:
+    if args.site == "taskrabbit":
+        dataset = build_taskrabbit_dataset(seed=args.seed, level=args.level)
+        save_marketplace_dataset(dataset, args.output)
+        print(f"wrote {len(dataset)} observations ({len(dataset.workers)} workers) to {args.output}")
+    else:
+        dataset = build_google_dataset(seed=args.seed, design=args.design)
+        save_search_dataset(dataset, args.output)
+        print(f"wrote {len(dataset)} observations ({len(dataset.users)} users) to {args.output}")
+    return 0
+
+
+def _command_quantify(args) -> int:
+    fbox = _load_fbox(args)
+    result = fbox.quantify(args.dimension, k=args.k, order=args.order, algorithm=args.algorithm)
+    title = f"{args.order}-unfair {args.dimension}s (k={args.k}, {args.algorithm})"
+    rows = [(str(key), value) for key, value in result.entries]
+    print(report_mod.render_table(title, (args.dimension, "unfairness"), rows))
+    if result.stats.sorted_accesses or result.stats.random_accesses:
+        print(
+            f"\nsorted accesses: {result.stats.sorted_accesses}  "
+            f"random accesses: {result.stats.random_accesses}  "
+            f"rounds: {result.rounds}  early stop: {result.early_stopped}"
+        )
+    return 0
+
+
+def _command_compare(args) -> int:
+    fbox = _load_fbox(args)
+    r1 = _parse_member(args.dimension, args.r1)
+    r2 = _parse_member(args.dimension, args.r2)
+    result = fbox.compare(args.dimension, r1, r2, args.breakdown)
+    print(
+        report_mod.render_comparison(
+            f"{args.r1} vs {args.r2} by {args.breakdown}", result
+        )
+    )
+    return 0
+
+
+def _command_explain(args) -> int:
+    from .core.explain import explain_cell
+
+    fbox = _load_fbox(args)
+    group = _parse_member("group", args.group)
+    explanation = explain_cell(fbox.engine, group, args.query, args.location)
+    print(explanation.narrative())
+    print()
+    rows = [
+        (
+            str(contribution.comparable),
+            contribution.distance,
+            f"{contribution.group_size} vs {contribution.comparable_size}",
+        )
+        for contribution in explanation.contributions
+    ]
+    print(
+        report_mod.render_table(
+            "Per-comparable-group contributions",
+            ("comparable group", "distance", "members"),
+            rows,
+        )
+    )
+    return 0
+
+
+def _command_toy(args) -> int:
+    from .experiments import toy
+
+    print(f"Figure 1 (illustrative Kendall average): {toy.figure1_unfairness():.2f}")
+    print(f"Figure 1 (measured on Table 1 data):     {toy.figure1_measured():.3f}")
+    print(f"Figure 2 (illustrative EMD average):     {toy.figure2_unfairness():.2f}")
+    print(f"Figure 3 (illustrative Jaccard average): {toy.figure3_partial_unfairness():.2f}")
+    print(f"Figure 3 (measured on Table 1 data):     {toy.figure3_measured():.3f}")
+    print(f"Figure 4 (illustrative EMD average):     {toy.figure4_unfairness():.2f}")
+    fig5 = toy.figure5_exposure()
+    print(
+        "Figure 5 (exact): exposure "
+        f"{fig5.group_exposure:.2f}/{fig5.group_exposure + fig5.comparable_exposure:.2f}"
+        f" = {fig5.exposure_share:.2f}, relevance "
+        f"{fig5.group_relevance:.2f}/{fig5.group_relevance + fig5.comparable_relevance:.2f}"
+        f" = {fig5.relevance_share:.2f}, unfairness {fig5.unfairness:.3f}"
+    )
+    return 0
+
+
+def _command_reproduce(args) -> int:
+    from .experiments import quantification as quant
+
+    target = args.target.lower()
+    seed = args.seed
+    if target in ("table8", "table9", "table10", "table11"):
+        measure = args.measure or "emd"
+        producer = {
+            "table8": quant.table8_group_ranking,
+            "table9": quant.table9_job_ranking,
+            "table10": quant.table10_unfairest_locations,
+            "table11": quant.table11_fairest_locations,
+        }[target]
+        rows = producer(measure=measure, seed=seed)
+        label = {"table8": "group", "table9": "job", "table10": "city", "table11": "city"}[target]
+    elif target in ("google-groups", "google-locations", "google-queries"):
+        measure = args.measure or "kendall"
+        producer = {
+            "google-groups": quant.google_group_ranking,
+            "google-locations": quant.google_location_ranking,
+            "google-queries": quant.google_query_ranking,
+        }[target]
+        rows = producer(measure=measure, seed=seed)
+        label = {"groups": "group", "locations": "location", "queries": "query"}[
+            target.split("-")[1]
+        ]
+    else:
+        raise ReproError(f"unknown reproduction target {args.target!r}")
+    print(
+        report_mod.render_table(
+            f"{args.target} ({measure}, seed={seed})",
+            (label, "unfairness"),
+            [(row.member, row.value) for row in rows],
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "quantify": _command_quantify,
+    "compare": _command_compare,
+    "explain": _command_explain,
+    "toy": _command_toy,
+    "reproduce": _command_reproduce,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

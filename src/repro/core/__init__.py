@@ -1,0 +1,63 @@
+"""Core framework: groups, measures, unfairness cube, indices, algorithms."""
+
+from .attributes import ETHNICITIES, GENDERS, AttributeSchema, default_schema
+from .comparison import BreakdownRow, ComparisonReport, compare, compare_with_indices
+from .cube import GROUP, LOCATION, QUERY, UnfairnessCube
+from .explain import (
+    CellContribution,
+    CellExplanation,
+    Contribution,
+    explain_aggregate,
+    explain_cell,
+)
+from .fagin import TopKResult, naive_top_k, top_k
+from .fbox import FBox
+from .groups import Group, comparable_groups, enumerate_groups, group_lattice, variants
+from .indices import AccessStats, IndexFamily, InvertedIndex, build_family
+from .rankings import RankedList, exposure_from_rank, relevance_from_rank
+from .unfairness import (
+    MarketplaceUnfairness,
+    SearchEngineUnfairness,
+    UnfairnessEngine,
+    aggregate_unfairness,
+)
+
+__all__ = [
+    "ETHNICITIES",
+    "GENDERS",
+    "AttributeSchema",
+    "default_schema",
+    "BreakdownRow",
+    "ComparisonReport",
+    "compare",
+    "compare_with_indices",
+    "GROUP",
+    "LOCATION",
+    "QUERY",
+    "UnfairnessCube",
+    "CellContribution",
+    "CellExplanation",
+    "Contribution",
+    "explain_aggregate",
+    "explain_cell",
+    "TopKResult",
+    "naive_top_k",
+    "top_k",
+    "FBox",
+    "Group",
+    "comparable_groups",
+    "enumerate_groups",
+    "group_lattice",
+    "variants",
+    "AccessStats",
+    "IndexFamily",
+    "InvertedIndex",
+    "build_family",
+    "RankedList",
+    "exposure_from_rank",
+    "relevance_from_rank",
+    "MarketplaceUnfairness",
+    "SearchEngineUnfairness",
+    "UnfairnessEngine",
+    "aggregate_unfairness",
+]

@@ -1,0 +1,121 @@
+"""Protected-attribute schemas.
+
+The paper's group model (§3.1) is parameterized by a set of *protected
+attributes* — gender, ethnicity, neighborhood, income, … — each with a finite
+value domain.  An :class:`AttributeSchema` pins down which attributes exist
+and which values each admits; every :class:`~repro.core.groups.Group` label is
+validated against a schema, and the schema is what enumerates the full group
+lattice (all conjunctions of attribute-value predicates).
+
+The case studies use the paper's two-attribute schema (gender × ethnicity),
+available as :func:`default_schema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from ..exceptions import SchemaError
+
+__all__ = ["AttributeSchema", "default_schema", "GENDERS", "ETHNICITIES"]
+
+GENDERS: tuple[str, ...] = ("Male", "Female")
+"""Gender categories used in the paper's AMT labeling task."""
+
+ETHNICITIES: tuple[str, ...] = ("Asian", "Black", "White")
+"""Ethnicity categories used in the paper's AMT labeling task."""
+
+
+@dataclass(frozen=True)
+class AttributeSchema:
+    """A finite set of protected attributes with finite value domains.
+
+    Parameters
+    ----------
+    domains:
+        Mapping from attribute name (e.g. ``"gender"``) to the tuple of
+        admissible values (e.g. ``("Male", "Female")``).  Attribute names and
+        values are case-sensitive strings.
+    """
+
+    domains: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        frozen: dict[str, tuple[str, ...]] = {}
+        for attribute, values in self.domains.items():
+            if not attribute or not isinstance(attribute, str):
+                raise SchemaError(f"attribute names must be non-empty strings, got {attribute!r}")
+            values = tuple(values)
+            if not values:
+                raise SchemaError(f"attribute {attribute!r} has an empty value domain")
+            if len(set(values)) != len(values):
+                raise SchemaError(f"attribute {attribute!r} has duplicate values: {values}")
+            for value in values:
+                if not value or not isinstance(value, str):
+                    raise SchemaError(
+                        f"values of attribute {attribute!r} must be non-empty strings, "
+                        f"got {value!r}"
+                    )
+            frozen[attribute] = values
+        if not frozen:
+            raise SchemaError("a schema must declare at least one attribute")
+        object.__setattr__(self, "domains", frozen)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names in declaration order."""
+        return tuple(self.domains)
+
+    def values_of(self, attribute: str) -> tuple[str, ...]:
+        """Return the value domain of ``attribute``.
+
+        Raises :class:`SchemaError` for unknown attributes.
+        """
+        try:
+            return self.domains[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {attribute!r}; schema has {sorted(self.domains)}"
+            ) from None
+
+    def validate(self, attribute: str, value: str) -> None:
+        """Check that ``value`` belongs to the domain of ``attribute``."""
+        values = self.values_of(attribute)
+        if value not in values:
+            raise SchemaError(
+                f"value {value!r} is not in the domain of {attribute!r} ({list(values)})"
+            )
+
+    def iter_assignments(self, attributes: Sequence[str]) -> Iterator[dict[str, str]]:
+        """Yield every full assignment over the given ``attributes``.
+
+        Used to enumerate groups at one level of the lattice: e.g. for
+        ``("gender", "ethnicity")`` this yields the six full demographic
+        profiles of the case study.
+        """
+        attributes = tuple(attributes)
+        for attribute in attributes:
+            self.values_of(attribute)  # validate
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(f"duplicate attributes in assignment request: {attributes}")
+
+        def recurse(index: int, partial: dict[str, str]) -> Iterator[dict[str, str]]:
+            if index == len(attributes):
+                yield dict(partial)
+                return
+            attribute = attributes[index]
+            for value in self.domains[attribute]:
+                partial[attribute] = value
+                yield from recurse(index + 1, partial)
+                del partial[attribute]
+
+        yield from recurse(0, {})
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self.domains
+
+
+def default_schema() -> AttributeSchema:
+    """The paper's case-study schema: gender × ethnicity."""
+    return AttributeSchema({"gender": GENDERS, "ethnicity": ETHNICITIES})

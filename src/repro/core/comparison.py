@@ -1,0 +1,271 @@
+"""Fairness comparison (Problem 2; Algorithms 2 and 3).
+
+Given two members ``r1, r2`` of one dimension (e.g. the groups *Males* and
+*Females*) and a breakdown dimension ``B`` (e.g. locations), return every
+``b ∈ B`` whose ``r1``-vs-``r2`` unfairness ordering differs from the overall
+ordering::
+
+    d<r1,b> ≥ d<r2,b>  ∧  d<r1> ≤ d<r2>      (or the mirror image)
+
+as in the paper's Problem 2 definition.  The comparison is non-strict — a
+breakdown member where the two sides tie counts as "differing" from a
+strictly ordered overall (the paper's Table 12 lists Chicago and the SF Bay
+Area, where males and females tie, against an overall where females fare
+worse) — except for the degenerate case of a tie on *both* levels, which is
+excluded as uninformative.
+
+Three instances fall out of the one implementation:
+
+* **group-comparison**:    ``r1, r2`` are groups, ``B`` is queries or locations;
+* **query-comparison**:    ``r1, r2`` are queries, ``B`` is groups or locations;
+* **location-comparison**: ``r1, r2`` are locations, ``B`` is groups or queries.
+
+:func:`compare` computes aggregates straight from the cube.
+:func:`compare_with_indices` follows the paper's Algorithm 2 access pattern —
+Algorithm 3's random accesses for the overall values, then sorted-access
+sweeps over per-breakdown posting lists — and reports access counts, which
+the benchmarks use.  Both return identical :class:`ComparisonReport`\\ s.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..exceptions import AlgorithmError, CubeError
+from .cube import GROUP, LOCATION, QUERY, UnfairnessCube
+from .indices import AccessStats, IndexFamily, build_family
+
+__all__ = ["BreakdownRow", "ComparisonReport", "compare", "compare_with_indices"]
+
+_DIMENSIONS = (GROUP, QUERY, LOCATION)
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """One breakdown member with both sides' aggregate unfairness."""
+
+    member: Hashable
+    value_r1: float
+    value_r2: float
+    reversed_vs_overall: bool
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Full outcome of a fairness comparison.
+
+    ``rows`` covers every breakdown member where both sides are defined;
+    ``reversed_members`` is the paper's answer — the members whose ordering
+    differs from the overall one.
+    """
+
+    dimension: str
+    r1: Hashable
+    r2: Hashable
+    breakdown_dimension: str
+    overall_r1: float
+    overall_r2: float
+    rows: tuple[BreakdownRow, ...]
+    stats: AccessStats = field(default_factory=AccessStats)
+
+    @property
+    def reversed_members(self) -> list[Hashable]:
+        """Breakdown members whose comparison differs from the overall."""
+        return [row.member for row in self.rows if row.reversed_vs_overall]
+
+    def row_for(self, member: Hashable) -> BreakdownRow:
+        """The breakdown row for ``member``."""
+        for row in self.rows:
+            if row.member == member:
+                return row
+        raise AlgorithmError(f"{member!r} is not a populated breakdown member")
+
+
+def _is_reversal(b1: float, b2: float, overall1: float, overall2: float) -> bool:
+    """The paper's non-strict reversal predicate, minus the double tie."""
+    if b1 == b2 and overall1 == overall2:
+        return False
+    forward = b1 >= b2 and overall1 <= overall2
+    backward = b1 <= b2 and overall1 >= overall2
+    return forward or backward
+
+
+def _check_arguments(
+    cube: UnfairnessCube, dimension: str, r1: Hashable, r2: Hashable, breakdown: str
+) -> None:
+    if dimension not in _DIMENSIONS:
+        raise AlgorithmError(f"unknown dimension {dimension!r}")
+    if breakdown not in _DIMENSIONS:
+        raise AlgorithmError(f"unknown breakdown dimension {breakdown!r}")
+    if breakdown == dimension:
+        raise AlgorithmError("breakdown dimension must differ from the compared one")
+    domain = cube.domain(dimension)
+    for member in (r1, r2):
+        if member not in domain:
+            raise AlgorithmError(f"{member!r} is not a member of dimension {dimension!r}")
+    if r1 == r2:
+        raise AlgorithmError("comparison members r1 and r2 must differ")
+
+
+_SELECTION_KEYWORD = {GROUP: "groups", QUERY: "queries", LOCATION: "locations"}
+
+
+def _selection(dimension: str, member: Hashable) -> dict:
+    return {_SELECTION_KEYWORD[dimension]: [member]}
+
+
+def compare(
+    cube: UnfairnessCube,
+    dimension: str,
+    r1: Hashable,
+    r2: Hashable,
+    breakdown: str,
+) -> ComparisonReport:
+    """Problem 2 on a materialized cube.
+
+    Overall values are ``d<r, ·, ·>`` averaged over both non-compared
+    dimensions; per-breakdown values additionally fix the breakdown member.
+    Breakdown members where either side is entirely undefined are omitted
+    from the report.
+    """
+    _check_arguments(cube, dimension, r1, r2, breakdown)
+    overall_r1 = cube.aggregate(**_selection(dimension, r1))
+    overall_r2 = cube.aggregate(**_selection(dimension, r2))
+    rows: list[BreakdownRow] = []
+    for member in cube.domain(breakdown):
+        selection_r1 = {**_selection(dimension, r1), **_selection(breakdown, member)}
+        selection_r2 = {**_selection(dimension, r2), **_selection(breakdown, member)}
+        try:
+            value_r1 = cube.aggregate(**selection_r1)
+            value_r2 = cube.aggregate(**selection_r2)
+        except CubeError:
+            # One side has no defined values for this breakdown member.
+            continue
+        rows.append(
+            BreakdownRow(
+                member=member,
+                value_r1=value_r1,
+                value_r2=value_r2,
+                reversed_vs_overall=_is_reversal(
+                    value_r1, value_r2, overall_r1, overall_r2
+                ),
+            )
+        )
+    return ComparisonReport(
+        dimension=dimension,
+        r1=r1,
+        r2=r2,
+        breakdown_dimension=breakdown,
+        overall_r1=overall_r1,
+        overall_r2=overall_r2,
+        rows=tuple(rows),
+    )
+
+
+def _third_dimension(dimension: str, breakdown: str) -> str:
+    (third,) = [d for d in _DIMENSIONS if d not in (dimension, breakdown)]
+    return third
+
+
+def compare_with_indices(
+    cube: UnfairnessCube,
+    dimension: str,
+    r1: Hashable,
+    r2: Hashable,
+    breakdown: str,
+    family: IndexFamily | None = None,
+) -> ComparisonReport:
+    """Problem 2 following Algorithm 2's index access pattern.
+
+    The overall values come from Algorithm 3 — random accesses into the
+    ``dimension``-based family for every (aggregated, breakdown) pair — and
+    each per-breakdown value from a full sorted-access sweep of the posting
+    list that fixes ``(r, b)``, exactly as the pseudocode scans the
+    query-based index per location.  Access counts are returned in
+    ``stats``.
+    """
+    _check_arguments(cube, dimension, r1, r2, breakdown)
+    if family is None:
+        family = build_family(cube, _third_dimension(dimension, breakdown))
+    third = _third_dimension(dimension, breakdown)
+    if family.dimension != third:
+        raise AlgorithmError(
+            f"Algorithm 2 needs the {third!r}-based family, got {family.dimension!r}"
+        )
+    family.reset_stats()
+
+    compared_family = build_family(cube, dimension)
+
+    def overall(member: Hashable) -> float:
+        # Algorithm 3: random access for every (third, breakdown) pair.
+        values = []
+        for pair in compared_family.pair_keys:
+            if compared_family.has_value(pair, member):
+                values.append(compared_family.random_access(pair, member))
+        if not values:
+            raise AlgorithmError(f"{member!r} has no defined unfairness values")
+        return statistics.fmean(values)
+
+    overall_r1 = overall(r1)
+    overall_r2 = overall(r2)
+
+    def breakdown_value(member: Hashable, compared: Hashable) -> float | None:
+        # Algorithm 2's inner loop: sweep the posting list fixing (compared,
+        # breakdown member) over the third dimension.
+        pair = _pair_for(family, compared, member, dimension, breakdown)
+        posting = family.posting_list(pair)
+        if len(posting) == 0:
+            return None
+        total = 0.0
+        for position in range(len(posting)):
+            _, value = family.sorted_access(pair, position)
+            total += value
+        return total / len(posting)
+
+    rows: list[BreakdownRow] = []
+    for member in cube.domain(breakdown):
+        value_r1 = breakdown_value(member, r1)
+        value_r2 = breakdown_value(member, r2)
+        if value_r1 is None or value_r2 is None:
+            continue
+        rows.append(
+            BreakdownRow(
+                member=member,
+                value_r1=value_r1,
+                value_r2=value_r2,
+                reversed_vs_overall=_is_reversal(
+                    value_r1, value_r2, overall_r1, overall_r2
+                ),
+            )
+        )
+    merged = family.stats.merged_with(compared_family.stats)
+    return ComparisonReport(
+        dimension=dimension,
+        r1=r1,
+        r2=r2,
+        breakdown_dimension=breakdown,
+        overall_r1=overall_r1,
+        overall_r2=overall_r2,
+        rows=tuple(rows),
+        stats=merged,
+    )
+
+
+def _pair_for(
+    family: IndexFamily,
+    compared: Hashable,
+    breakdown_member: Hashable,
+    dimension: str,
+    breakdown: str,
+) -> tuple:
+    """Order ``(compared, breakdown_member)`` to match the family's pair keys.
+
+    Family pair keys follow cube axis order (group, query, location) minus
+    the family's own dimension, so the key component order depends on which
+    dimensions are being compared and broken down.
+    """
+    order = [d for d in _DIMENSIONS if d != family.dimension]
+    components = {dimension: compared, breakdown: breakdown_member}
+    return tuple(components[d] for d in order)

@@ -1,0 +1,192 @@
+"""Explanations for unfairness values.
+
+The paper chooses the comparable-groups formulation partly because it "can
+be more easily leveraged for explanations" (§3.1).  This module delivers on
+that: given a group's unfairness for a (query, location), it decomposes the
+value into per-comparable-group contributions, identifies the dominant
+contrast (e.g. *Asian Females score high against White Females in
+particular*), and locates the cube cells that drive an aggregate.
+
+Two levels:
+
+* :func:`explain_cell` — one ``d<g,q,l>``: the per-comparable-group
+  distances that average into it, with membership counts.
+* :func:`explain_aggregate` — one dimension member's aggregate: the
+  (query, location) cells contributing most, so "Handyman is the most
+  unfair job" can be followed by "…mostly in Birmingham and Oklahoma City".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import DataError
+from .cube import GROUP, LOCATION, QUERY, UnfairnessCube
+from .groups import Group, comparable_groups
+from .unfairness import MarketplaceUnfairness, SearchEngineUnfairness
+
+__all__ = [
+    "Contribution",
+    "CellExplanation",
+    "CellContribution",
+    "explain_cell",
+    "explain_aggregate",
+]
+
+
+@dataclass(frozen=True)
+class Contribution:
+    """One comparable group's share of a cell's unfairness."""
+
+    comparable: Group
+    distance: float
+    group_size: int
+    comparable_size: int
+
+
+@dataclass(frozen=True)
+class CellExplanation:
+    """The decomposition of one ``d<g,q,l>`` value."""
+
+    group: Group
+    query: str
+    location: str
+    value: float
+    contributions: tuple[Contribution, ...]
+
+    @property
+    def dominant(self) -> Contribution:
+        """The comparable group contributing the largest distance."""
+        return max(self.contributions, key=lambda c: c.distance)
+
+    def narrative(self) -> str:
+        """A one-line human-readable explanation."""
+        top = self.dominant
+        return (
+            f"{self.group} vs comparable groups for {self.query!r} at "
+            f"{self.location!r}: unfairness {self.value:.3f}, driven most by "
+            f"the contrast with {top.comparable} (distance {top.distance:.3f}, "
+            f"{top.group_size} vs {top.comparable_size} members)"
+        )
+
+
+def _pairwise_distance(engine, group, other, query, location) -> float | None:
+    """DIST(g, g') for one cell, or None when the pair is unpopulated."""
+    if isinstance(engine, SearchEngineUnfairness):
+        observation = engine.dataset.observation(query, location)
+        members = engine.dataset.members_in_observation(group, observation)
+        others = engine.dataset.members_in_observation(other, observation)
+        if not members or not others:
+            return None
+        return engine._group_distance(members, others, observation)
+    if isinstance(engine, MarketplaceUnfairness):
+        observation = engine.dataset.observation(query, location)
+        ranking = observation.ranking
+        members = engine.dataset.members_in_ranking(group, ranking)
+        others = engine.dataset.members_in_ranking(other, ranking)
+        if not members or not others:
+            return None
+        if engine.measure_name == "exposure":
+            # Exposure is not pairwise; report the deviation against this
+            # single comparable group as its contribution.
+            from .measures.exposure import exposure_deviation
+
+            return exposure_deviation(
+                ranking,
+                members,
+                {other.name: others},
+                denominator=engine.exposure_denominator,
+            )
+        from ..stats.histograms import UnitHistogram
+        from .measures.emd import emd
+
+        own = UnitHistogram.from_values(
+            [ranking.relevance(w) for w in members], bins=engine.bins
+        )
+        theirs = UnitHistogram.from_values(
+            [ranking.relevance(w) for w in others], bins=engine.bins
+        )
+        return emd(own, theirs)
+    raise DataError(f"cannot explain cells for engine type {type(engine).__name__}")
+
+
+def _member_counts(engine, group, query, location) -> int:
+    if isinstance(engine, SearchEngineUnfairness):
+        observation = engine.dataset.observation(query, location)
+        return len(engine.dataset.members_in_observation(group, observation))
+    observation = engine.dataset.observation(query, location)
+    return len(engine.dataset.members_in_ranking(group, observation.ranking))
+
+
+def explain_cell(engine, group: Group, query: str, location: str) -> CellExplanation:
+    """Decompose ``d<g,q,l>`` into per-comparable-group contributions."""
+    value = engine.unfairness(group, query, location)
+    group_size = _member_counts(engine, group, query, location)
+    contributions = []
+    for other in comparable_groups(group, engine.schema):
+        distance = _pairwise_distance(engine, group, other, query, location)
+        if distance is None:
+            continue
+        contributions.append(
+            Contribution(
+                comparable=other,
+                distance=distance,
+                group_size=group_size,
+                comparable_size=_member_counts(engine, other, query, location),
+            )
+        )
+    if not contributions:
+        raise DataError(
+            f"no populated comparable groups to explain {group} at "
+            f"({query!r}, {location!r})"
+        )
+    return CellExplanation(
+        group=group,
+        query=query,
+        location=location,
+        value=value,
+        contributions=tuple(contributions),
+    )
+
+
+@dataclass(frozen=True)
+class CellContribution:
+    """One cube cell's contribution to a dimension member's aggregate."""
+
+    group: Group
+    query: str
+    location: str
+    value: float
+
+
+def explain_aggregate(
+    cube: UnfairnessCube, dimension: str, member, top: int = 5
+) -> list[CellContribution]:
+    """The ``top`` cells that drive one member's aggregate unfairness.
+
+    E.g. ``explain_aggregate(cube, "query", "Handyman")`` returns the
+    (group, location) cells where Handyman's unfairness concentrates.
+    """
+    if top <= 0:
+        raise DataError(f"top must be positive, got {top}")
+    cells: list[CellContribution] = []
+    for gi, group in enumerate(cube.groups):
+        for qi, query in enumerate(cube.queries):
+            for li, location in enumerate(cube.locations):
+                selector = {GROUP: group, QUERY: query, LOCATION: location}[dimension]
+                if selector != member:
+                    continue
+                if not cube.is_defined(group, query, location):
+                    continue
+                cells.append(
+                    CellContribution(
+                        group=group,
+                        query=query,
+                        location=location,
+                        value=float(cube.values[gi, qi, li]),
+                    )
+                )
+    if not cells:
+        raise DataError(f"{member!r} has no defined cells in dimension {dimension!r}")
+    cells.sort(key=lambda cell: -cell.value)
+    return cells[:top]

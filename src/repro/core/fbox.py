@@ -1,0 +1,186 @@
+"""The F-Box: the framework facade of the paper's Figures 6 and 9.
+
+Both experiment pipelines funnel their processed observations into the
+"F-Box", which materializes unfairness values and answers the two generic
+problems.  :class:`FBox` is that component: construct it from a marketplace
+or search dataset plus a measure name, and it lazily builds the unfairness
+cube and whatever index families the queries need.
+
+    >>> fbox = FBox.for_marketplace(dataset, schema, measure="emd")
+    >>> fbox.quantify("group", k=5)                     # Problem 1
+    >>> fbox.compare("group", males, females, "location")  # Problem 2
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from ..data.schema import MarketplaceDataset, SearchDataset
+from ..exceptions import AlgorithmError
+from ..stats.histograms import DEFAULT_BINS
+from .attributes import AttributeSchema
+from .comparison import ComparisonReport, compare, compare_with_indices
+from .cube import UnfairnessCube
+from .fagin import TopKResult, naive_top_k, top_k
+from .groups import Group, group_lattice
+from .indices import IndexFamily, build_family
+from .unfairness import MarketplaceUnfairness, SearchEngineUnfairness, UnfairnessEngine
+
+__all__ = ["FBox"]
+
+
+class FBox:
+    """Unified fairness quantification and comparison over one site's data.
+
+    Use the :meth:`for_marketplace` / :meth:`for_search` constructors rather
+    than ``__init__`` unless supplying a custom engine.
+
+    Parameters
+    ----------
+    engine:
+        Any object satisfying :class:`~repro.core.unfairness.UnfairnessEngine`.
+    groups / queries / locations:
+        The domains of the unfairness cube.  ``groups`` defaults to the full
+        group lattice of the engine's schema; queries and locations default
+        to everything observed in the dataset.
+    """
+
+    def __init__(
+        self,
+        engine: UnfairnessEngine,
+        groups: Sequence[Group],
+        queries: Sequence[str],
+        locations: Sequence[str],
+    ) -> None:
+        self.engine = engine
+        self.groups = list(groups)
+        self.queries = list(queries)
+        self.locations = list(locations)
+        self._cube: UnfairnessCube | None = None
+        self._families: dict[tuple[str, bool], IndexFamily] = {}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_marketplace(
+        cls,
+        dataset: MarketplaceDataset,
+        schema: AttributeSchema,
+        measure: str = "emd",
+        groups: Iterable[Group] | None = None,
+        queries: Iterable[str] | None = None,
+        locations: Iterable[str] | None = None,
+        bins: int = DEFAULT_BINS,
+        exposure_denominator: str = "comparables",
+    ) -> "FBox":
+        """F-Box over crawled worker rankings (TaskRabbit-style sites)."""
+        engine = MarketplaceUnfairness(
+            dataset,
+            schema,
+            measure=measure,
+            bins=bins,
+            exposure_denominator=exposure_denominator,
+        )
+        return cls(
+            engine,
+            groups=list(groups) if groups is not None else group_lattice(schema),
+            queries=list(queries) if queries is not None else dataset.queries,
+            locations=list(locations) if locations is not None else dataset.locations,
+        )
+
+    @classmethod
+    def for_search(
+        cls,
+        dataset: SearchDataset,
+        schema: AttributeSchema,
+        measure: str = "kendall",
+        groups: Iterable[Group] | None = None,
+        queries: Iterable[str] | None = None,
+        locations: Iterable[str] | None = None,
+        **measure_options,
+    ) -> "FBox":
+        """F-Box over per-user result lists (Google-job-search-style sites)."""
+        engine = SearchEngineUnfairness(
+            dataset, schema, measure=measure, **measure_options
+        )
+        return cls(
+            engine,
+            groups=list(groups) if groups is not None else group_lattice(schema),
+            queries=list(queries) if queries is not None else dataset.queries,
+            locations=list(locations) if locations is not None else dataset.locations,
+        )
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+
+    @property
+    def cube(self) -> UnfairnessCube:
+        """The materialized unfairness cube (computed on first use)."""
+        if self._cube is None:
+            self._cube = UnfairnessCube.compute(
+                self.engine, self.groups, self.queries, self.locations
+            )
+        return self._cube
+
+    def family(self, dimension: str, order: str = "most") -> IndexFamily:
+        """The ``dimension``-based index family (cached per sort direction)."""
+        if order not in ("most", "least"):
+            raise AlgorithmError(f"order must be 'most' or 'least', got {order!r}")
+        descending = order == "most"
+        key = (dimension, descending)
+        if key not in self._families:
+            self._families[key] = build_family(self.cube, dimension, descending)
+        return self._families[key]
+
+    # ------------------------------------------------------------------
+    # The paper's two problems
+    # ------------------------------------------------------------------
+
+    def unfairness(self, group: Group, query: str, location: str) -> float:
+        """``d<g,q,l>`` for one triple."""
+        return self.cube.value(group, query, location)
+
+    def aggregate(self, **selection) -> float:
+        """§3.4 aggregation; see :meth:`UnfairnessCube.aggregate`."""
+        return self.cube.aggregate(**selection)
+
+    def quantify(
+        self, dimension: str, k: int, order: str = "most", algorithm: str = "fagin"
+    ) -> TopKResult:
+        """Problem 1: the ``k`` most/least unfair members of ``dimension``.
+
+        ``algorithm`` selects the threshold algorithm (``"fagin"``, default)
+        or the exhaustive baseline (``"naive"``).
+        """
+        if algorithm == "fagin":
+            return top_k(
+                self.cube, dimension, k, order=order, family=self.family(dimension, order)
+            )
+        if algorithm == "naive":
+            return naive_top_k(self.cube, dimension, k, order=order)
+        raise AlgorithmError(f"algorithm must be 'fagin' or 'naive', got {algorithm!r}")
+
+    def compare(
+        self,
+        dimension: str,
+        r1: Hashable,
+        r2: Hashable,
+        breakdown: str,
+        algorithm: str = "cube",
+    ) -> ComparisonReport:
+        """Problem 2: breakdown members whose ordering reverses the overall.
+
+        ``algorithm="cube"`` (default) aggregates straight from the cube;
+        ``"indices"`` follows the paper's Algorithm 2 access pattern over
+        the inverted indices and reports access counts in ``stats``.
+        """
+        if algorithm == "cube":
+            return compare(self.cube, dimension, r1, r2, breakdown)
+        if algorithm == "indices":
+            return compare_with_indices(self.cube, dimension, r1, r2, breakdown)
+        raise AlgorithmError(
+            f"algorithm must be 'cube' or 'indices', got {algorithm!r}"
+        )

@@ -1,0 +1,185 @@
+"""Groups, labels, variants and comparable groups (paper §3.1).
+
+A *group* ``g`` is identified by its label — a conjunction of predicates
+``attribute = value`` over a protected-attribute schema.  ``A(g)`` denotes the
+set of attributes the label constrains.  For an attribute ``a ∈ A(g)``,
+``variants(g, a)`` are all groups whose label differs from ``g``'s *only* in
+the value of ``a``.  The *comparable groups* of ``g`` are the union of its
+variants over every constrained attribute; unfairness of ``g`` is always
+measured against this set.
+
+Example (the paper's running one): with schema gender × ethnicity, the group
+``Black Females`` — label ``(gender=Female) ∧ (ethnicity=Black)`` — has
+comparable groups ``Black Males``, ``Asian Females`` and ``White Females``.
+Single-attribute groups such as ``Asian`` (label ``ethnicity=Asian``) are
+compared against ``Black`` and ``White``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from ..exceptions import SchemaError
+from .attributes import AttributeSchema
+
+__all__ = ["Group", "variants", "comparable_groups", "enumerate_groups", "group_lattice"]
+
+
+@dataclass(frozen=True)
+class Group:
+    """A demographic group defined by a conjunction of attribute predicates.
+
+    Parameters
+    ----------
+    predicates:
+        Mapping from attribute name to the value the group fixes, e.g.
+        ``{"gender": "Female", "ethnicity": "Black"}``.  At least one
+        predicate is required; an attribute may appear only once (enforced by
+        the mapping type itself).
+
+    Instances are immutable, hashable, and order-insensitive: labels are
+    canonicalized by attribute name.
+    """
+
+    predicates: tuple[tuple[str, str], ...]
+
+    def __init__(self, predicates: Mapping[str, str] | Iterable[tuple[str, str]]) -> None:
+        items = dict(predicates)
+        if not items:
+            raise SchemaError("a group label needs at least one predicate")
+        canonical = tuple(sorted(items.items()))
+        object.__setattr__(self, "predicates", canonical)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """``A(g)``: the attributes constrained by this group's label."""
+        return tuple(attribute for attribute, _ in self.predicates)
+
+    def value_of(self, attribute: str) -> str:
+        """Return the value this group fixes for ``attribute``."""
+        for name, value in self.predicates:
+            if name == attribute:
+                return value
+        raise SchemaError(f"group {self} does not constrain attribute {attribute!r}")
+
+    def constrains(self, attribute: str) -> bool:
+        """True when ``attribute ∈ A(g)``."""
+        return any(name == attribute for name, _ in self.predicates)
+
+    def with_value(self, attribute: str, value: str) -> "Group":
+        """Return the group whose label replaces ``attribute``'s value."""
+        if not self.constrains(attribute):
+            raise SchemaError(f"group {self} does not constrain attribute {attribute!r}")
+        items = dict(self.predicates)
+        items[attribute] = value
+        return Group(items)
+
+    def matches(self, profile: Mapping[str, str]) -> bool:
+        """True when an individual's attribute ``profile`` satisfies the label.
+
+        A profile may carry more attributes than the label constrains; only
+        the constrained ones are checked.  A profile *missing* a constrained
+        attribute does not match.
+        """
+        return all(profile.get(name) == value for name, value in self.predicates)
+
+    def validate(self, schema: AttributeSchema) -> None:
+        """Check every predicate against ``schema``; raise SchemaError if invalid."""
+        for attribute, value in self.predicates:
+            schema.validate(attribute, value)
+
+    @property
+    def label(self) -> str:
+        """Human-readable conjunction, e.g. ``(ethnicity=Black) ∧ (gender=Female)``."""
+        return " ∧ ".join(f"({name}={value})" for name, value in self.predicates)
+
+    @property
+    def name(self) -> str:
+        """Compact display name, e.g. ``Black Female`` or ``Asian``.
+
+        For the paper's schema this reproduces the table row names: full
+        profiles render as ``"<Ethnicity> <Gender>"`` and single-attribute
+        groups render as the bare value.
+        """
+        values = dict(self.predicates)
+        if set(values) == {"gender", "ethnicity"}:
+            return f"{values['ethnicity']} {values['gender']}"
+        return " ".join(value for _, value in self.predicates)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Group({self.label})"
+
+
+def variants(group: Group, attribute: str, schema: AttributeSchema) -> list[Group]:
+    """``variants(g, a)``: groups differing from ``g`` only on attribute ``a``.
+
+    The returned list preserves the schema's value-domain order and never
+    contains ``g`` itself.
+    """
+    group.validate(schema)
+    if not group.constrains(attribute):
+        raise SchemaError(f"group {group} does not constrain attribute {attribute!r}")
+    current = group.value_of(attribute)
+    return [
+        group.with_value(attribute, value)
+        for value in schema.values_of(attribute)
+        if value != current
+    ]
+
+
+def comparable_groups(group: Group, schema: AttributeSchema) -> list[Group]:
+    """``∪_{a ∈ A(g)} variants(g, a)``: every group ``g`` is compared against.
+
+    The list is duplicate-free and ordered attribute-by-attribute in label
+    order, matching the paper's examples (for ``Black Female``:
+    ``Asian Female``, ``White Female``, ``Black Male``).
+    """
+    seen: set[Group] = set()
+    ordered: list[Group] = []
+    for attribute in group.attributes:
+        for variant in variants(group, attribute, schema):
+            if variant not in seen:
+                seen.add(variant)
+                ordered.append(variant)
+    return ordered
+
+
+def enumerate_groups(
+    schema: AttributeSchema, attributes: Iterable[str] | None = None
+) -> list[Group]:
+    """Enumerate all groups whose labels constrain exactly ``attributes``.
+
+    With ``attributes=None``, constrains *all* schema attributes (the finest
+    lattice level — the paper's six demographic profiles).
+    """
+    chosen = tuple(attributes) if attributes is not None else schema.attributes
+    return [Group(assignment) for assignment in schema.iter_assignments(chosen)]
+
+
+def group_lattice(schema: AttributeSchema) -> list[Group]:
+    """Enumerate every group over every non-empty attribute subset.
+
+    For the case-study schema this yields the 11 groups of Table 8: the six
+    full profiles plus ``Male``, ``Female``, ``Asian``, ``Black``, ``White``.
+    Subsets are generated in order of decreasing size so the finest groups
+    come first, matching how the paper presents results.
+    """
+
+    def subsets(names: tuple[str, ...]) -> Iterator[tuple[str, ...]]:
+        n = len(names)
+        # Iterate masks grouped by popcount, largest first.
+        by_size: dict[int, list[tuple[str, ...]]] = {}
+        for mask in range(1, 1 << n):
+            subset = tuple(names[i] for i in range(n) if mask & (1 << i))
+            by_size.setdefault(len(subset), []).append(subset)
+        for size in sorted(by_size, reverse=True):
+            yield from by_size[size]
+
+    groups: list[Group] = []
+    for subset in subsets(schema.attributes):
+        groups.extend(enumerate_groups(schema, subset))
+    return groups

@@ -1,0 +1,187 @@
+"""The three inverted-index families of Table 5.
+
+Each family pre-sorts unfairness values along one dimension so the Fagin-
+style algorithms can consume them with *sorted access* (walk entries in
+decreasing unfairness) and *random access* (probe one key's value directly):
+
+* **group-based**    ``I(q,l)`` — groups sorted by ``d<g,q,l>``;
+* **query-based**    ``I(g,l)`` — queries sorted by ``d<g,q,l>``;
+* **location-based** ``I(g,q)`` — locations sorted by ``d<g,q,l>``.
+
+An :class:`IndexFamily` bundles every posting list of one kind, built from an
+:class:`~repro.core.cube.UnfairnessCube`.  Missing (NaN) cube cells are
+simply absent from the posting lists, and both access modes report a miss via
+:class:`IndexError_` so algorithms can treat sparse data uniformly.
+Access counters support the cost accounting used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from ..exceptions import IndexError_
+from .cube import GROUP, LOCATION, QUERY, UnfairnessCube
+from .groups import Group
+
+__all__ = ["InvertedIndex", "IndexFamily", "build_family", "AccessStats"]
+
+
+@dataclass
+class AccessStats:
+    """Counts of sorted and random accesses performed through an index family."""
+
+    sorted_accesses: int = 0
+    random_accesses: int = 0
+
+    def merged_with(self, other: "AccessStats") -> "AccessStats":
+        """Combine two counters (used when an algorithm runs in phases)."""
+        return AccessStats(
+            sorted_accesses=self.sorted_accesses + other.sorted_accesses,
+            random_accesses=self.random_accesses + other.random_accesses,
+        )
+
+
+@dataclass(frozen=True)
+class InvertedIndex:
+    """One posting list: keys of a single dimension sorted by unfairness.
+
+    ``descending=True`` (the paper's layout) puts the most unfair first;
+    bottom-k algorithms build ascending families instead.
+    """
+
+    entries: tuple[tuple[Hashable, float], ...]
+    descending: bool = True
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Sequence[tuple[Hashable, float]], descending: bool = True
+    ) -> "InvertedIndex":
+        """Sort ``(key, value)`` pairs into a posting list; NaNs are dropped."""
+        clean = [(key, float(value)) for key, value in pairs if not math.isnan(value)]
+        clean.sort(key=lambda pair: pair[1], reverse=descending)
+        return cls(entries=tuple(clean), descending=descending)
+
+    def sorted_access(self, position: int) -> tuple[Hashable, float]:
+        """The ``position``-th (0-based) entry in sort order."""
+        if not 0 <= position < len(self.entries):
+            raise IndexError_(
+                f"sorted access at {position} out of range (size {len(self.entries)})"
+            )
+        return self.entries[position]
+
+    def random_access(self, key: Hashable) -> float:
+        """The unfairness value stored for ``key``."""
+        for entry_key, value in self.entries:
+            if entry_key == key:
+                return value
+        raise IndexError_(f"key {key!r} is not in this posting list")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class IndexFamily:
+    """All posting lists of one kind, keyed by the fixed dimension pair.
+
+    For the group-based family the pair key is ``(query, location)``, for the
+    query-based family ``(group, location)``, for the location-based family
+    ``(group, query)``.
+    """
+
+    def __init__(
+        self,
+        dimension: str,
+        lists: dict[tuple, InvertedIndex],
+        random_lookup: dict[tuple, dict[Hashable, float]],
+    ) -> None:
+        self.dimension = dimension
+        self._lists = lists
+        self._random = random_lookup
+        self.stats = AccessStats()
+
+    @property
+    def pair_keys(self) -> list[tuple]:
+        """All fixed-pair keys, in construction order."""
+        return list(self._lists)
+
+    def posting_list(self, pair: tuple) -> InvertedIndex:
+        """The posting list for one fixed pair (no access counted)."""
+        try:
+            return self._lists[pair]
+        except KeyError:
+            raise IndexError_(f"no posting list for pair {pair!r}") from None
+
+    def sorted_access(self, pair: tuple, position: int) -> tuple[Hashable, float]:
+        """Counted sorted access into the ``pair`` posting list."""
+        self.stats.sorted_accesses += 1
+        return self.posting_list(pair).sorted_access(position)
+
+    def random_access(self, pair: tuple, key: Hashable) -> float:
+        """Counted O(1) random access: value of ``key`` in the ``pair`` list."""
+        self.stats.random_accesses += 1
+        try:
+            return self._random[pair][key]
+        except KeyError:
+            raise IndexError_(f"key {key!r} has no value for pair {pair!r}") from None
+
+    def has_value(self, pair: tuple, key: Hashable) -> bool:
+        """True when ``key`` holds a value in the ``pair`` posting list."""
+        return pair in self._random and key in self._random[pair]
+
+    def reset_stats(self) -> None:
+        """Zero the access counters (benchmarks call this between runs)."""
+        self.stats = AccessStats()
+
+
+def build_family(
+    cube: UnfairnessCube, dimension: str, descending: bool = True
+) -> IndexFamily:
+    """Build the ``dimension``-based index family from a cube.
+
+    ``dimension`` names what the posting lists *contain* — ``"group"`` for
+    the group-based ``I(q,l)`` family, ``"query"`` for ``I(g,l)``,
+    ``"location"`` for ``I(g,q)``.
+    """
+    lists: dict[tuple, InvertedIndex] = {}
+    random_lookup: dict[tuple, dict[Hashable, float]] = {}
+
+    def add(pair: tuple, pairs: list[tuple[Hashable, float]]) -> None:
+        index = InvertedIndex.from_pairs(pairs, descending=descending)
+        lists[pair] = index
+        random_lookup[pair] = dict(index.entries)
+
+    if dimension == GROUP:
+        for qi, query in enumerate(cube.queries):
+            for li, location in enumerate(cube.locations):
+                add(
+                    (query, location),
+                    [
+                        (group, cube.values[gi, qi, li])
+                        for gi, group in enumerate(cube.groups)
+                    ],
+                )
+    elif dimension == QUERY:
+        for gi, group in enumerate(cube.groups):
+            for li, location in enumerate(cube.locations):
+                add(
+                    (group, location),
+                    [
+                        (query, cube.values[gi, qi, li])
+                        for qi, query in enumerate(cube.queries)
+                    ],
+                )
+    elif dimension == LOCATION:
+        for gi, group in enumerate(cube.groups):
+            for qi, query in enumerate(cube.queries):
+                add(
+                    (group, query),
+                    [
+                        (location, cube.values[gi, qi, li])
+                        for li, location in enumerate(cube.locations)
+                    ],
+                )
+    else:
+        raise IndexError_(f"unknown dimension {dimension!r}; use group/query/location")
+    return IndexFamily(dimension, lists, random_lookup)

@@ -1,0 +1,31 @@
+"""Unfairness distance measures: Kendall Tau, Jaccard, EMD, and Exposure."""
+
+from .base import RankedListMeasure, available_measures, get_measure, register_measure
+from .emd import EmdMeasure, emd, emd_from_values
+from .exposure import (
+    ExposureMeasure,
+    exposure_deviation,
+    group_exposure_mass,
+    group_relevance_mass,
+)
+from .jaccard import JaccardMeasure, jaccard_distance, jaccard_index
+from .kendall import KendallTauMeasure, kendall_tau_distance
+
+__all__ = [
+    "RankedListMeasure",
+    "available_measures",
+    "get_measure",
+    "register_measure",
+    "EmdMeasure",
+    "emd",
+    "emd_from_values",
+    "ExposureMeasure",
+    "exposure_deviation",
+    "group_exposure_mass",
+    "group_relevance_mass",
+    "JaccardMeasure",
+    "jaccard_distance",
+    "jaccard_index",
+    "KendallTauMeasure",
+    "kendall_tau_distance",
+]

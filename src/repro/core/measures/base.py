@@ -1,0 +1,63 @@
+"""Measure protocols and the measure registry.
+
+Two families of measures exist, mirroring the paper's two site types:
+
+* **Ranked-list measures** (search engines, §3.2) compare two users' result
+  lists and return a distance in ``[0, 1]``; higher means more different,
+  hence more unfair.  Implementations: Kendall Tau and Jaccard.
+* **Group-ranking measures** (marketplaces, §3.3) score a *group* against its
+  comparable groups inside one ranking of workers.  Implementations: EMD on
+  relevance histograms and Exposure deviation.
+
+The registry maps the paper's measure names to constructors so experiment
+configuration can name measures as plain strings (``"emd"``, ``"exposure"``,
+``"kendall"``, ``"jaccard"``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+from ...exceptions import MeasureError
+from ..rankings import RankedList
+
+__all__ = ["RankedListMeasure", "register_measure", "get_measure", "available_measures"]
+
+
+@runtime_checkable
+class RankedListMeasure(Protocol):
+    """A distance between two ranked lists, in ``[0, 1]``."""
+
+    name: str
+
+    def __call__(self, left: RankedList, right: RankedList) -> float: ...
+
+
+_REGISTRY: dict[str, Callable[..., object]] = {}
+
+
+def register_measure(name: str, factory: Callable[..., object]) -> None:
+    """Register a measure constructor under ``name`` (case-insensitive)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise MeasureError(f"measure {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def get_measure(name: str, **options: object) -> object:
+    """Instantiate a registered measure by name.
+
+    Raises :class:`MeasureError` with the list of known names on a miss.
+    """
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise MeasureError(
+            f"unknown measure {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**options)
+
+
+def available_measures() -> list[str]:
+    """Names of all registered measures."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,80 @@
+"""Earth Mover's Distance between unit-interval score histograms (§3.3.1).
+
+For one-dimensional distributions on a shared equal-width bin layout the EMD
+has a closed form: the L1 distance between the two cumulative distribution
+functions, scaled by the bin width.  With both distributions normalized to
+probability mass 1 and supported on ``[0, 1]``, the distance itself lies in
+``[0, 1]`` — 0 for identical distributions, 1 when all mass sits at opposite
+ends of the interval.  This matches the magnitudes the paper reports
+(e.g. Figure 4's per-pair EMDs of 0.70 / 0.50 / 0.30).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ...exceptions import MeasureError
+from ...stats.histograms import DEFAULT_BINS, UnitHistogram
+
+__all__ = ["EmdMeasure", "emd", "emd_from_values"]
+
+
+def emd(left: UnitHistogram, right: UnitHistogram) -> float:
+    """EMD between two histograms with identical bin layouts.
+
+    Both histograms are normalized to PMFs first, so only the *shapes* of the
+    two score distributions matter, not the group sizes — a 5-worker group
+    and a 500-worker group with the same score profile are at distance 0.
+    """
+    if left.bins != right.bins:
+        raise MeasureError(
+            f"cannot compare histograms with different bin counts "
+            f"({left.bins} vs {right.bins})"
+        )
+    left_pmf = left.pmf()
+    right_pmf = right.pmf()
+    bin_width = 1.0 / left.bins
+    cdf_gap = np.cumsum(left_pmf - right_pmf)
+    return float(np.abs(cdf_gap).sum() * bin_width)
+
+
+def emd_from_values(
+    left_values: Iterable[float],
+    right_values: Iterable[float],
+    bins: int = DEFAULT_BINS,
+) -> float:
+    """Convenience wrapper: histogram two score collections, then EMD."""
+    return emd(
+        UnitHistogram.from_values(left_values, bins=bins),
+        UnitHistogram.from_values(right_values, bins=bins),
+    )
+
+
+@dataclass(frozen=True)
+class EmdMeasure:
+    """EMD between the relevance-score histograms of two worker groups.
+
+    Callable on two iterables of scores in ``[0, 1]`` (one per group);
+    the bin count is fixed at construction so every comparison within an
+    experiment shares one layout.
+    """
+
+    bins: int = DEFAULT_BINS
+    name: str = "emd"
+
+    def __post_init__(self) -> None:
+        if self.bins <= 0:
+            raise MeasureError(f"bin count must be positive, got {self.bins}")
+
+    def __call__(
+        self, left_scores: Iterable[float], right_scores: Iterable[float]
+    ) -> float:
+        return emd_from_values(left_scores, right_scores, bins=self.bins)
+
+
+from .base import register_measure  # noqa: E402  (registration at import time)
+
+register_measure("emd", EmdMeasure)

@@ -1,0 +1,111 @@
+"""Exposure unfairness (§3.3.2), after Singh & Joachims / Biega et al.
+
+Higher-ranked workers receive more attention, so each worker gets exposure
+``1 / ln(1 + rank)``.  A group's exposure share and relevance share are both
+normalized over the group *plus all its comparable groups*; a fairly treated
+group's exposure share should be proportional to its relevance share.  The
+unfairness of group ``g`` is the L1 deviation::
+
+    d<g,q,l> = | exp_share(g) − rel_share(g) |
+
+which lies in ``[0, 1]``.  The paper's Figure 5 walks through the arithmetic:
+Black Females have exposure mass 0.94 against 4.0 for their comparable
+groups, and relevance mass 0.5 against 2.9, giving ``|0.19 − 0.15| = 0.04``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ...exceptions import MeasureError
+from ..rankings import RankedList
+
+__all__ = ["ExposureMeasure", "group_exposure_mass", "group_relevance_mass", "exposure_deviation"]
+
+
+def group_exposure_mass(ranking: RankedList, members: Sequence[str]) -> float:
+    """Sum of ``1/ln(1+rank)`` over the group members present in ``ranking``."""
+    return sum(ranking.exposure(item) for item in members)
+
+
+def group_relevance_mass(ranking: RankedList, members: Sequence[str]) -> float:
+    """Sum of relevance (true score or rank proxy) over the group members."""
+    return sum(ranking.relevance(item) for item in members)
+
+
+def exposure_deviation(
+    ranking: RankedList,
+    group_members: Sequence[str],
+    comparable_members: Mapping[str, Sequence[str]],
+    denominator: str = "comparables",
+) -> float:
+    """``| exp_share(g) − rel_share(g) |`` for one group in one ranking.
+
+    Parameters
+    ----------
+    ranking:
+        The worker ranking for one ``(query, location)`` pair.
+    group_members:
+        Workers in the group under assessment (must appear in ``ranking``).
+    comparable_members:
+        Mapping from comparable-group name to its member workers.  Workers
+        belonging to several comparable groups are counted once per group,
+        matching the paper's per-group sums.
+    denominator:
+        ``"comparables"`` normalizes shares over ``g ∪ comparable groups``,
+        exactly as §3.3.2's formulas and the Figure 5 worked example do.
+        ``"ranking"`` normalizes over *every* ranked worker instead.  The
+        two differ once rankings contain workers outside ``g`` and its
+        comparables (e.g. taskers whose demographics could not be labeled);
+        the paper's Table 8 reports *unequal* exposure for the mutually
+        complementary groups Male and Female, which is only possible under
+        ranking-wide normalization, so the experiment drivers use this mode
+        (see DESIGN.md).
+    """
+    if not group_members:
+        raise MeasureError("the assessed group has no members in this ranking")
+    if denominator not in ("comparables", "ranking"):
+        raise MeasureError(
+            f"denominator must be 'comparables' or 'ranking', got {denominator!r}"
+        )
+    exp_g = group_exposure_mass(ranking, group_members)
+    rel_g = group_relevance_mass(ranking, group_members)
+    if denominator == "ranking":
+        everyone = list(ranking)
+        exp_total = group_exposure_mass(ranking, everyone)
+        rel_total = group_relevance_mass(ranking, everyone)
+    else:
+        exp_total = exp_g
+        rel_total = rel_g
+        for members in comparable_members.values():
+            exp_total += group_exposure_mass(ranking, members)
+            rel_total += group_relevance_mass(ranking, members)
+    if exp_total == 0.0:
+        raise MeasureError("total exposure mass is zero; ranking must be non-empty")
+    exposure_share = exp_g / exp_total
+    relevance_share = rel_g / rel_total if rel_total > 0.0 else 0.0
+    return abs(exposure_share - relevance_share)
+
+
+@dataclass(frozen=True)
+class ExposureMeasure:
+    """Callable form of :func:`exposure_deviation` for the measure registry."""
+
+    denominator: str = "comparables"
+    name: str = "exposure"
+
+    def __call__(
+        self,
+        ranking: RankedList,
+        group_members: Sequence[str],
+        comparable_members: Mapping[str, Sequence[str]],
+    ) -> float:
+        return exposure_deviation(
+            ranking, group_members, comparable_members, denominator=self.denominator
+        )
+
+
+from .base import register_measure  # noqa: E402  (registration at import time)
+
+register_measure("exposure", ExposureMeasure)

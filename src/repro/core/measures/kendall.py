@@ -1,0 +1,108 @@
+"""Kendall Tau distance between (possibly top-k) ranked lists.
+
+The paper follows Hannak et al. [12] in comparing personalized search-result
+lists with Kendall Tau.  Because two users' top-k lists need not contain the
+same items, the classic tau (defined on permutations of one universe) does
+not apply directly; we implement Fagin, Kumar & Sivakumar's ``K^(p)`` metric
+for top-k lists, normalized to ``[0, 1]``.
+
+For an item pair ``{i, j}`` drawn from the union of the two lists:
+
+* **both in both lists** — penalty 1 if the two lists order them oppositely;
+* **both in one list, one of them in the other** — the missing item is known
+  to rank below everything present, so the order is inferable: penalty 1 on
+  disagreement, 0 otherwise;
+* **one item only in the left list, the other only in the right** — the lists
+  necessarily disagree: penalty 1;
+* **both in one list, neither in the other** — nothing is known: penalty
+  ``p`` (default 0.5, the neutral choice).
+
+The total penalty is divided by the number of scored pairs, giving 0 for
+identical lists and 1 for disjoint ones when ``p = 1`` (with the neutral
+``p = 0.5`` disjoint lists score slightly below 1, since same-list pairs
+contribute only the neutral penalty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...exceptions import MeasureError
+from ..rankings import RankedList
+from .base import register_measure
+
+__all__ = ["KendallTauMeasure", "kendall_tau_distance"]
+
+
+@dataclass(frozen=True)
+class KendallTauMeasure:
+    """Normalized Kendall ``K^(p)`` top-k distance; see module docstring.
+
+    Parameters
+    ----------
+    penalty:
+        The ``p`` parameter for pairs whose relative order is unknowable
+        (both items confined to one list).  Must lie in ``[0, 1]``.
+    """
+
+    penalty: float = 0.5
+    name: str = "kendall"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.penalty <= 1.0:
+            raise MeasureError(f"penalty must lie in [0, 1], got {self.penalty}")
+
+    def __call__(self, left: RankedList, right: RankedList) -> float:
+        return kendall_tau_distance(left, right, penalty=self.penalty)
+
+
+def kendall_tau_distance(
+    left: RankedList, right: RankedList, penalty: float = 0.5
+) -> float:
+    """Compute the normalized ``K^(p)`` distance between two ranked lists."""
+    if len(left) == 0 or len(right) == 0:
+        raise MeasureError("cannot compare empty ranked lists with Kendall Tau")
+    left_pos = {item: index for index, item in enumerate(left.items)}
+    right_pos = {item: index for index, item in enumerate(right.items)}
+    universe = sorted(set(left_pos) | set(right_pos))
+
+    total = 0.0
+    pairs = 0
+    for a_index, item_a in enumerate(universe):
+        for item_b in universe[a_index + 1 :]:
+            in_left = item_a in left_pos and item_b in left_pos
+            in_right = item_a in right_pos and item_b in right_pos
+            if in_left and in_right:
+                pairs += 1
+                left_order = left_pos[item_a] < left_pos[item_b]
+                right_order = right_pos[item_a] < right_pos[item_b]
+                if left_order != right_order:
+                    total += 1.0
+            elif in_left or in_right:
+                pairs += 1
+                present_pos, other_pos = (
+                    (left_pos, right_pos) if in_left else (right_pos, left_pos)
+                )
+                a_elsewhere = item_a in other_pos
+                b_elsewhere = item_b in other_pos
+                if a_elsewhere or b_elsewhere:
+                    # The absent item ranks below every present one; the order
+                    # in the complete list is inferable.
+                    ahead = item_a if present_pos[item_a] < present_pos[item_b] else item_b
+                    inferable_ahead = item_a if a_elsewhere else item_b
+                    if ahead != inferable_ahead:
+                        total += 1.0
+                else:
+                    total += penalty
+            else:
+                # item_a only in one list, item_b only in the other: they
+                # provably appear in opposite orders in the full rankings.
+                pairs += 1
+                total += 1.0
+    if pairs == 0:
+        # Both lists are the same singleton.
+        return 0.0
+    return total / pairs
+
+
+register_measure("kendall", KendallTauMeasure)

@@ -1,0 +1,272 @@
+"""Unfairness engines: computing ``d<g,q,l>`` on both site types (§3.2–3.4).
+
+An *engine* turns raw observations into the scalar unfairness of a group for
+one ``(query, location)`` pair:
+
+* :class:`SearchEngineUnfairness` implements Equation 1 — the average, over
+  the comparable groups ``g'`` of ``g``, of the average pairwise ranked-list
+  distance (Kendall Tau or Jaccard) between users of ``g`` and users of
+  ``g'``.
+* :class:`MarketplaceUnfairness` implements §3.3 — either the average EMD
+  between ``g``'s relevance-score histogram and each comparable group's
+  (§3.3.1), or the exposure deviation ``|exp(g) − rel(g)|`` (§3.3.2).
+
+Both expose the same ``unfairness(group, query, location)`` interface plus
+the §3.4 aggregations over sets of queries/locations/groups, so the cube,
+index, and algorithm layers are agnostic to the site type.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Iterable, Protocol, Sequence
+
+from ..data.schema import MarketplaceDataset, SearchDataset
+from ..exceptions import DataError, MeasureError
+from ..stats.histograms import DEFAULT_BINS, UnitHistogram
+from .attributes import AttributeSchema
+from .groups import Group, comparable_groups
+from .measures.emd import emd
+from .measures.exposure import exposure_deviation
+from .measures.jaccard import JaccardMeasure
+from .measures.kendall import KendallTauMeasure
+
+__all__ = [
+    "UnfairnessEngine",
+    "SearchEngineUnfairness",
+    "MarketplaceUnfairness",
+    "aggregate_unfairness",
+]
+
+
+class UnfairnessEngine(Protocol):
+    """The interface every site-specific engine satisfies."""
+
+    schema: AttributeSchema
+
+    def unfairness(self, group: Group, query: str, location: str) -> float:
+        """``d<g,q,l>`` — unfairness of ``group`` for one query/location."""
+        ...
+
+    def defined_for(self, group: Group, query: str, location: str) -> bool:
+        """True when ``d<g,q,l>`` is computable from the observations."""
+        ...
+
+
+class SearchEngineUnfairness:
+    """Equation 1 on a :class:`~repro.data.schema.SearchDataset`.
+
+    Parameters
+    ----------
+    dataset:
+        Observed per-user result lists.
+    schema:
+        The protected-attribute schema defining comparable groups.
+    measure:
+        ``"kendall"`` (default) or ``"jaccard"`` — the DIST between two
+        users' ranked lists.
+    penalty:
+        Kendall ``K^(p)`` neutral-pair penalty (ignored for Jaccard).
+    jaccard_mode:
+        ``"distance"`` or ``"index"`` (ignored for Kendall).
+    """
+
+    def __init__(
+        self,
+        dataset: SearchDataset,
+        schema: AttributeSchema,
+        measure: str = "kendall",
+        penalty: float = 0.5,
+        jaccard_mode: str = "distance",
+    ) -> None:
+        self.dataset = dataset
+        self.schema = schema
+        self.measure_name = measure.lower()
+        if self.measure_name == "kendall":
+            self._dist = KendallTauMeasure(penalty=penalty)
+        elif self.measure_name == "jaccard":
+            self._dist = JaccardMeasure(mode=jaccard_mode)
+        else:
+            raise MeasureError(
+                f"search-engine measures are 'kendall' or 'jaccard', got {measure!r}"
+            )
+
+    def _group_distance(
+        self, left_users: Sequence[str], right_users: Sequence[str], observation
+    ) -> float:
+        """avg over (u, u') of DIST(E(u), E(u')) for users of two groups."""
+        distances = [
+            self._dist(
+                observation.results_by_user[left], observation.results_by_user[right]
+            )
+            for left in left_users
+            for right in right_users
+        ]
+        return statistics.fmean(distances)
+
+    def unfairness(self, group: Group, query: str, location: str) -> float:
+        """``d<g,q,l>`` per Equation 1.
+
+        Comparable groups with no recruited users are skipped; if the group
+        itself has no users, or no comparable group has any, the value is
+        undefined and :class:`DataError` is raised.
+        """
+        observation = self.dataset.observation(query, location)
+        members = self.dataset.members_in_observation(group, observation)
+        if not members:
+            raise DataError(
+                f"group {group} has no users for ({query!r}, {location!r})"
+            )
+        per_group: list[float] = []
+        for other in comparable_groups(group, self.schema):
+            other_members = self.dataset.members_in_observation(other, observation)
+            if not other_members:
+                continue
+            per_group.append(self._group_distance(members, other_members, observation))
+        if not per_group:
+            raise DataError(
+                f"group {group} has no populated comparable groups for "
+                f"({query!r}, {location!r})"
+            )
+        return statistics.fmean(per_group)
+
+    def defined_for(self, group: Group, query: str, location: str) -> bool:
+        """True when the group and at least one comparable group have users."""
+        if not self.dataset.has_observation(query, location):
+            return False
+        observation = self.dataset.observation(query, location)
+        if not self.dataset.members_in_observation(group, observation):
+            return False
+        return any(
+            self.dataset.members_in_observation(other, observation)
+            for other in comparable_groups(group, self.schema)
+        )
+
+
+class MarketplaceUnfairness:
+    """§3.3 measures on a :class:`~repro.data.schema.MarketplaceDataset`.
+
+    Parameters
+    ----------
+    dataset:
+        Observed worker rankings with worker demographics.
+    schema:
+        The protected-attribute schema defining comparable groups.
+    measure:
+        ``"emd"`` (default) — average EMD between relevance histograms of
+        ``g`` and each comparable group — or ``"exposure"`` — L1 deviation
+        between exposure share and relevance share.
+    bins:
+        Histogram bin count for the EMD variant.
+    exposure_denominator:
+        ``"comparables"`` (default) follows §3.3.2's formulas literally
+        (the Figure 5 worked example); ``"ranking"`` normalizes shares over
+        the whole ranking instead, which is the only reading under which
+        the paper's Table 8 can report *unequal* exposure for Male and
+        Female.  See :func:`repro.core.measures.exposure_deviation`.
+    """
+
+    def __init__(
+        self,
+        dataset: MarketplaceDataset,
+        schema: AttributeSchema,
+        measure: str = "emd",
+        bins: int = DEFAULT_BINS,
+        exposure_denominator: str = "comparables",
+    ) -> None:
+        if measure.lower() not in ("emd", "exposure"):
+            raise MeasureError(
+                f"marketplace measures are 'emd' or 'exposure', got {measure!r}"
+            )
+        self.dataset = dataset
+        self.schema = schema
+        self.measure_name = measure.lower()
+        self.bins = bins
+        self.exposure_denominator = exposure_denominator
+
+    def _relevance_scores(self, ranking, members: Sequence[str]) -> list[float]:
+        return [ranking.relevance(worker_id) for worker_id in members]
+
+    def unfairness(self, group: Group, query: str, location: str) -> float:
+        """``d<g,q,l>`` via EMD (§3.3.1) or Exposure (§3.3.2)."""
+        observation = self.dataset.observation(query, location)
+        ranking = observation.ranking
+        members = self.dataset.members_in_ranking(group, ranking)
+        if not members:
+            raise DataError(
+                f"group {group} has no workers ranked for ({query!r}, {location!r})"
+            )
+        others = {
+            other: self.dataset.members_in_ranking(other, ranking)
+            for other in comparable_groups(group, self.schema)
+        }
+        populated = {other: ids for other, ids in others.items() if ids}
+        if not populated:
+            raise DataError(
+                f"group {group} has no populated comparable groups for "
+                f"({query!r}, {location!r})"
+            )
+        if self.measure_name == "exposure":
+            return exposure_deviation(
+                ranking,
+                members,
+                {other.name: ids for other, ids in populated.items()},
+                denominator=self.exposure_denominator,
+            )
+        own_histogram = UnitHistogram.from_values(
+            self._relevance_scores(ranking, members), bins=self.bins
+        )
+        distances = [
+            emd(
+                own_histogram,
+                UnitHistogram.from_values(
+                    self._relevance_scores(ranking, ids), bins=self.bins
+                ),
+            )
+            for ids in populated.values()
+        ]
+        return statistics.fmean(distances)
+
+    def defined_for(self, group: Group, query: str, location: str) -> bool:
+        """True when the group and at least one comparable group are ranked."""
+        if not self.dataset.has_observation(query, location):
+            return False
+        ranking = self.dataset.observation(query, location).ranking
+        if not self.dataset.members_in_ranking(group, ranking):
+            return False
+        return any(
+            self.dataset.members_in_ranking(other, ranking)
+            for other in comparable_groups(group, self.schema)
+        )
+
+
+def aggregate_unfairness(
+    engine: UnfairnessEngine,
+    groups: Iterable[Group],
+    queries: Iterable[str],
+    locations: Iterable[str],
+    skip_undefined: bool = True,
+) -> float:
+    """§3.4 generalized aggregation: ``avg_{g,q,l} d<g,q,l>``.
+
+    Covers all the paper's notations — ``d<g,Q,L>`` (one group), ``d<G,Q,l>``
+    (one location), ``d<G,q,L>`` (one query) — by passing singleton
+    collections for the fixed dimensions.
+
+    With ``skip_undefined`` (default), triples where the value is undefined
+    (e.g. the group has no members in that ranking) are excluded from the
+    average; otherwise they raise :class:`DataError`.
+    """
+    groups = list(groups)
+    queries = list(queries)
+    locations = list(locations)
+    values: list[float] = []
+    for group in groups:
+        for query in queries:
+            for location in locations:
+                if skip_undefined and not engine.defined_for(group, query, location):
+                    continue
+                values.append(engine.unfairness(group, query, location))
+    if not values:
+        raise DataError("no defined unfairness values in the requested aggregate")
+    return statistics.fmean(values)

@@ -1,0 +1,19 @@
+"""Observation record types, persistence, and dataset builders."""
+
+from .schema import (
+    MarketplaceDataset,
+    MarketplaceObservation,
+    SearchDataset,
+    SearchObservation,
+    SearchUser,
+    WorkerProfile,
+)
+
+__all__ = [
+    "MarketplaceDataset",
+    "MarketplaceObservation",
+    "SearchDataset",
+    "SearchObservation",
+    "SearchUser",
+    "WorkerProfile",
+]

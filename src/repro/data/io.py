@@ -1,0 +1,164 @@
+"""JSONL persistence for crawled datasets.
+
+The paper's pipeline crawls once and analyzes many times; these helpers
+round-trip both dataset kinds through line-delimited JSON so a crawl (or a
+user study) can be saved to disk and reloaded without re-simulation.  The
+format is one JSON object per line with a ``kind`` tag, so a single file
+holds workers/users and observations together and is trivially greppable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from ..core.rankings import RankedList
+from ..exceptions import DataError
+from .schema import (
+    MarketplaceDataset,
+    MarketplaceObservation,
+    SearchDataset,
+    SearchObservation,
+    SearchUser,
+    WorkerProfile,
+)
+
+__all__ = [
+    "save_marketplace_dataset",
+    "load_marketplace_dataset",
+    "save_search_dataset",
+    "load_search_dataset",
+]
+
+
+def _ranked_list_payload(ranking: RankedList) -> dict:
+    payload: dict = {"items": list(ranking.items)}
+    if ranking.scores is not None:
+        payload["scores"] = dict(ranking.scores)
+    return payload
+
+
+def _ranked_list_from(payload: dict) -> RankedList:
+    return RankedList(payload["items"], payload.get("scores"))
+
+
+def _write_lines(path: Path, records: Iterator[dict]) -> None:
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def _read_lines(path: Path) -> Iterator[dict]:
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as error:
+                raise DataError(f"{path}:{line_number}: invalid JSON ({error})") from None
+
+
+def save_marketplace_dataset(dataset: MarketplaceDataset, path: str | Path) -> None:
+    """Write a marketplace dataset as JSONL (workers first, then rankings)."""
+    path = Path(path)
+
+    def records() -> Iterator[dict]:
+        for worker in dataset.workers.values():
+            yield {
+                "kind": "worker",
+                "worker_id": worker.worker_id,
+                "attributes": dict(worker.attributes),
+                "features": dict(worker.features),
+                "offerings": sorted(worker.offerings),
+            }
+        for observation in dataset.observations():
+            yield {
+                "kind": "observation",
+                "query": observation.query,
+                "location": observation.location,
+                "ranking": _ranked_list_payload(observation.ranking),
+            }
+
+    _write_lines(path, records())
+
+
+def load_marketplace_dataset(path: str | Path) -> MarketplaceDataset:
+    """Read a marketplace dataset saved by :func:`save_marketplace_dataset`."""
+    workers: list[WorkerProfile] = []
+    observations: list[MarketplaceObservation] = []
+    for record in _read_lines(Path(path)):
+        kind = record.get("kind")
+        if kind == "worker":
+            workers.append(
+                WorkerProfile(
+                    worker_id=record["worker_id"],
+                    attributes=record["attributes"],
+                    features=record.get("features", {}),
+                    offerings=frozenset(record.get("offerings", ())),
+                )
+            )
+        elif kind == "observation":
+            observations.append(
+                MarketplaceObservation(
+                    query=record["query"],
+                    location=record["location"],
+                    ranking=_ranked_list_from(record["ranking"]),
+                )
+            )
+        else:
+            raise DataError(f"unknown record kind {kind!r} in {path}")
+    return MarketplaceDataset(workers=workers, observations=observations)
+
+
+def save_search_dataset(dataset: SearchDataset, path: str | Path) -> None:
+    """Write a search dataset as JSONL (users first, then observations)."""
+    path = Path(path)
+
+    def records() -> Iterator[dict]:
+        for user in dataset.users.values():
+            yield {
+                "kind": "user",
+                "user_id": user.user_id,
+                "attributes": dict(user.attributes),
+            }
+        for observation in dataset.observations():
+            yield {
+                "kind": "observation",
+                "query": observation.query,
+                "location": observation.location,
+                "results_by_user": {
+                    user_id: _ranked_list_payload(ranking)
+                    for user_id, ranking in observation.results_by_user.items()
+                },
+            }
+
+    _write_lines(path, records())
+
+
+def load_search_dataset(path: str | Path) -> SearchDataset:
+    """Read a search dataset saved by :func:`save_search_dataset`."""
+    users: list[SearchUser] = []
+    observations: list[SearchObservation] = []
+    for record in _read_lines(Path(path)):
+        kind = record.get("kind")
+        if kind == "user":
+            users.append(
+                SearchUser(user_id=record["user_id"], attributes=record["attributes"])
+            )
+        elif kind == "observation":
+            observations.append(
+                SearchObservation(
+                    query=record["query"],
+                    location=record["location"],
+                    results_by_user={
+                        user_id: _ranked_list_from(payload)
+                        for user_id, payload in record["results_by_user"].items()
+                    },
+                )
+            )
+        else:
+            raise DataError(f"unknown record kind {kind!r} in {path}")
+    return SearchDataset(users=users, observations=observations)

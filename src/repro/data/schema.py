@@ -1,0 +1,236 @@
+"""Record types for observed rankings on both kinds of sites.
+
+These are the framework's raw inputs: what a crawler or user study actually
+observes.  A marketplace crawl yields, per ``(query, location)``, one ranked
+list of workers whose demographics are known (after labeling).  A search-
+engine study yields, per ``(query, location)``, one ranked result list *per
+participating user*, with the users' demographics known from recruitment.
+
+Datasets bundle observations with the people behind them and offer the
+group-membership lookups every unfairness measure needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..core.groups import Group
+from ..core.rankings import RankedList
+from ..exceptions import DataError
+
+__all__ = [
+    "WorkerProfile",
+    "SearchUser",
+    "MarketplaceObservation",
+    "SearchObservation",
+    "MarketplaceDataset",
+    "SearchDataset",
+]
+
+
+@dataclass(frozen=True)
+class WorkerProfile:
+    """A marketplace worker with labeled protected attributes.
+
+    ``attributes`` holds the protected profile (e.g. gender/ethnicity from
+    the AMT labeling step); ``features`` holds public marketplace signals
+    (rating, completed jobs, hourly rate, …) used by scoring models;
+    ``offerings`` lists the job types and categories the worker serves —
+    an empty set means the worker offers everything.
+    """
+
+    worker_id: str
+    attributes: Mapping[str, str]
+    features: Mapping[str, float] = field(default_factory=dict)
+    offerings: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.worker_id:
+            raise DataError("worker_id must be non-empty")
+        object.__setattr__(self, "attributes", dict(self.attributes))
+        object.__setattr__(self, "features", dict(self.features))
+        object.__setattr__(self, "offerings", frozenset(self.offerings))
+
+    def offers(self, job: str) -> bool:
+        """True when the worker serves ``job`` (a job type or category name)."""
+        return not self.offerings or job in self.offerings
+
+
+@dataclass(frozen=True)
+class SearchUser:
+    """A study participant with known protected attributes."""
+
+    user_id: str
+    attributes: Mapping[str, str]
+
+    def __post_init__(self) -> None:
+        if not self.user_id:
+            raise DataError("user_id must be non-empty")
+        object.__setattr__(self, "attributes", dict(self.attributes))
+
+
+@dataclass(frozen=True)
+class MarketplaceObservation:
+    """One crawled worker ranking for a ``(query, location)`` pair."""
+
+    query: str
+    location: str
+    ranking: RankedList
+
+    def __post_init__(self) -> None:
+        if not self.query or not self.location:
+            raise DataError("observations need a non-empty query and location")
+        if len(self.ranking) == 0:
+            raise DataError(
+                f"empty ranking observed for {self.query!r} @ {self.location!r}"
+            )
+
+
+@dataclass(frozen=True)
+class SearchObservation:
+    """Per-user personalized result lists for a ``(query, location)`` pair."""
+
+    query: str
+    location: str
+    results_by_user: Mapping[str, RankedList]
+
+    def __post_init__(self) -> None:
+        if not self.query or not self.location:
+            raise DataError("observations need a non-empty query and location")
+        results = dict(self.results_by_user)
+        if not results:
+            raise DataError(
+                f"no user result lists for {self.query!r} @ {self.location!r}"
+            )
+        object.__setattr__(self, "results_by_user", results)
+
+
+class MarketplaceDataset:
+    """Workers plus their observed rankings, indexed for fast lookups."""
+
+    def __init__(
+        self,
+        workers: Iterable[WorkerProfile],
+        observations: Iterable[MarketplaceObservation],
+    ) -> None:
+        self.workers: dict[str, WorkerProfile] = {}
+        for worker in workers:
+            if worker.worker_id in self.workers:
+                raise DataError(f"duplicate worker id {worker.worker_id!r}")
+            self.workers[worker.worker_id] = worker
+        self._observations: dict[tuple[str, str], MarketplaceObservation] = {}
+        for observation in observations:
+            key = (observation.query, observation.location)
+            if key in self._observations:
+                raise DataError(f"duplicate observation for {key!r}")
+            for worker_id in observation.ranking:
+                if worker_id not in self.workers:
+                    raise DataError(
+                        f"ranking for {key!r} references unknown worker {worker_id!r}"
+                    )
+            self._observations[key] = observation
+        if not self._observations:
+            raise DataError("a marketplace dataset needs at least one observation")
+
+    @property
+    def queries(self) -> list[str]:
+        """Distinct queries, in first-seen order."""
+        return list(dict.fromkeys(query for query, _ in self._observations))
+
+    @property
+    def locations(self) -> list[str]:
+        """Distinct locations, in first-seen order."""
+        return list(dict.fromkeys(location for _, location in self._observations))
+
+    def observation(self, query: str, location: str) -> MarketplaceObservation:
+        """The ranking observed for ``(query, location)``."""
+        try:
+            return self._observations[(query, location)]
+        except KeyError:
+            raise DataError(f"no observation for ({query!r}, {location!r})") from None
+
+    def has_observation(self, query: str, location: str) -> bool:
+        """True if the pair was crawled."""
+        return (query, location) in self._observations
+
+    def observations(self) -> list[MarketplaceObservation]:
+        """All observations in insertion order."""
+        return list(self._observations.values())
+
+    def members_in_ranking(self, group: Group, ranking: RankedList) -> list[str]:
+        """Worker ids in ``ranking`` whose profile satisfies ``group``'s label."""
+        return [
+            worker_id
+            for worker_id in ranking
+            if group.matches(self.workers[worker_id].attributes)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+
+class SearchDataset:
+    """Study participants plus their personalized result lists."""
+
+    def __init__(
+        self,
+        users: Iterable[SearchUser],
+        observations: Iterable[SearchObservation],
+    ) -> None:
+        self.users: dict[str, SearchUser] = {}
+        for user in users:
+            if user.user_id in self.users:
+                raise DataError(f"duplicate user id {user.user_id!r}")
+            self.users[user.user_id] = user
+        self._observations: dict[tuple[str, str], SearchObservation] = {}
+        for observation in observations:
+            key = (observation.query, observation.location)
+            if key in self._observations:
+                raise DataError(f"duplicate observation for {key!r}")
+            for user_id in observation.results_by_user:
+                if user_id not in self.users:
+                    raise DataError(
+                        f"observation for {key!r} references unknown user {user_id!r}"
+                    )
+            self._observations[key] = observation
+        if not self._observations:
+            raise DataError("a search dataset needs at least one observation")
+
+    @property
+    def queries(self) -> list[str]:
+        """Distinct queries, in first-seen order."""
+        return list(dict.fromkeys(query for query, _ in self._observations))
+
+    @property
+    def locations(self) -> list[str]:
+        """Distinct locations, in first-seen order."""
+        return list(dict.fromkeys(location for _, location in self._observations))
+
+    def observation(self, query: str, location: str) -> SearchObservation:
+        """The per-user results observed for ``(query, location)``."""
+        try:
+            return self._observations[(query, location)]
+        except KeyError:
+            raise DataError(f"no observation for ({query!r}, {location!r})") from None
+
+    def has_observation(self, query: str, location: str) -> bool:
+        """True if the pair was studied."""
+        return (query, location) in self._observations
+
+    def observations(self) -> list[SearchObservation]:
+        """All observations in insertion order."""
+        return list(self._observations.values())
+
+    def members_in_observation(
+        self, group: Group, observation: SearchObservation
+    ) -> list[str]:
+        """User ids with result lists whose profile satisfies ``group``."""
+        return [
+            user_id
+            for user_id in observation.results_by_user
+            if group.matches(self.users[user_id].attributes)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._observations)

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  The concrete
+subclasses mirror the layers of the system: the group/attribute model, the
+distance measures, the unfairness cube and its indices, and the top-k /
+comparison algorithms that run on top of them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """An attribute schema or group label is malformed or inconsistent.
+
+    Raised for unknown attributes, unknown attribute values, duplicate
+    predicates on the same attribute, or empty labels.
+    """
+
+
+class MeasureError(ReproError):
+    """A distance measure received inputs it cannot compare.
+
+    Raised for empty ranked lists, mismatched universes, histograms with
+    different bin layouts, or non-normalizable mass.
+    """
+
+
+class CubeError(ReproError):
+    """The unfairness cube is missing a requested cell or dimension value."""
+
+
+class IndexError_(ReproError):
+    """An inverted index was asked for an entry it does not contain.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`; exported as ``repro.IndexError_``.
+    """
+
+
+class AlgorithmError(ReproError):
+    """A top-k or comparison algorithm was invoked with invalid arguments.
+
+    Raised for ``k <= 0``, unknown dimensions, empty dimension domains, or a
+    comparison whose operands are not members of the stated dimension.
+    """
+
+
+class DataError(ReproError):
+    """Raw observation data is malformed or insufficient for a computation.
+
+    Raised when a dataset lacks the workers, users, queries, or locations a
+    caller asked the framework to analyze.
+    """

@@ -1,0 +1,24 @@
+"""Experiment drivers regenerating every table and figure of the paper's §5."""
+
+from .datasets import (
+    DEFAULT_SEED,
+    build_google_dataset,
+    build_taskrabbit_dataset,
+    build_taskrabbit_site,
+)
+from .hypotheses import Hypothesis, Verification, generate, verify
+from .report import fmt, render_comparison, render_table
+
+__all__ = [
+    "DEFAULT_SEED",
+    "build_google_dataset",
+    "build_taskrabbit_dataset",
+    "build_taskrabbit_site",
+    "Hypothesis",
+    "Verification",
+    "generate",
+    "verify",
+    "fmt",
+    "render_comparison",
+    "render_table",
+]

@@ -1,0 +1,78 @@
+"""End-to-end construction of the two case-study datasets.
+
+These are the entry points the examples, tests, and benchmarks share: one
+call produces the crawled TaskRabbit dataset or the Google user-study
+dataset exactly as the paper's pipelines (Figures 6 and 9) would, from a
+single seed.  Results are memoized per (seed, configuration) within the
+process because several benchmarks reuse the same dataset.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..data.schema import MarketplaceDataset, SearchDataset
+from ..marketplace.crawl import run_crawl
+from ..marketplace.site import TaskRabbitSite
+from ..searchengine.engine import GoogleJobsEngine
+from ..searchengine.study import full_design, paper_design, run_study
+
+__all__ = [
+    "DEFAULT_SEED",
+    "build_taskrabbit_site",
+    "build_taskrabbit_dataset",
+    "build_google_dataset",
+]
+
+DEFAULT_SEED = 7
+"""Seed used throughout the reproduction (EXPERIMENTS.md records it)."""
+
+
+@lru_cache(maxsize=8)
+def build_taskrabbit_site(seed: int = DEFAULT_SEED, bias_scale: float = 1.0) -> TaskRabbitSite:
+    """The simulated marketplace (population + scoring model)."""
+    return TaskRabbitSite(seed=seed, bias_scale=bias_scale)
+
+
+@lru_cache(maxsize=8)
+def build_taskrabbit_dataset(
+    seed: int = DEFAULT_SEED,
+    level: str = "category",
+    jobs: tuple[str, ...] | None = None,
+    cities: tuple[str, ...] | None = None,
+    bias_scale: float = 1.0,
+    label_error_rate: float = 0.0,
+) -> MarketplaceDataset:
+    """Crawl the simulated TaskRabbit and return the dataset.
+
+    ``level="category"`` (448 queries) suits quick analyses; the paper's
+    full 5,361-query crawl is ``level="job"``.  ``jobs``/``cities`` narrow
+    the crawl scope (tuples, for memoization).
+    """
+    site = build_taskrabbit_site(seed, bias_scale)
+    report = run_crawl(
+        site,
+        level=level,
+        jobs=list(jobs) if jobs is not None else None,
+        cities=list(cities) if cities is not None else None,
+        label_error_rate=label_error_rate,
+    )
+    return report.dataset
+
+
+@lru_cache(maxsize=8)
+def build_google_dataset(
+    seed: int = DEFAULT_SEED,
+    design: str = "full",
+    personalization_scale: float = 1.0,
+) -> SearchDataset:
+    """Run the Google user study and return the dataset.
+
+    ``design="paper"`` reproduces Table 7's sparse 60-study layout;
+    ``design="full"`` (default) covers every query at every location, which
+    the quantification experiments need (see EXPERIMENTS.md on the paper's
+    design inconsistency).
+    """
+    engine = GoogleJobsEngine(seed=seed, personalization_scale=personalization_scale)
+    chosen = paper_design() if design == "paper" else full_design()
+    return run_study(engine, chosen).dataset

@@ -1,0 +1,132 @@
+"""Cross-site hypothesis generation and verification.
+
+The paper's conclusion describes the framework's intended workflow: *use
+quantification on one site to generate hypotheses, then verify them on
+another* (as the authors did from TaskRabbit to Google job search), in
+iterative exploratory scenarios.  This module gives that workflow a small
+API:
+
+* :func:`generate` — turn one F-Box's quantification results into ordered
+  :class:`Hypothesis` objects ("X is treated less fairly than Y along
+  dimension D").
+* :func:`verify` — test a hypothesis against another F-Box, translating
+  dimension members between sites if needed (e.g. the TaskRabbit job
+  category "Yard Work" to the Google query term set).
+
+Used by ``examples/hypothesis_transfer.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+from ..core.fbox import FBox
+from ..exceptions import AlgorithmError
+
+__all__ = ["Hypothesis", "Verification", "generate", "verify"]
+
+
+@dataclass(frozen=True)
+class Hypothesis:
+    """An ordered fairness claim: ``worse`` is treated less fairly than ``better``."""
+
+    dimension: str
+    worse: Hashable
+    better: Hashable
+    margin: float
+    source: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.source or 'hypothesis'}] {self.worse} is treated less "
+            f"fairly than {self.better} (dimension: {self.dimension}, "
+            f"margin {self.margin:.3f})"
+        )
+
+
+@dataclass(frozen=True)
+class Verification:
+    """The outcome of testing a hypothesis on another site."""
+
+    hypothesis: Hypothesis
+    confirmed: bool
+    worse_value: float
+    better_value: float
+    target: str = ""
+
+    def __str__(self) -> str:
+        verdict = "CONFIRMED" if self.confirmed else "REJECTED"
+        return (
+            f"{verdict} on {self.target or 'target'}: "
+            f"{self.hypothesis.worse}={self.worse_value:.3f} vs "
+            f"{self.hypothesis.better}={self.better_value:.3f}"
+        )
+
+
+def generate(
+    fbox: FBox, dimension: str, top: int = 3, source: str = ""
+) -> list[Hypothesis]:
+    """Hypotheses from one site's quantification: extremes vs extremes.
+
+    Pairs the ``top`` most unfair members of ``dimension`` with the ``top``
+    fairest, most-extreme pairs first.
+    """
+    if top <= 0:
+        raise AlgorithmError(f"top must be positive, got {top}")
+    most = fbox.quantify(dimension, k=top, order="most")
+    least = fbox.quantify(dimension, k=top, order="least")
+    hypotheses = []
+    for (worse, worse_value), (better, better_value) in zip(
+        most.entries, least.entries
+    ):
+        if worse == better or worse_value <= better_value:
+            # Overlapping extremes on small domains produce degenerate or
+            # inverted pairs; only keep claims the source data supports.
+            continue
+        hypotheses.append(
+            Hypothesis(
+                dimension=dimension,
+                worse=worse,
+                better=better,
+                margin=worse_value - better_value,
+                source=source,
+            )
+        )
+    return hypotheses
+
+
+def verify(
+    hypothesis: Hypothesis,
+    fbox: FBox,
+    translate: Callable[[Hashable], Sequence | Hashable] | None = None,
+    target: str = "",
+) -> Verification:
+    """Test a hypothesis against another site's F-Box.
+
+    ``translate`` maps a source-site dimension member onto the target
+    site's vocabulary — either a single member or a collection to be
+    aggregated (e.g. a query category onto its five search-term variants).
+    Raises :class:`CubeError` when a translated member has no defined
+    unfairness on the target.
+    """
+
+    def value_of(member: Hashable) -> float:
+        translated = translate(member) if translate is not None else member
+        if isinstance(translated, (list, tuple, set, frozenset)):
+            selection = {f"{hypothesis.dimension}s": list(translated)}
+        else:
+            selection = {f"{hypothesis.dimension}s": [translated]}
+        if hypothesis.dimension == "query":
+            selection = {"queries": selection.pop(f"{hypothesis.dimension}s")}
+        return fbox.aggregate(**selection)
+
+    worse_value = value_of(hypothesis.worse)
+    better_value = value_of(hypothesis.better)
+    return Verification(
+        hypothesis=hypothesis,
+        confirmed=worse_value > better_value,
+        worse_value=worse_value,
+        better_value=better_value,
+        target=target,
+    )

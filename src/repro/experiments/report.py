@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment results.
+
+Every benchmark prints the rows it regenerates through these helpers, in a
+stable aligned format with an optional paper-reported column next to the
+measured one, so the output can be eyeballed against the paper's tables
+(EXPERIMENTS.md records the comparisons).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_comparison", "fmt"]
+
+
+def fmt(value: object, decimals: int = 3) -> str:
+    """Format one cell: floats get fixed decimals, everything else ``str``."""
+    if isinstance(value, float):
+        return f"{value:.{decimals}f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    decimals: int = 3,
+) -> str:
+    """Render an aligned text table with a title rule."""
+    rendered_rows = [[fmt(cell, decimals) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out = [title, "=" * len(title), line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered_rows)
+    return "\n".join(out)
+
+
+def render_comparison(title: str, report, decimals: int = 3) -> str:
+    """Render a :class:`~repro.core.comparison.ComparisonReport`."""
+    rows: list[Sequence[object]] = [
+        ("All", report.overall_r1, report.overall_r2, "")
+    ]
+    for row in report.rows:
+        rows.append(
+            (
+                str(row.member),
+                row.value_r1,
+                row.value_r2,
+                "REVERSED" if row.reversed_vs_overall else "",
+            )
+        )
+    headers = (
+        report.breakdown_dimension,
+        str(report.r1),
+        str(report.r2),
+        "vs overall",
+    )
+    return render_table(title, headers, rows, decimals)

@@ -1,0 +1,15 @@
+"""Simulated Amazon Mechanical Turk demographic labeling."""
+
+from .amt import (
+    CONTRIBUTORS_PER_PICTURE,
+    DEFAULT_ERROR_RATE,
+    AmtLabeler,
+    LabelingOutcome,
+)
+
+__all__ = [
+    "CONTRIBUTORS_PER_PICTURE",
+    "DEFAULT_ERROR_RATE",
+    "AmtLabeler",
+    "LabelingOutcome",
+]

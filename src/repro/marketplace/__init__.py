@@ -1,0 +1,46 @@
+"""TaskRabbit-style marketplace simulator: catalog, workers, scoring, crawl."""
+
+from .catalog import (
+    ALL_JOBS,
+    CATEGORIES,
+    CITIES,
+    JOBS_BY_CATEGORY,
+    UNAVAILABLE_PAIRS,
+    category_of,
+    crawl_queries,
+    jobs_available_in,
+)
+from .crawl import CrawlReport, run_crawl
+from .scoring import ETHNICITY_PENALTY, GENDER_PENALTY, PENALTY_SCALE, ScoringModel
+from .site import RESULT_CAP, TaskRabbitSite
+from .workers import (
+    CITY_COMPOSITION,
+    TOTAL_WORKERS,
+    demographic_breakdown,
+    generate_city_workers,
+    generate_population,
+)
+
+__all__ = [
+    "ALL_JOBS",
+    "CATEGORIES",
+    "CITIES",
+    "JOBS_BY_CATEGORY",
+    "UNAVAILABLE_PAIRS",
+    "category_of",
+    "crawl_queries",
+    "jobs_available_in",
+    "CrawlReport",
+    "run_crawl",
+    "ETHNICITY_PENALTY",
+    "GENDER_PENALTY",
+    "PENALTY_SCALE",
+    "ScoringModel",
+    "RESULT_CAP",
+    "TaskRabbitSite",
+    "CITY_COMPOSITION",
+    "TOTAL_WORKERS",
+    "demographic_breakdown",
+    "generate_city_workers",
+    "generate_population",
+]

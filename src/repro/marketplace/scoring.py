@@ -1,0 +1,230 @@
+"""The marketplace scoring function ``f_q^l(w)``.
+
+The paper treats the marketplace's scoring function as a black box that maps
+a worker to a score in [0, 1] for a (query, location) pair, observing only
+the resulting ranking.  This module is that black box for the simulator:
+
+    score = base_quality(worker, job)  −  demographic_penalty(worker, job, city)
+
+``base_quality`` depends on consumer ratings, completed jobs and a per-job
+fit term — the legitimate signals a marketplace ranks by.  The penalty is
+the calibrated bias model (see :mod:`repro.calibration`): a per-profile
+intensity decomposed into additive gender and ethnicity components, scaled
+by per-job and per-city multipliers, with the interaction overrides that
+realize the paper's comparison findings (Tables 12–15).
+
+The decomposition is exact at the extremes: the paper's Table 8 gives the
+Asian-Female intensity as the sum of the Asian-Male and White-Female ones,
+so ``penalty(profile) = gender_component + ethnicity_component`` reproduces
+the full-profile ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..calibration import (
+    FEMALE_FAIRER_LOCATIONS,
+    JOB_BIAS,
+    JOB_ETHNICITY_BOOSTS,
+    JOB_ETHNICITY_OVERRIDES,
+    LOCATION_CATEGORY_OVERRIDES,
+    LOCATION_SUBJOB_OVERRIDES,
+    PROFILE_PENALTY,
+    location_bias,
+    profile_key,
+)
+from ..data.schema import WorkerProfile
+from ..stats.rng import derive
+from .catalog import category_of
+
+__all__ = ["ScoringModel", "GENDER_PENALTY", "ETHNICITY_PENALTY", "PENALTY_SCALE"]
+
+#: Additive gender component of the profile penalty (White Female row of
+#: Table 8, rescaled): what being female costs, all else equal.
+GENDER_PENALTY: dict[str, float] = {
+    "Female": PROFILE_PENALTY["White Female"],
+    "Male": 0.0,
+}
+
+#: Additive ethnicity component (Asian Male / Black Male rows of Table 8).
+ETHNICITY_PENALTY: dict[str, float] = {
+    "Asian": PROFILE_PENALTY["Asian Male"],
+    "Black": PROFILE_PENALTY["Black Male"],
+    "White": 0.0,
+}
+
+#: Global strength of the smooth (shift) component of the demographic
+#: penalty relative to base quality.
+PENALTY_SCALE = 0.06
+
+#: Global strength of the *exclusion* component: the probability, per query,
+#: that a penalized worker is pushed to the bottom of the ranking outright.
+#: A score shift saturates once groups are fully stratified (rank distance
+#: is bounded by group sizes), but an exclusion probability keeps the group
+#: distributions separating linearly in the bias intensity — which is what
+#: lets the per-city and per-job unfairness orderings span the range the
+#: paper reports instead of collapsing onto a sampling floor.
+EXCLUSION_SCALE = 0.80
+
+#: Score drop applied by an exclusion event (far below the quality spread).
+_EXCLUSION_DROP = 0.6
+
+#: Spread of the per-(worker, job, city) fit term.  Fit dominates the
+#: quality variance and is redrawn for every query, so a group's luck in one
+#: city's feature draws cannot masquerade as systematic (un)fairness there.
+_FIT_SPREAD = 0.30
+
+#: Amplification of the flipped gender penalty in the Table 12 reversal
+#: cities (see :data:`repro.calibration.FEMALE_FAIRER_LOCATIONS`).
+_FLIP_AMPLIFIER = 2.2
+
+#: Extra per-query score noise applied in proportion to a profile's bias
+#: intensity.  Discrimination shows up not only as a downward shift but as
+#: *erratic* treatment — penalized groups' score distributions are wider —
+#: which lets the EMD measure separate profiles (e.g. Asian Males from Black
+#: Females) that a pure shift model would tie.
+_INSTABILITY_SCALE = 0.05
+
+
+class ScoringModel:
+    """Deterministic scoring function for the marketplace simulator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; every (worker, job) fit draw derives from it, so two
+        models with the same seed produce identical rankings.
+    bias_scale:
+        Multiplier on :data:`PENALTY_SCALE`; ``0.0`` yields a bias-free
+        marketplace (used by the ablation benchmarks).
+    """
+
+    def __init__(self, seed: int, bias_scale: float = 1.0) -> None:
+        self.seed = seed
+        self.bias_scale = bias_scale
+
+    # ------------------------------------------------------------------
+    # Quality: the legitimate ranking signals
+    # ------------------------------------------------------------------
+
+    def base_quality(self, worker: WorkerProfile, job: str, city: str = "") -> float:
+        """Rating, experience, and per-query job fit combined into [0.30, 0.93]."""
+        rating = worker.features.get("rating", 4.0)
+        jobs_completed = worker.features.get("jobs_completed", 50.0)
+        rating_term = 0.08 * (rating - 1.0) / 4.0
+        experience_term = 0.05 * min(jobs_completed / 400.0, 1.0)
+        fit_rng = derive(self.seed, "fit", worker.worker_id, job, city)
+        fit_term = float(fit_rng.uniform(0.0, _FIT_SPREAD))
+        return 0.30 + rating_term + experience_term + fit_term
+
+    # ------------------------------------------------------------------
+    # Bias: the calibrated demographic penalty
+    # ------------------------------------------------------------------
+
+    def gender_component(self, gender: str, city: str) -> float:
+        """Gender penalty; flipped onto men in the Table 12 reversal cities.
+
+        The flip is amplified so those cities' male-vs-female gap clears the
+        sampling noise of the group-level measures — in the paper's data the
+        reversal cities show males markedly worse off (Table 12).
+        """
+        female_penalty = GENDER_PENALTY["Female"]
+        if city in FEMALE_FAIRER_LOCATIONS:
+            return _FLIP_AMPLIFIER * female_penalty if gender == "Male" else 0.0
+        return GENDER_PENALTY.get(gender, 0.0)
+
+    def ethnicity_component(self, ethnicity: str, job: str) -> float:
+        """Ethnicity penalty with the Tables 13–14 job interactions."""
+        base = ETHNICITY_PENALTY.get(ethnicity, 0.0)
+        multiplier = JOB_ETHNICITY_OVERRIDES.get((job, ethnicity), 1.0)
+        boost = JOB_ETHNICITY_BOOSTS.get((job, ethnicity), 0.0)
+        return base * multiplier - boost
+
+    def bias_intensity(self, worker: WorkerProfile, job: str, city: str) -> float:
+        """Combined bias intensity for one (worker, job, city) triple.
+
+        The product of the worker's profile components and the job/city
+        multipliers, *before* the global channel scales.  Can be negative
+        when a boost override applies (then only the shift channel acts).
+        """
+        gender = worker.attributes.get("gender", "")
+        ethnicity = worker.attributes.get("ethnicity", "")
+        profile_part = self.gender_component(gender, city) + self.ethnicity_component(
+            ethnicity, job
+        )
+        category = category_of(job)
+        job_multiplier = JOB_BIAS[category]
+        city_multiplier = (
+            location_bias(city)
+            * LOCATION_CATEGORY_OVERRIDES.get((city, category), 1.0)
+            * LOCATION_SUBJOB_OVERRIDES.get((city, job), 1.0)
+        )
+        return job_multiplier * city_multiplier * profile_part
+
+    def penalty(self, worker: WorkerProfile, job: str, city: str) -> float:
+        """Smooth score penalty (the shift channel of the bias model)."""
+        return PENALTY_SCALE * self.bias_scale * self.bias_intensity(worker, job, city)
+
+    def exclusion_probability(self, worker: WorkerProfile, job: str, city: str) -> float:
+        """Per-query probability of a displacement event for this worker.
+
+        Positive for penalized profiles (an *exclusion*: pushed to the
+        bottom); negative where a boost override applies (a *promotion*:
+        floated to the top).  Magnitude capped at 0.85.
+        """
+        intensity = self.bias_intensity(worker, job, city)
+        return float(np.clip(EXCLUSION_SCALE * self.bias_scale * intensity, -0.85, 0.85))
+
+    def exclusion(self, worker: WorkerProfile, job: str, city: str) -> float:
+        """The displacement channel: 0, or a large score decrement.
+
+        Returns the decrement applied to the score: positive when an
+        exclusion event fires, negative when a promotion event fires.
+        """
+        probability = self.exclusion_probability(worker, job, city)
+        if probability == 0.0:
+            return 0.0
+        rng = derive(self.seed, "exclusion", worker.worker_id, job, city)
+        if float(rng.uniform()) < abs(probability):
+            return _EXCLUSION_DROP if probability > 0.0 else -_EXCLUSION_DROP
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # The scoring function the site ranks by
+    # ------------------------------------------------------------------
+
+    def instability(self, worker: WorkerProfile, job: str, city: str) -> float:
+        """Bias-proportional score jitter for one (worker, job, city) triple.
+
+        The spread grows with the *square* of the profile's bias intensity,
+        so heavily penalized profiles are treated markedly more erratically
+        than mildly penalized ones — which is what lets marginal groups
+        (Asian vs White) separate under a symmetric distance.
+        """
+        gender = worker.attributes.get("gender", "")
+        ethnicity = worker.attributes.get("ethnicity", "")
+        profile = profile_key(gender, ethnicity) if gender and ethnicity else None
+        intensity = PROFILE_PENALTY.get(profile, 0.0) if profile else 0.0
+        if intensity == 0.0 or self.bias_scale == 0.0:
+            return 0.0
+        rng = derive(self.seed, "instability", worker.worker_id, job, city)
+        spread = _INSTABILITY_SCALE * self.bias_scale * intensity**2
+        return float(rng.normal(0.0, spread))
+
+    def raw_score(self, worker: WorkerProfile, job: str, city: str) -> float:
+        """Unbounded ranking score: quality − penalty + instability.
+
+        Rankings are produced from the raw score so that heavy penalties keep
+        separating groups instead of piling everyone onto a clipped floor.
+        """
+        return (
+            self.base_quality(worker, job, city)
+            - self.penalty(worker, job, city)
+            - self.exclusion(worker, job, city)
+            + self.instability(worker, job, city)
+        )
+
+    def score(self, worker: WorkerProfile, job: str, city: str) -> float:
+        """``f_q^l(w)`` ∈ [0, 1]: the raw score clipped to the unit interval."""
+        return float(np.clip(self.raw_score(worker, job, city), 0.0, 1.0))

@@ -1,0 +1,142 @@
+"""Worker-population generator for the marketplace simulator.
+
+Generates the 3,311-tasker population the paper crawled (Figures 7 and 8:
+roughly 72% male and 66% white overall), distributed over the 56 cities.
+Each city hosts a fixed demographic composition — every one of the six
+gender×ethnicity profiles is guaranteed several members, so group
+histograms are populated in (almost) every ranking — and each worker gets
+marketplace features (rating, completed jobs, tenure, hourly rate) drawn
+from seeded distributions.
+
+Ratings are mildly depressed for penalized profiles, reflecting the paper's
+observation (after Hannák et al.) that consumer ratings themselves correlate
+with gender and race and "can perpetuate bias"; the scoring model then
+propagates that bias into rankings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..calibration import PROFILE_PENALTY, profile_key
+from ..data.schema import WorkerProfile
+from ..stats.rng import derive
+from .catalog import CITIES
+
+__all__ = [
+    "TOTAL_WORKERS",
+    "CITY_COMPOSITION",
+    "generate_city_workers",
+    "generate_population",
+    "demographic_breakdown",
+]
+
+#: Per-city counts for each (gender, ethnicity) profile.  Summed over a city
+#: this gives 59 workers; among the 57 with labeled demographics the gender
+#: split is 39/18 (≈68% male) and the ethnicity split 35/13/9 (≈61% white),
+#: tracking Figures 7–8.  Two workers per city carry ``"Unknown"`` labels —
+#: profile pictures the AMT contributors could not classify — and therefore
+#: belong to no demographic group while still occupying ranking positions
+#: (they matter for ranking-wide exposure normalization).  Every profile's
+#: pool exceeds its per-query availability quota (see
+#: ``repro.marketplace.site``) so each ranking samples a fixed composition
+#: with per-query variety.
+CITY_COMPOSITION: dict[tuple[str, str], int] = {
+    ("Male", "White"): 26,
+    ("Male", "Black"): 8,
+    ("Male", "Asian"): 5,
+    ("Female", "White"): 9,
+    ("Female", "Black"): 5,
+    ("Female", "Asian"): 4,
+    ("Unknown", "Unknown"): 2,
+}
+
+_BASE_CITY_SIZE = sum(CITY_COMPOSITION.values())  # 59
+
+#: Seven of the largest markets get one extra (white male) tasker so the
+#: population totals the paper's 3,311 unique workers.
+_EXTRA_WORKER_CITIES: frozenset[str] = frozenset(
+    {
+        "New York City, NY",
+        "Los Angeles, CA",
+        "Chicago, IL",
+        "San Francisco Bay Area, CA",
+        "Houston, TX",
+        "London, UK",
+        "Boston, MA",
+    }
+)
+
+TOTAL_WORKERS = _BASE_CITY_SIZE * len(CITIES) + len(_EXTRA_WORKER_CITIES)
+"""Population size: 59 × 56 + 7 = 3,311, matching the paper's crawl."""
+
+#: How strongly a profile's penalty depresses its consumer ratings.
+_RATING_BIAS = 0.12
+
+
+def _worker_features(rng: np.random.Generator, penalty: float) -> dict[str, float]:
+    """Draw marketplace features for one worker.
+
+    ``penalty`` is the profile's calibrated bias intensity in [0, 1]; it
+    shifts ratings down slightly (consumer-rating bias) but leaves the other
+    features demographically neutral.
+    """
+    rating = float(np.clip(rng.normal(4.7, 0.25) - _RATING_BIAS * penalty, 1.0, 5.0))
+    jobs_completed = int(rng.integers(5, 600))
+    tenure_months = int(rng.integers(1, 72))
+    hourly_rate = float(np.round(rng.uniform(18.0, 95.0), 2))
+    return {
+        "rating": rating,
+        "jobs_completed": float(jobs_completed),
+        "tenure_months": float(tenure_months),
+        "hourly_rate": hourly_rate,
+    }
+
+
+def generate_city_workers(city: str, seed: int) -> list[WorkerProfile]:
+    """Generate the worker pool of one city, deterministically from ``seed``."""
+    city_slug = city.replace(" ", "").replace(",", "")
+    workers: list[WorkerProfile] = []
+    serial = 0
+    for (gender, ethnicity), count in CITY_COMPOSITION.items():
+        extra = 1 if (gender, ethnicity) == ("Male", "White") and city in _EXTRA_WORKER_CITIES else 0
+        penalty = PROFILE_PENALTY.get(profile_key(gender, ethnicity), 0.0)
+        for _ in range(count + extra):
+            rng = derive(seed, "worker", city, serial)
+            workers.append(
+                WorkerProfile(
+                    worker_id=f"w-{city_slug}-{serial:03d}",
+                    attributes={
+                        "gender": gender,
+                        "ethnicity": ethnicity,
+                        "city": city,
+                    },
+                    features=_worker_features(rng, penalty),
+                )
+            )
+            serial += 1
+    return workers
+
+
+def generate_population(seed: int) -> dict[str, list[WorkerProfile]]:
+    """Generate every city's worker pool; keys are city names."""
+    return {city: generate_city_workers(city, seed) for city in CITIES}
+
+
+def demographic_breakdown(
+    population: dict[str, list[WorkerProfile]]
+) -> dict[str, dict[str, float]]:
+    """Figures 7–8: the population's gender and ethnicity shares."""
+    workers = [worker for pool in population.values() for worker in pool]
+    total = len(workers)
+    genders: dict[str, int] = {}
+    ethnicities: dict[str, int] = {}
+    for worker in workers:
+        genders[worker.attributes["gender"]] = genders.get(worker.attributes["gender"], 0) + 1
+        ethnicities[worker.attributes["ethnicity"]] = (
+            ethnicities.get(worker.attributes["ethnicity"], 0) + 1
+        )
+    return {
+        "gender": {name: count / total for name, count in sorted(genders.items())},
+        "ethnicity": {name: count / total for name, count in sorted(ethnicities.items())},
+    }

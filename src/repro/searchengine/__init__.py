@@ -1,0 +1,48 @@
+"""Google-job-search simulator: engine, noise model, extension, user study."""
+
+from .engine import (
+    CARRY_OVER_WINDOW_MINUTES,
+    ExecutionContext,
+    GoogleJobsEngine,
+    NoiseConfig,
+)
+from .extension import TERM_SPACING_MINUTES, ChromeExtension, ExtensionConfig
+from .jobs import (
+    BASE_RESULTS,
+    GOOGLE_LOCATIONS,
+    GOOGLE_QUERIES,
+    POOL_SIZE,
+    base_ranking,
+    posting_pool,
+)
+from .keyword_planner import TERMS_PER_QUERY, canonical_query_of, term_variants
+from .personas import PARTICIPANTS_PER_STUDY, Participant, recruit, recruit_all
+from .study import StudyDesign, StudyReport, full_design, paper_design, run_study
+
+__all__ = [
+    "CARRY_OVER_WINDOW_MINUTES",
+    "ExecutionContext",
+    "GoogleJobsEngine",
+    "NoiseConfig",
+    "TERM_SPACING_MINUTES",
+    "ChromeExtension",
+    "ExtensionConfig",
+    "BASE_RESULTS",
+    "GOOGLE_LOCATIONS",
+    "GOOGLE_QUERIES",
+    "POOL_SIZE",
+    "base_ranking",
+    "posting_pool",
+    "TERMS_PER_QUERY",
+    "canonical_query_of",
+    "term_variants",
+    "PARTICIPANTS_PER_STUDY",
+    "Participant",
+    "recruit",
+    "recruit_all",
+    "StudyDesign",
+    "StudyReport",
+    "full_design",
+    "paper_design",
+    "run_study",
+]

@@ -1,0 +1,243 @@
+"""The personalized search engine with controllable noise sources.
+
+:class:`GoogleJobsEngine` maps (user, search term, location) to a ranked
+result page.  Personalization perturbs the base ranking by an amount —
+the *divergence* — that depends on the user's browsing profile, which by
+construction correlates with their demographic group (the paper's premise),
+and on the calibrated per-location / per-query strengths from
+:mod:`repro.calibration`.
+
+On top of personalization sit the four noise sources Hannák et al. [12]
+identify and the paper controls for; each can be toggled via
+:class:`NoiseConfig` for the noise-ablation benchmarks:
+
+* **carry-over effect** — a search executed shortly after another by the
+  same user is contaminated by the earlier one;
+* **A/B testing** — any execution may land in an experimental bucket with
+  visibly different results;
+* **geolocation** — results depend on where the request originates, not
+  just the query's target location (controlled by the proxy);
+* **distributed infrastructure** — different datacenters serve slightly
+  different corpora.
+
+The engine is stateless and fully deterministic given the seed and the
+execution context (time, origin, datacenter, history), so the extension
+protocol's mitigations are observable and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..calibration import (
+    GOOGLE_FEMALE_FAIRER_LOCATIONS,
+    GOOGLE_GROUP_DIVERGENCE,
+    GOOGLE_LOCATION_DIVERGENCE,
+    GOOGLE_LOCATION_SUBQUERY_OVERRIDES,
+    GOOGLE_QUERY_DIVERGENCE,
+    GOOGLE_QUERY_ETHNICITY_OVERRIDES,
+    profile_key,
+)
+from ..core.rankings import RankedList
+from ..data.schema import SearchUser
+from ..exceptions import DataError
+from ..stats.rng import derive
+from .jobs import base_ranking, posting_pool
+from .keyword_planner import canonical_query_of
+
+__all__ = ["NoiseConfig", "GoogleJobsEngine", "CARRY_OVER_WINDOW_MINUTES"]
+
+CARRY_OVER_WINDOW_MINUTES = 10.0
+"""Searches closer together than this contaminate each other."""
+
+#: Maximum personalization operations (swaps/substitutions) on one page.
+_MAX_PERSONALIZATION_OPS = 22
+
+#: Perturbation budget of each noise source when it fires.
+_AB_OPS = 9
+_GEO_OPS = 6
+_INFRA_OPS = 2
+_CARRY_OVER_ITEMS = 3
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Which noise sources are active and how strong they are."""
+
+    carry_over: bool = True
+    ab_testing: bool = True
+    geolocation: bool = True
+    infrastructure: bool = True
+    ab_probability: float = 0.15
+    datacenters: int = 3
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """One concrete query execution as the extension performs it.
+
+    ``minute`` is the simulated wall-clock; ``origin`` is where the request
+    comes from (the proxy pins this to the query's target location);
+    ``execution`` numbers repeated runs of the same term; ``history`` holds
+    the user's recent ``(minute, term)`` searches for carry-over.
+    """
+
+    minute: float = 0.0
+    origin: str | None = None
+    execution: int = 0
+    history: tuple[tuple[float, str], ...] = field(default_factory=tuple)
+
+
+class GoogleJobsEngine:
+    """Deterministic personalized job-search engine.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all personalization and noise draws.
+    noise:
+        Active noise sources (all on by default, like the real site).
+    personalization_scale:
+        Multiplier on every divergence; ``0.0`` disables personalization
+        entirely (the unbiased-engine ablation).
+    """
+
+    def __init__(
+        self,
+        seed: int = 7,
+        noise: NoiseConfig | None = None,
+        personalization_scale: float = 1.0,
+    ) -> None:
+        self.seed = seed
+        self.noise = noise if noise is not None else NoiseConfig()
+        self.personalization_scale = personalization_scale
+
+    # ------------------------------------------------------------------
+    # Divergence model (calibrated)
+    # ------------------------------------------------------------------
+
+    def divergence(self, user: SearchUser, term: str, location: str) -> float:
+        """How far this user's results drift from the base ranking, in [0, 1.5].
+
+        The product of the profile, location, and query strengths plus the
+        interaction overrides of Tables 18–21.  In the Table 16–17 reversal
+        cities the two genders' profile strengths are swapped within each
+        ethnicity, making women's results *more* stable than men's there.
+        """
+        gender = user.attributes.get("gender", "")
+        ethnicity = user.attributes.get("ethnicity", "")
+        if location in GOOGLE_FEMALE_FAIRER_LOCATIONS and gender in ("Male", "Female"):
+            gender = "Female" if gender == "Male" else "Male"
+        profile = profile_key(gender, ethnicity)
+        try:
+            group_strength = GOOGLE_GROUP_DIVERGENCE[profile]
+        except KeyError:
+            raise DataError(f"no divergence calibration for profile {profile!r}") from None
+        query = canonical_query_of(term)
+        strength = (
+            group_strength
+            * GOOGLE_LOCATION_DIVERGENCE.get(location, 0.5)
+            * GOOGLE_QUERY_DIVERGENCE.get(query, 0.5)
+            * GOOGLE_QUERY_ETHNICITY_OVERRIDES.get((query, ethnicity), 1.0)
+            * GOOGLE_LOCATION_SUBQUERY_OVERRIDES.get((location, term), 1.0)
+            * self.personalization_scale
+        )
+        return float(min(strength, 1.5))
+
+    # ------------------------------------------------------------------
+    # Ranking machinery
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _perturb(
+        items: list[str], pool: list[str], ops: int, rng: np.random.Generator
+    ) -> list[str]:
+        """Apply ``ops`` random swaps/substitutions to a result page."""
+        items = list(items)
+        tail = [posting for posting in pool if posting not in items]
+        for _ in range(ops):
+            if tail and float(rng.uniform()) < 0.35:
+                # Substitute a lower-half result with an unseen posting.
+                position = len(items) - 1 - int(rng.integers(len(items) // 2))
+                replaced = items[position]
+                incoming = tail.pop(int(rng.integers(len(tail))))
+                items[position] = incoming
+                tail.append(replaced)
+            else:
+                index = int(rng.integers(len(items) - 1))
+                items[index], items[index + 1] = items[index + 1], items[index]
+        return items
+
+    def search(
+        self,
+        user: SearchUser,
+        term: str,
+        location: str,
+        context: ExecutionContext | None = None,
+    ) -> RankedList:
+        """Execute one search and return the user's personalized page."""
+        context = context if context is not None else ExecutionContext()
+        query = canonical_query_of(term)
+        pool = posting_pool(query, location)
+        items = base_ranking(query, location)
+
+        # Personalization: stable per (user, term, location).
+        strength = self.divergence(user, term, location)
+        ops = int(round(strength * _MAX_PERSONALIZATION_OPS))
+        if ops > 0:
+            rng = derive(self.seed, "personalize", user.user_id, term, location)
+            items = self._perturb(items, pool, ops, rng)
+
+        # Geolocation: requests not originating at the target location see
+        # origin-flavored results.
+        if (
+            self.noise.geolocation
+            and context.origin is not None
+            and context.origin != location
+        ):
+            rng = derive(self.seed, "geo", context.origin, term, location)
+            items = self._perturb(items, pool, _GEO_OPS, rng)
+
+        # Distributed infrastructure: each execution is served by one of K
+        # datacenters with a slightly different corpus view.
+        if self.noise.infrastructure and self.noise.datacenters > 1:
+            datacenter = int(
+                derive(
+                    self.seed, "dc-pick", user.user_id, term, context.execution
+                ).integers(self.noise.datacenters)
+            )
+            if datacenter != 0:
+                rng = derive(self.seed, "dc", datacenter, term, location)
+                items = self._perturb(items, pool, _INFRA_OPS, rng)
+
+        # A/B testing: an execution may land in an experimental bucket.
+        if self.noise.ab_testing:
+            rng = derive(self.seed, "ab", user.user_id, term, context.execution)
+            if float(rng.uniform()) < self.noise.ab_probability:
+                items = self._perturb(items, pool, _AB_OPS, rng)
+
+        # Carry-over: a recent earlier search bleeds into this one.
+        if self.noise.carry_over:
+            recent = [
+                previous_term
+                for minute, previous_term in context.history
+                if previous_term != term
+                and 0.0 <= context.minute - minute < CARRY_OVER_WINDOW_MINUTES
+            ]
+            if recent:
+                previous_term = recent[-1]
+                previous_pool = posting_pool(
+                    canonical_query_of(previous_term), location
+                )
+                rng = derive(self.seed, "carry", user.user_id, term, previous_term)
+                kept = items[: len(items) - _CARRY_OVER_ITEMS]
+                drawn = rng.choice(
+                    previous_pool,
+                    size=min(len(previous_pool), 2 * _CARRY_OVER_ITEMS),
+                    replace=False,
+                )
+                carried = [posting for posting in drawn if posting not in kept]
+                items = kept + carried[:_CARRY_OVER_ITEMS]
+        return RankedList(items)

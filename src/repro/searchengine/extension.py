@@ -1,0 +1,124 @@
+"""The Chrome-extension protocol: executing terms under noise control.
+
+The paper's extension runs each of the five search terms every 12 minutes
+(defeating the carry-over effect), executes every term at least twice
+(detecting A/B buckets), fixes the browser location and routes through a
+proxy (defeating geolocation noise), all from one place (limiting
+infrastructure noise).  :class:`ChromeExtension` implements exactly that
+protocol against the simulated engine, and every mitigation can be turned
+off for the noise-ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.rankings import RankedList
+from ..data.schema import SearchUser
+from .engine import ExecutionContext, GoogleJobsEngine
+
+__all__ = ["ExtensionConfig", "ChromeExtension", "TERM_SPACING_MINUTES"]
+
+TERM_SPACING_MINUTES = 12.0
+"""The paper's extension spaces term executions 12 minutes apart."""
+
+
+@dataclass(frozen=True)
+class ExtensionConfig:
+    """Which of the paper's noise mitigations are active."""
+
+    spacing_minutes: float = TERM_SPACING_MINUTES
+    repeats: int = 2
+    max_repeats: int = 4
+    use_proxy: bool = True
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError("the extension must execute each term at least once")
+        if self.max_repeats < self.repeats:
+            raise ValueError("max_repeats must be at least repeats")
+
+
+class ChromeExtension:
+    """Runs a participant's search terms with the paper's noise controls.
+
+    Parameters
+    ----------
+    engine:
+        The (simulated) search engine to query.
+    config:
+        Mitigation settings; the default reproduces the paper's protocol.
+    home_location:
+        Where un-proxied requests originate (only matters when
+        ``use_proxy=False``, for the ablation).
+    """
+
+    def __init__(
+        self,
+        engine: GoogleJobsEngine,
+        config: ExtensionConfig | None = None,
+        home_location: str | None = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config if config is not None else ExtensionConfig()
+        self.home_location = home_location
+
+    def _origin(self, location: str) -> str | None:
+        if self.config.use_proxy:
+            return location
+        return self.home_location
+
+    def run_term(
+        self,
+        user: SearchUser,
+        term: str,
+        location: str,
+        start_minute: float = 0.0,
+        history: tuple[tuple[float, str], ...] = (),
+    ) -> tuple[RankedList, float, int]:
+        """Execute one term with repeats; return (result, end_minute, runs).
+
+        The term is executed ``repeats`` times.  If any two executions
+        agree exactly, that page is taken as the stable result (an A/B
+        bucket shows up as a disagreeing run); otherwise execution continues
+        up to ``max_repeats`` and the final run wins.
+        """
+        minute = start_minute
+        seen: dict[tuple[str, ...], int] = {}
+        result: RankedList | None = None
+        runs = 0
+        for execution in range(self.config.max_repeats):
+            context = ExecutionContext(
+                minute=minute,
+                origin=self._origin(location),
+                execution=execution,
+                history=history,
+            )
+            page = self.engine.search(user, term, location, context)
+            runs += 1
+            minute += self.config.spacing_minutes
+            key = tuple(page.items)
+            seen[key] = seen.get(key, 0) + 1
+            if seen[key] >= 2 or self.config.repeats == 1:
+                result = page
+                break
+            result = page
+            if runs >= self.config.repeats and len(seen) == 1:
+                break
+        assert result is not None  # max_repeats >= 1 guarantees a page
+        return result, minute, runs
+
+    def run_terms(
+        self, user: SearchUser, terms: list[str], location: str
+    ) -> dict[str, RankedList]:
+        """Run a full term list for one participant, spaced per config."""
+        minute = 0.0
+        history: list[tuple[float, str]] = []
+        results: dict[str, RankedList] = {}
+        for term in terms:
+            page, minute, _ = self.run_term(
+                user, term, location, start_minute=minute, history=tuple(history)
+            )
+            history.append((minute - self.config.spacing_minutes, term))
+            results[term] = page
+        return results

@@ -1,0 +1,79 @@
+"""Job-posting corpus for the simulated Google job search.
+
+Each (canonical query, location) pair has a fixed pool of job postings.  The
+*base ranking* — what a profile-less user at a pinned location sees — is the
+first :data:`BASE_RESULTS` postings of that pool; the remaining tail exists
+so personalization and noise can substitute results in and out, which is
+what the Jaccard measure reacts to.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import DataError
+
+__all__ = [
+    "GOOGLE_QUERIES",
+    "GOOGLE_LOCATIONS",
+    "BASE_RESULTS",
+    "POOL_SIZE",
+    "posting_pool",
+    "base_ranking",
+]
+
+#: The Google-side query categories.  The first five are the study
+#: categories of the paper's Table 7; furniture assembly is added because
+#: §5.2.2 reports it as the fairest query (one of several places where the
+#: paper's §5.2.2 claims go beyond its stated Table 7 design — see
+#: EXPERIMENTS.md).
+GOOGLE_QUERIES: tuple[str, ...] = (
+    "yard work",
+    "general cleaning",
+    "event staffing",
+    "moving job",
+    "run errand",
+    "furniture assembly",
+)
+
+#: Study locations: the ten cities the paper recruited in, plus Washington,
+#: DC and Los Angeles, CA — both named in §5.2.2's findings although absent
+#: from the stated ten (another paper-internal inconsistency we resolve in
+#: favor of covering the reported results).
+GOOGLE_LOCATIONS: tuple[str, ...] = (
+    "London, UK",
+    "New York City, NY",
+    "San Diego, CA",
+    "Boston, MA",
+    "Bristol, UK",
+    "Charlotte, NC",
+    "Pittsburgh, PA",
+    "Birmingham, UK",
+    "Manchester, UK",
+    "Detroit, MI",
+    "Washington, DC",
+    "Los Angeles, CA",
+)
+
+BASE_RESULTS = 20
+"""Results per page in the base ranking."""
+
+POOL_SIZE = 32
+"""Total postings available per (query, location), including the tail."""
+
+
+def _slug(text: str) -> str:
+    return text.lower().replace(",", "").replace(" ", "-")
+
+
+def posting_pool(query: str, location: str) -> list[str]:
+    """All posting identifiers for a (query, location), best-first."""
+    if query not in GOOGLE_QUERIES:
+        raise DataError(f"unknown Google query {query!r}")
+    if location not in GOOGLE_LOCATIONS:
+        raise DataError(f"unknown Google study location {location!r}")
+    prefix = f"job-{_slug(query)}-{_slug(location)}"
+    return [f"{prefix}-{index:02d}" for index in range(POOL_SIZE)]
+
+
+def base_ranking(query: str, location: str) -> list[str]:
+    """The unpersonalized result page for a (query, location)."""
+    return posting_pool(query, location)[:BASE_RESULTS]

@@ -1,0 +1,89 @@
+"""Equivalent-search-term generation (the paper's Keyword Planner step).
+
+The paper fed each TaskRabbit query into Google Keyword Planner, shortlisted
+50 related formulations, and manually picked the 5 whose results matched the
+original term (Table 6).  This module reproduces that interface: for every
+canonical query it returns five deterministic term variants, phrased like
+the paper's samples ("run errand jobs near London UK", "errand runner jobs
+near London, UK", …).
+
+Two variants that the comparison experiments name explicitly — "office
+cleaning jobs" and "private cleaning jobs" for *general cleaning* (paper
+Tables 20–21) — are pinned verbatim.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import DataError
+from .jobs import GOOGLE_QUERIES
+
+__all__ = ["TERMS_PER_QUERY", "term_variants", "canonical_query_of"]
+
+TERMS_PER_QUERY = 5
+"""The paper shortlisted five equivalent search terms per query."""
+
+_TERM_PATTERNS: dict[str, tuple[str, ...]] = {
+    "yard work": (
+        "yard work jobs",
+        "yard worker needed",
+        "lawn work needed",
+        "yard help needed",
+        "yard work help wanted",
+    ),
+    "general cleaning": (
+        "general cleaning jobs",
+        "office cleaning jobs",
+        "private cleaning jobs",
+        "house cleaning help wanted",
+        "cleaning service jobs",
+    ),
+    "event staffing": (
+        "event staffing jobs",
+        "event staff needed",
+        "event helper jobs",
+        "party staff wanted",
+        "event crew jobs",
+    ),
+    "moving job": (
+        "moving job openings",
+        "moving helper jobs",
+        "mover needed",
+        "moving crew jobs",
+        "furniture moving help wanted",
+    ),
+    "run errand": (
+        "run errand jobs",
+        "errand service jobs",
+        "errand runner jobs",
+        "errands and odd jobs",
+        "jobs running errands for seniors",
+    ),
+    "furniture assembly": (
+        "furniture assembly jobs",
+        "furniture assembler needed",
+        "flat pack assembly jobs",
+        "ikea assembly help wanted",
+        "assembly technician jobs",
+    ),
+}
+
+_CANONICAL_BY_TERM: dict[str, str] = {
+    term: query for query, terms in _TERM_PATTERNS.items() for term in terms
+}
+
+
+def term_variants(query: str) -> list[str]:
+    """The five equivalent search terms for a canonical query."""
+    if query not in GOOGLE_QUERIES:
+        raise DataError(f"unknown Google query {query!r}")
+    return list(_TERM_PATTERNS[query])
+
+
+def canonical_query_of(term: str) -> str:
+    """Map a search term back to its canonical query."""
+    if term in _TERM_PATTERNS:
+        return term
+    try:
+        return _CANONICAL_BY_TERM[term]
+    except KeyError:
+        raise DataError(f"unknown search term {term!r}") from None

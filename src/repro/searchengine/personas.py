@@ -1,0 +1,80 @@
+"""Prolific-style participant recruitment for the Google study.
+
+Each *study* recruits participants of one demographic group at one location
+(the paper ran 60 studies — six gender×ethnicity groups across ten
+locations — with an average of three participants each).  A participant is
+a :class:`~repro.data.schema.SearchUser` plus a browsing-profile seed: the
+profile is what the engine personalizes on, and it correlates perfectly
+with the participant's group by construction (the paper's premise is that
+search/browsing history *can* correlate with demographics; the simulator
+makes that correlation explicit and tunable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.attributes import ETHNICITIES, GENDERS
+from ..data.schema import SearchUser
+from ..exceptions import DataError
+from .jobs import GOOGLE_LOCATIONS
+
+__all__ = ["PARTICIPANTS_PER_STUDY", "Participant", "recruit", "recruit_all"]
+
+PARTICIPANTS_PER_STUDY = 3
+"""Average participants per study on Prolific Academic."""
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One recruited participant: a search user pinned to a study location."""
+
+    user: SearchUser
+    location: str
+    profile_seed: int
+
+    @property
+    def user_id(self) -> str:
+        """Shortcut to the underlying user id."""
+        return self.user.user_id
+
+
+def _slug(text: str) -> str:
+    return text.lower().replace(",", "").replace(" ", "-")
+
+
+def recruit(
+    gender: str, ethnicity: str, location: str, count: int = PARTICIPANTS_PER_STUDY
+) -> list[Participant]:
+    """Recruit ``count`` participants of one group for one location study."""
+    if gender not in GENDERS:
+        raise DataError(f"unknown gender {gender!r}")
+    if ethnicity not in ETHNICITIES:
+        raise DataError(f"unknown ethnicity {ethnicity!r}")
+    if location not in GOOGLE_LOCATIONS:
+        raise DataError(f"unknown study location {location!r}")
+    if count < 1:
+        raise DataError(f"a study needs at least one participant, got {count}")
+    participants = []
+    for index in range(count):
+        user_id = f"p-{_slug(location)}-{ethnicity.lower()}-{gender.lower()}-{index}"
+        user = SearchUser(
+            user_id=user_id, attributes={"gender": gender, "ethnicity": ethnicity}
+        )
+        participants.append(
+            Participant(user=user, location=location, profile_seed=index)
+        )
+    return participants
+
+
+def recruit_all(
+    locations: list[str] | None = None, count: int = PARTICIPANTS_PER_STUDY
+) -> list[Participant]:
+    """Recruit every (group, location) study's participants."""
+    chosen = list(locations) if locations is not None else list(GOOGLE_LOCATIONS)
+    participants: list[Participant] = []
+    for location in chosen:
+        for gender in GENDERS:
+            for ethnicity in ETHNICITIES:
+                participants.extend(recruit(gender, ethnicity, location, count))
+    return participants

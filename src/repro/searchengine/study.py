@@ -1,0 +1,148 @@
+"""The Google-side user study: designs, execution, dataset assembly.
+
+Two study designs are provided:
+
+* :func:`paper_design` — the paper's Table 7: five query categories over
+  ten locations with the stated multiplicities (yard work at four
+  locations, general cleaning at three, one each for the rest), 60 studies
+  in total (6 demographic groups × 10 locations).
+* :func:`full_design` — every query category at every study location.  The
+  paper's §5.2.2 reports findings (Washington DC fairest, furniture
+  assembly fairest query) that its Table 7 design cannot produce, so the
+  quantification and comparison experiments run on this dense design.
+
+:func:`run_study` recruits participants per study, drives each through the
+Chrome-extension protocol, and assembles a
+:class:`~repro.data.schema.SearchDataset` whose *queries* are the concrete
+search terms (Tables 20–21 break down by term; category-level results
+aggregate over each query's five terms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.schema import SearchDataset, SearchObservation, SearchUser
+from ..exceptions import DataError
+from .engine import GoogleJobsEngine
+from .extension import ChromeExtension, ExtensionConfig
+from .jobs import GOOGLE_LOCATIONS, GOOGLE_QUERIES
+from .keyword_planner import term_variants
+from .personas import PARTICIPANTS_PER_STUDY, recruit_all
+
+__all__ = ["StudyDesign", "paper_design", "full_design", "run_study", "StudyReport"]
+
+
+@dataclass(frozen=True)
+class StudyDesign:
+    """Which (query category, location) pairs the study covers."""
+
+    pairs: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        for query, location in self.pairs:
+            if query not in GOOGLE_QUERIES:
+                raise DataError(f"unknown query {query!r} in study design")
+            if location not in GOOGLE_LOCATIONS:
+                raise DataError(f"unknown location {location!r} in study design")
+
+    @property
+    def locations(self) -> list[str]:
+        """Distinct locations, in first-appearance order."""
+        return list(dict.fromkeys(location for _, location in self.pairs))
+
+    @property
+    def queries(self) -> list[str]:
+        """Distinct query categories, in first-appearance order."""
+        return list(dict.fromkeys(query for query, _ in self.pairs))
+
+    def locations_per_query(self) -> dict[str, int]:
+        """Table 7: number of locations each query category covers."""
+        counts: dict[str, int] = {}
+        for query, _ in self.pairs:
+            counts[query] = counts.get(query, 0) + 1
+        return counts
+
+
+def paper_design() -> StudyDesign:
+    """The Table 7 design: 10 (query, location) pairs over 10 locations."""
+    return StudyDesign(
+        pairs=(
+            ("yard work", "New York City, NY"),
+            ("yard work", "San Diego, CA"),
+            ("yard work", "Pittsburgh, PA"),
+            ("yard work", "Detroit, MI"),
+            ("general cleaning", "Boston, MA"),
+            ("general cleaning", "Bristol, UK"),
+            ("general cleaning", "Manchester, UK"),
+            ("event staffing", "Birmingham, UK"),
+            ("moving job", "Charlotte, NC"),
+            ("run errand", "London, UK"),
+        )
+    )
+
+
+def full_design() -> StudyDesign:
+    """Every query category at every study location (dense cube)."""
+    return StudyDesign(
+        pairs=tuple(
+            (query, location)
+            for query in GOOGLE_QUERIES
+            for location in GOOGLE_LOCATIONS
+        )
+    )
+
+
+@dataclass(frozen=True)
+class StudyReport:
+    """A finished study: the dataset plus protocol statistics."""
+
+    dataset: SearchDataset
+    studies: int
+    participants: int
+    searches_executed: int
+
+
+def run_study(
+    engine: GoogleJobsEngine,
+    design: StudyDesign | None = None,
+    extension_config: ExtensionConfig | None = None,
+    participants_per_study: int = PARTICIPANTS_PER_STUDY,
+) -> StudyReport:
+    """Execute a study design end-to-end and assemble the dataset.
+
+    Every participant recruited for a location runs the term variants of
+    every query category studied at that location, through the extension's
+    noise-control protocol.  Observations are recorded per (term, location).
+    """
+    design = design if design is not None else paper_design()
+    extension = ChromeExtension(engine, extension_config)
+
+    participants = recruit_all(design.locations, count=participants_per_study)
+    by_location: dict[str, list] = {}
+    for participant in participants:
+        by_location.setdefault(participant.location, []).append(participant)
+
+    users: list[SearchUser] = [participant.user for participant in participants]
+    results: dict[tuple[str, str], dict[str, list]] = {}
+    searches = 0
+    for query, location in design.pairs:
+        terms = term_variants(query)
+        for participant in by_location[location]:
+            pages = extension.run_terms(participant.user, terms, location)
+            searches += len(pages)
+            for term, page in pages.items():
+                results.setdefault((term, location), {})[participant.user_id] = page
+
+    observations = [
+        SearchObservation(query=term, location=location, results_by_user=pages)
+        for (term, location), pages in results.items()
+    ]
+    dataset = SearchDataset(users=users, observations=observations)
+    study_count = len(design.locations) * 6  # six demographic groups
+    return StudyReport(
+        dataset=dataset,
+        studies=study_count,
+        participants=len(participants),
+        searches_executed=searches,
+    )

@@ -1,0 +1,13 @@
+"""Statistical utilities: deterministic RNG streams and unit-interval histograms."""
+
+from .histograms import DEFAULT_BINS, UnitHistogram, pooled_histogram
+from .rng import derive, spawn_keys, stable_hash
+
+__all__ = [
+    "DEFAULT_BINS",
+    "UnitHistogram",
+    "pooled_histogram",
+    "derive",
+    "spawn_keys",
+    "stable_hash",
+]

@@ -1,0 +1,53 @@
+"""Deterministic random-number utilities.
+
+All randomness in the library flows through :func:`derive`, which maps a root
+seed plus an arbitrary key path to an independent :class:`numpy.random.
+Generator`.  Two calls with the same seed and keys always return generators in
+identical states, so every synthetic dataset, user study, and benchmark in the
+repository is reproducible bit-for-bit, and sub-streams never interfere: the
+generator for ``("workers", "Chicago")`` is statistically independent of the
+one for ``("workers", "Boston")`` even though both derive from the same root.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive", "stable_hash", "spawn_keys"]
+
+_HASH_BYTES = 16  # 128 bits of seed material per stream
+
+
+def stable_hash(*keys: object) -> int:
+    """Return a stable 128-bit integer hash of a key path.
+
+    Unlike the builtin :func:`hash`, the result does not vary across
+    interpreter runs (``PYTHONHASHSEED`` does not affect it).  Keys are
+    rendered with ``repr`` and joined with an unambiguous separator, so
+    ``("ab", "c")`` and ``("a", "bc")`` hash differently.
+    """
+    rendered = "\x1f".join(repr(key) for key in keys)
+    digest = hashlib.blake2b(rendered.encode("utf-8"), digest_size=_HASH_BYTES)
+    return int.from_bytes(digest.digest(), "big")
+
+
+def derive(seed: int, *keys: object) -> np.random.Generator:
+    """Derive an independent generator from ``seed`` and a key path.
+
+    Parameters
+    ----------
+    seed:
+        The root seed of the experiment or dataset.
+    keys:
+        Any hashable-by-repr objects naming the sub-stream, e.g.
+        ``derive(7, "marketplace", "workers", city_name)``.
+    """
+    material = stable_hash(seed, *keys)
+    return np.random.default_rng(np.random.SeedSequence(material))
+
+
+def spawn_keys(seed: int, prefix: tuple[object, ...], count: int) -> list[np.random.Generator]:
+    """Return ``count`` independent generators under a common key prefix."""
+    return [derive(seed, *prefix, index) for index in range(count)]

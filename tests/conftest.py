@@ -1,0 +1,81 @@
+"""Shared fixtures: toy datasets, small crawls, and synthetic cubes.
+
+Session-scoped fixtures keep the suite fast: the simulators run once on a
+reduced scope (a handful of cities / two study locations) and every test
+module reuses the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attributes import default_schema
+from repro.core.cube import UnfairnessCube
+from repro.core.groups import Group
+from repro.experiments.toy import table1_dataset, toy_marketplace_dataset
+from repro.marketplace.crawl import run_crawl
+from repro.marketplace.site import TaskRabbitSite
+from repro.searchengine.engine import GoogleJobsEngine
+from repro.searchengine.study import StudyDesign, run_study
+
+SMALL_CITIES = (
+    "Birmingham, UK",
+    "Oklahoma City, OK",
+    "Chicago, IL",
+    "San Francisco, CA",
+    "Boston, MA",
+    "Seattle, WA",
+)
+
+
+@pytest.fixture(scope="session")
+def schema():
+    return default_schema()
+
+
+@pytest.fixture(scope="session")
+def toy_search_dataset():
+    """The paper's Table 1 data as a search dataset."""
+    return table1_dataset()
+
+
+@pytest.fixture(scope="session")
+def toy_market_dataset():
+    """The paper's Tables 2–3 data as a marketplace dataset."""
+    return toy_marketplace_dataset()
+
+
+@pytest.fixture(scope="session")
+def site():
+    """A small deterministic marketplace."""
+    return TaskRabbitSite(seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_marketplace_dataset(site):
+    """Category-level crawl over six cities (48 observations)."""
+    return run_crawl(site, level="category", cities=list(SMALL_CITIES)).dataset
+
+
+@pytest.fixture(scope="session")
+def small_search_dataset():
+    """A two-location, two-query Google study (20 observations)."""
+    engine = GoogleJobsEngine(seed=11)
+    design = StudyDesign(
+        pairs=(
+            ("yard work", "Boston, MA"),
+            ("furniture assembly", "Boston, MA"),
+            ("yard work", "Washington, DC"),
+            ("furniture assembly", "Washington, DC"),
+        )
+    )
+    return run_study(engine, design).dataset
+
+
+from tests.helpers import make_cube
+
+
+@pytest.fixture
+def cube():
+    return make_cube()

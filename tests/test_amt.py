@@ -1,0 +1,78 @@
+"""The AMT majority-vote labeling simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.schema import WorkerProfile
+from repro.exceptions import DataError
+from repro.labeling.amt import AmtLabeler
+
+
+def workers(count=100):
+    profiles = []
+    for index in range(count):
+        gender = "Female" if index % 2 else "Male"
+        ethnicity = ("Asian", "Black", "White")[index % 3]
+        profiles.append(
+            WorkerProfile(f"w{index}", {"gender": gender, "ethnicity": ethnicity})
+        )
+    return profiles
+
+
+class TestLabeling:
+    def test_zero_error_rate_is_perfect(self):
+        outcome = AmtLabeler(seed=1, error_rate=0.0).label_population(workers())
+        assert outcome.accuracy == 1.0
+        assert outcome.incorrect_labels == 0
+
+    def test_moderate_error_rate_stays_accurate_via_majority(self):
+        outcome = AmtLabeler(seed=1, error_rate=0.1).label_population(workers(400))
+        # With three voters at 10% error, majority error ≈ 3·e² ≈ 3%.
+        assert outcome.accuracy > 0.93
+
+    def test_majority_beats_single_contributor(self):
+        majority = AmtLabeler(seed=1, error_rate=0.25, contributors=3)
+        single = AmtLabeler(seed=1, error_rate=0.25, contributors=1)
+        assert (
+            majority.label_population(workers(400)).accuracy
+            > single.label_population(workers(400)).accuracy
+        )
+
+    def test_deterministic(self):
+        a = AmtLabeler(seed=1, error_rate=0.2).label_population(workers(50))
+        b = AmtLabeler(seed=1, error_rate=0.2).label_population(workers(50))
+        assert [w.attributes for w in a.workers] == [w.attributes for w in b.workers]
+
+    def test_non_schema_attributes_pass_through(self):
+        worker = WorkerProfile(
+            "w1", {"gender": "Male", "ethnicity": "White", "city": "Boston, MA"}
+        )
+        labeled = AmtLabeler(seed=1, error_rate=0.5).label_worker(worker)
+        assert labeled.attributes["city"] == "Boston, MA"
+
+    def test_features_untouched(self):
+        worker = WorkerProfile(
+            "w1", {"gender": "Male", "ethnicity": "White"}, {"rating": 4.5}
+        )
+        labeled = AmtLabeler(seed=1, error_rate=0.5).label_worker(worker)
+        assert labeled.features == {"rating": 4.5}
+
+    def test_missing_attribute_rejected(self):
+        worker = WorkerProfile("w1", {"gender": "Male"})
+        with pytest.raises(DataError, match="lacks attribute"):
+            AmtLabeler(seed=1).label_worker(worker)
+
+    def test_invalid_error_rate_rejected(self):
+        with pytest.raises(DataError):
+            AmtLabeler(seed=1, error_rate=1.5)
+
+    def test_invalid_contributor_count_rejected(self):
+        with pytest.raises(DataError):
+            AmtLabeler(seed=1, contributors=0)
+
+    def test_labels_stay_within_categories(self):
+        outcome = AmtLabeler(seed=2, error_rate=0.4).label_population(workers(100))
+        for worker in outcome.workers:
+            assert worker.attributes["gender"] in ("Male", "Female")
+            assert worker.attributes["ethnicity"] in ("Asian", "Black", "White")

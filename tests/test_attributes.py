@@ -1,0 +1,76 @@
+"""Protected-attribute schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import ETHNICITIES, GENDERS, AttributeSchema, default_schema
+from repro.exceptions import SchemaError
+
+
+class TestConstruction:
+    def test_default_schema_domains(self):
+        schema = default_schema()
+        assert schema.values_of("gender") == GENDERS
+        assert schema.values_of("ethnicity") == ETHNICITIES
+
+    def test_rejects_empty_schema(self):
+        with pytest.raises(SchemaError, match="at least one attribute"):
+            AttributeSchema({})
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(SchemaError, match="empty value domain"):
+            AttributeSchema({"gender": ()})
+
+    def test_rejects_duplicate_values(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            AttributeSchema({"gender": ("Male", "Male")})
+
+    def test_rejects_empty_value(self):
+        with pytest.raises(SchemaError):
+            AttributeSchema({"gender": ("Male", "")})
+
+    def test_rejects_non_string_attribute(self):
+        with pytest.raises(SchemaError):
+            AttributeSchema({3: ("a",)})
+
+
+class TestLookup:
+    def test_unknown_attribute_raises(self, schema):
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            schema.values_of("income")
+
+    def test_validate_accepts_known_value(self, schema):
+        schema.validate("gender", "Female")
+
+    def test_validate_rejects_unknown_value(self, schema):
+        with pytest.raises(SchemaError, match="not in the domain"):
+            schema.validate("gender", "Unknown")
+
+    def test_contains(self, schema):
+        assert "gender" in schema
+        assert "income" not in schema
+
+    def test_attributes_order(self, schema):
+        assert schema.attributes == ("gender", "ethnicity")
+
+
+class TestAssignments:
+    def test_full_assignment_count(self, schema):
+        assignments = list(schema.iter_assignments(("gender", "ethnicity")))
+        assert len(assignments) == 6
+
+    def test_single_attribute_assignments(self, schema):
+        assignments = list(schema.iter_assignments(("ethnicity",)))
+        assert assignments == [{"ethnicity": e} for e in ETHNICITIES]
+
+    def test_empty_assignment_yields_one_empty_dict(self, schema):
+        assert list(schema.iter_assignments(())) == [{}]
+
+    def test_rejects_duplicate_attributes(self, schema):
+        with pytest.raises(SchemaError, match="duplicate"):
+            list(schema.iter_assignments(("gender", "gender")))
+
+    def test_rejects_unknown_attribute(self, schema):
+        with pytest.raises(SchemaError):
+            list(schema.iter_assignments(("income",)))

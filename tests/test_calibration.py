@@ -1,0 +1,110 @@
+"""The paper-derived calibration tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import calibration as cal
+from repro.marketplace.catalog import CATEGORIES, CITIES
+
+
+class TestPaperTargets:
+    def test_table8_has_all_eleven_groups(self):
+        assert len(cal.TASKRABBIT_GROUP_EMD) == 11
+        assert len(cal.TASKRABBIT_GROUP_EXPOSURE) == 11
+
+    def test_table8_emd_male_female_tie(self):
+        assert cal.TASKRABBIT_GROUP_EMD["Male"] == cal.TASKRABBIT_GROUP_EMD["Female"]
+
+    def test_table9_covers_all_categories(self):
+        assert set(cal.TASKRABBIT_JOB_EMD) == set(CATEGORIES)
+        assert set(cal.TASKRABBIT_JOB_EXPOSURE) == set(CATEGORIES)
+
+    def test_location_tables_reference_real_cities(self):
+        for city in (*cal.TASKRABBIT_UNFAIREST_LOCATIONS, *cal.TASKRABBIT_FAIREST_LOCATIONS):
+            assert city in CITIES
+
+    def test_fairest_and_unfairest_are_disjoint(self):
+        assert not set(cal.TASKRABBIT_UNFAIREST_LOCATIONS) & set(
+            cal.TASKRABBIT_FAIREST_LOCATIONS
+        )
+
+
+class TestDerivedIntensities:
+    def test_profile_penalty_spans_unit_interval(self):
+        assert cal.PROFILE_PENALTY["White Male"] == 0.0
+        assert cal.PROFILE_PENALTY["Asian Female"] == 1.0
+
+    def test_profile_penalty_preserves_table8_order(self):
+        order = [
+            "Asian Female",
+            "Asian Male",
+            "Black Female",
+            "Black Male",
+            "White Female",
+            "White Male",
+        ]
+        values = [cal.PROFILE_PENALTY[name] for name in order]
+        assert values == sorted(values, reverse=True)
+
+    def test_job_bias_ordering_follows_table9(self):
+        assert cal.JOB_BIAS["Handyman"] == max(cal.JOB_BIAS.values())
+        assert cal.JOB_BIAS["Delivery"] == min(cal.JOB_BIAS.values())
+
+    def test_unfair_cities_all_above_fair_cities(self):
+        unfair_floor = min(
+            cal.LOCATION_BIAS[c] for c in cal.TASKRABBIT_UNFAIREST_LOCATIONS
+        )
+        fair_ceiling = max(
+            cal.LOCATION_BIAS[c] for c in cal.TASKRABBIT_FAIREST_LOCATIONS
+        )
+        assert unfair_floor > fair_ceiling
+
+    def test_default_location_bias_sits_between_bands(self):
+        default = cal.location_bias("Nowhere, ZZ")
+        fair_ceiling = max(
+            cal.LOCATION_BIAS[c] for c in cal.TASKRABBIT_FAIREST_LOCATIONS
+        )
+        unfair_floor = min(
+            cal.LOCATION_BIAS[c] for c in cal.TASKRABBIT_UNFAIREST_LOCATIONS
+        )
+        assert fair_ceiling < default < unfair_floor
+
+    def test_profile_key(self):
+        assert cal.profile_key("Female", "Black") == "Black Female"
+
+
+class TestGoogleCalibration:
+    def test_white_female_most_divergent(self):
+        assert cal.GOOGLE_GROUP_DIVERGENCE["White Female"] == max(
+            cal.GOOGLE_GROUP_DIVERGENCE.values()
+        )
+
+    def test_black_male_least_divergent(self):
+        assert cal.GOOGLE_GROUP_DIVERGENCE["Black Male"] == min(
+            cal.GOOGLE_GROUP_DIVERGENCE.values()
+        )
+
+    def test_dc_is_perfectly_fair(self):
+        assert cal.GOOGLE_LOCATION_DIVERGENCE["Washington, DC"] == 0.0
+
+    def test_london_is_most_divergent(self):
+        assert cal.GOOGLE_LOCATION_DIVERGENCE["London, UK"] == max(
+            cal.GOOGLE_LOCATION_DIVERGENCE.values()
+        )
+
+    def test_query_endpoints(self):
+        assert cal.GOOGLE_QUERY_DIVERGENCE["yard work"] == max(
+            cal.GOOGLE_QUERY_DIVERGENCE.values()
+        )
+        assert cal.GOOGLE_QUERY_DIVERGENCE["furniture assembly"] == min(
+            cal.GOOGLE_QUERY_DIVERGENCE.values()
+        )
+
+    def test_flip_cities_are_table16_rows(self):
+        assert cal.GOOGLE_FEMALE_FAIRER_LOCATIONS == {
+            "Birmingham, UK",
+            "Bristol, UK",
+            "Detroit, MI",
+            "New York City, NY",
+        }

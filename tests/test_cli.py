@@ -1,0 +1,123 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import save_marketplace_dataset, save_search_dataset
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "repro" in capsys.readouterr().out
+
+    def test_quantify_arguments(self):
+        args = build_parser().parse_args(
+            ["quantify", "taskrabbit", "group", "-k", "3", "--order", "least"]
+        )
+        assert args.site == "taskrabbit"
+        assert args.k == 3
+        assert args.order == "least"
+
+
+class TestToyCommand:
+    def test_prints_all_figures(self, capsys):
+        assert main(["toy"]) == 0
+        out = capsys.readouterr().out
+        for figure in ("Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5"):
+            assert figure in out
+        assert "0.041" in out  # Figure 5 exact unfairness
+
+
+class TestWithSavedDatasets:
+    def test_quantify_on_saved_marketplace_dataset(
+        self, small_marketplace_dataset, tmp_path, capsys
+    ):
+        path = tmp_path / "tr.jsonl"
+        save_marketplace_dataset(small_marketplace_dataset, path)
+        code = main(
+            ["quantify", "taskrabbit", "group", "-k", "2", "--dataset", str(path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "unfairness" in out
+        assert "sorted accesses" in out
+
+    def test_quantify_naive_algorithm(
+        self, small_marketplace_dataset, tmp_path, capsys
+    ):
+        path = tmp_path / "tr.jsonl"
+        save_marketplace_dataset(small_marketplace_dataset, path)
+        code = main(
+            [
+                "quantify", "taskrabbit", "location", "-k", "2",
+                "--dataset", str(path), "--algorithm", "naive",
+            ]
+        )
+        assert code == 0
+
+    def test_compare_with_group_syntax(
+        self, small_marketplace_dataset, tmp_path, capsys
+    ):
+        path = tmp_path / "tr.jsonl"
+        save_marketplace_dataset(small_marketplace_dataset, path)
+        code = main(
+            [
+                "compare", "taskrabbit", "group",
+                "gender=Male", "gender=Female", "location",
+                "--dataset", str(path), "--measure", "emd",
+            ]
+        )
+        assert code == 0
+        assert "All" in capsys.readouterr().out
+
+    def test_bad_group_syntax_reports_error(
+        self, small_marketplace_dataset, tmp_path, capsys
+    ):
+        path = tmp_path / "tr.jsonl"
+        save_marketplace_dataset(small_marketplace_dataset, path)
+        code = main(
+            [
+                "compare", "taskrabbit", "group", "Male", "Female", "location",
+                "--dataset", str(path),
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_explain_command(self, small_marketplace_dataset, tmp_path, capsys):
+        path = tmp_path / "tr.jsonl"
+        save_marketplace_dataset(small_marketplace_dataset, path)
+        query = small_marketplace_dataset.queries[0]
+        location = small_marketplace_dataset.locations[0]
+        code = main(
+            [
+                "explain", "taskrabbit",
+                "gender=Female,ethnicity=Asian", query, location,
+                "--dataset", str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "driven most by" in out
+        assert "comparable group" in out
+
+    def test_quantify_on_saved_search_dataset(
+        self, small_search_dataset, tmp_path, capsys
+    ):
+        path = tmp_path / "g.jsonl"
+        save_search_dataset(small_search_dataset, path)
+        code = main(
+            [
+                "quantify", "google", "location", "-k", "2",
+                "--dataset", str(path), "--measure", "jaccard",
+            ]
+        )
+        assert code == 0

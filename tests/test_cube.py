@@ -1,0 +1,125 @@
+"""The unfairness cube."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cube import UnfairnessCube
+from repro.core.groups import Group
+from repro.core.unfairness import MarketplaceUnfairness
+from repro.exceptions import CubeError
+
+from tests.helpers import make_cube
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        groups = [Group({"gender": "Male"})]
+        with pytest.raises(CubeError, match="shape"):
+            UnfairnessCube(groups, ["q"], ["l"], np.zeros((2, 1, 1)))
+
+    def test_duplicate_domain_members_rejected(self):
+        group = Group({"gender": "Male"})
+        with pytest.raises(CubeError, match="duplicate"):
+            UnfairnessCube([group, group], ["q"], ["l"], np.zeros((2, 1, 1)))
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(CubeError):
+            UnfairnessCube([], ["q"], ["l"], np.zeros((0, 1, 1)))
+
+    def test_compute_from_engine(self, schema, toy_market_dataset):
+        engine = MarketplaceUnfairness(toy_market_dataset, schema, measure="exposure")
+        group = Group({"gender": "Female", "ethnicity": "Black"})
+        cube = UnfairnessCube.compute(
+            engine, [group], ["Home Cleaning"], ["San Francisco"]
+        )
+        assert cube.value(group, "Home Cleaning", "San Francisco") == pytest.approx(
+            0.04, abs=0.005
+        )
+
+    def test_compute_marks_undefined_cells_missing(self, schema, toy_market_dataset):
+        engine = MarketplaceUnfairness(toy_market_dataset, schema)
+        present = Group({"gender": "Female", "ethnicity": "Black"})
+        cube = UnfairnessCube.compute(
+            engine, [present], ["Home Cleaning", "ghost-query"], ["San Francisco"]
+        )
+        assert cube.missing_cells == 1
+        assert not cube.is_defined(present, "ghost-query", "San Francisco")
+
+
+class TestLookup:
+    def test_value_roundtrip(self, cube):
+        group = cube.groups[0]
+        assert cube.value(group, "q0", "l0") == pytest.approx(
+            float(cube.values[0, 0, 0])
+        )
+
+    def test_unknown_group_raises(self, cube):
+        with pytest.raises(CubeError, match="not in this cube"):
+            cube.value(Group({"gender": "nope"}), "q0", "l0")
+
+    def test_unknown_query_raises(self, cube):
+        with pytest.raises(CubeError):
+            cube.value(cube.groups[0], "zzz", "l0")
+
+    def test_missing_cell_raises(self, cube):
+        values = cube.values.copy()
+        values[0, 0, 0] = np.nan
+        holey = UnfairnessCube(cube.groups, cube.queries, cube.locations, values)
+        with pytest.raises(CubeError, match="undefined"):
+            holey.value(cube.groups[0], "q0", "l0")
+
+    def test_domain_accessor(self, cube):
+        assert cube.domain("query") == ["q0", "q1", "q2"]
+        with pytest.raises(CubeError):
+            cube.domain("time")
+
+
+class TestAggregation:
+    def test_full_aggregate_is_global_mean(self, cube):
+        assert cube.aggregate() == pytest.approx(float(cube.values.mean()))
+
+    def test_single_group_aggregate(self, cube):
+        group = cube.groups[1]
+        assert cube.aggregate(groups=[group]) == pytest.approx(
+            float(cube.values[1].mean())
+        )
+
+    def test_aggregate_for_matches_aggregate(self, cube):
+        group = cube.groups[2]
+        assert cube.aggregate_for("group", group) == cube.aggregate(groups=[group])
+        assert cube.aggregate_for("query", "q1") == cube.aggregate(queries=["q1"])
+        assert cube.aggregate_for("location", "l2") == cube.aggregate(
+            locations=["l2"]
+        )
+
+    def test_aggregate_skips_missing(self, cube):
+        values = cube.values.copy()
+        values[0, :, :] = np.nan
+        values[0, 0, 0] = 0.5
+        holey = UnfairnessCube(cube.groups, cube.queries, cube.locations, values)
+        assert holey.aggregate(groups=[cube.groups[0]]) == pytest.approx(0.5)
+
+    def test_entirely_missing_aggregate_raises(self, cube):
+        values = cube.values.copy()
+        values[0, :, :] = np.nan
+        holey = UnfairnessCube(cube.groups, cube.queries, cube.locations, values)
+        with pytest.raises(CubeError, match="undefined sub-cube"):
+            holey.aggregate(groups=[cube.groups[0]])
+
+    def test_fill_missing(self, cube):
+        values = cube.values.copy()
+        values[0, 0, 0] = np.nan
+        holey = UnfairnessCube(cube.groups, cube.queries, cube.locations, values)
+        filled = holey.fill_missing(0.0)
+        assert filled.missing_cells == 0
+        assert filled.value(cube.groups[0], "q0", "l0") == 0.0
+
+    def test_repr_mentions_shape(self, cube):
+        assert "4×3×3" in repr(cube)
+
+
+class TestMakeCubeHelper:
+    def test_deterministic(self):
+        assert np.array_equal(make_cube(seed=3).values, make_cube(seed=3).values)

@@ -1,0 +1,150 @@
+"""Observation record types and dataset containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.groups import Group
+from repro.core.rankings import RankedList
+from repro.data.schema import (
+    MarketplaceDataset,
+    MarketplaceObservation,
+    SearchDataset,
+    SearchObservation,
+    SearchUser,
+    WorkerProfile,
+)
+from repro.exceptions import DataError
+
+
+def worker(worker_id, gender="Male", ethnicity="White", **features):
+    return WorkerProfile(
+        worker_id=worker_id,
+        attributes={"gender": gender, "ethnicity": ethnicity},
+        features=features,
+    )
+
+
+class TestWorkerProfile:
+    def test_rejects_empty_id(self):
+        with pytest.raises(DataError):
+            WorkerProfile(worker_id="", attributes={})
+
+    def test_attributes_are_copied(self):
+        attributes = {"gender": "Male"}
+        profile = WorkerProfile("w1", attributes)
+        attributes["gender"] = "Female"
+        assert profile.attributes["gender"] == "Male"
+
+    def test_offers_everything_by_default(self):
+        assert worker("w1").offers("Anything")
+
+    def test_offers_respects_explicit_set(self):
+        profile = WorkerProfile("w1", {}, offerings=frozenset({"Delivery"}))
+        assert profile.offers("Delivery")
+        assert not profile.offers("Handyman")
+
+
+class TestObservations:
+    def test_marketplace_observation_requires_nonempty_ranking(self):
+        with pytest.raises(DataError, match="empty ranking"):
+            MarketplaceObservation("q", "l", RankedList([]))
+
+    def test_marketplace_observation_requires_query_and_location(self):
+        with pytest.raises(DataError):
+            MarketplaceObservation("", "l", RankedList(["a"]))
+
+    def test_search_observation_requires_users(self):
+        with pytest.raises(DataError, match="no user result lists"):
+            SearchObservation("q", "l", {})
+
+
+class TestMarketplaceDataset:
+    def make(self):
+        workers = [worker("w1"), worker("w2", gender="Female")]
+        observations = [
+            MarketplaceObservation("clean", "Boston", RankedList(["w1", "w2"])),
+            MarketplaceObservation("clean", "Bristol", RankedList(["w2", "w1"])),
+        ]
+        return MarketplaceDataset(workers, observations)
+
+    def test_queries_and_locations(self):
+        dataset = self.make()
+        assert dataset.queries == ["clean"]
+        assert dataset.locations == ["Boston", "Bristol"]
+
+    def test_observation_lookup(self):
+        dataset = self.make()
+        assert dataset.observation("clean", "Boston").ranking.items == ("w1", "w2")
+        assert dataset.has_observation("clean", "Bristol")
+        assert not dataset.has_observation("clean", "Paris")
+
+    def test_missing_observation_raises(self):
+        with pytest.raises(DataError, match="no observation"):
+            self.make().observation("clean", "Paris")
+
+    def test_members_in_ranking(self):
+        dataset = self.make()
+        ranking = dataset.observation("clean", "Boston").ranking
+        females = dataset.members_in_ranking(Group({"gender": "Female"}), ranking)
+        assert females == ["w2"]
+
+    def test_duplicate_worker_rejected(self):
+        with pytest.raises(DataError, match="duplicate worker"):
+            MarketplaceDataset(
+                [worker("w1"), worker("w1")],
+                [MarketplaceObservation("q", "l", RankedList(["w1"]))],
+            )
+
+    def test_unknown_worker_in_ranking_rejected(self):
+        with pytest.raises(DataError, match="unknown worker"):
+            MarketplaceDataset(
+                [worker("w1")],
+                [MarketplaceObservation("q", "l", RankedList(["w1", "ghost"]))],
+            )
+
+    def test_duplicate_observation_rejected(self):
+        observation = MarketplaceObservation("q", "l", RankedList(["w1"]))
+        with pytest.raises(DataError, match="duplicate observation"):
+            MarketplaceDataset([worker("w1")], [observation, observation])
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(DataError, match="at least one observation"):
+            MarketplaceDataset([worker("w1")], [])
+
+
+class TestSearchDataset:
+    def make(self):
+        users = [
+            SearchUser("u1", {"gender": "Male", "ethnicity": "White"}),
+            SearchUser("u2", {"gender": "Female", "ethnicity": "White"}),
+        ]
+        observation = SearchObservation(
+            "clean",
+            "Boston",
+            {"u1": RankedList(["a", "b"]), "u2": RankedList(["b", "a"])},
+        )
+        return SearchDataset(users, [observation])
+
+    def test_members_in_observation(self):
+        dataset = self.make()
+        observation = dataset.observation("clean", "Boston")
+        males = dataset.members_in_observation(Group({"gender": "Male"}), observation)
+        assert males == ["u1"]
+
+    def test_duplicate_user_rejected(self):
+        users = [SearchUser("u1", {}), SearchUser("u1", {})]
+        with pytest.raises(DataError, match="duplicate user"):
+            SearchDataset(
+                users, [SearchObservation("q", "l", {"u1": RankedList(["a"])})]
+            )
+
+    def test_unknown_user_rejected(self):
+        with pytest.raises(DataError, match="unknown user"):
+            SearchDataset(
+                [SearchUser("u1", {})],
+                [SearchObservation("q", "l", {"ghost": RankedList(["a"])})],
+            )
+
+    def test_len_counts_observations(self):
+        assert len(self.make()) == 1

@@ -1,0 +1,91 @@
+"""Explanations: per-comparable-group decomposition and cell attribution."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.core.explain import explain_aggregate, explain_cell
+from repro.core.fbox import FBox
+from repro.core.groups import Group
+from repro.core.unfairness import MarketplaceUnfairness, SearchEngineUnfairness
+from repro.exceptions import DataError
+
+BLACK_FEMALE = Group({"gender": "Female", "ethnicity": "Black"})
+QUERY, LOCATION = "Home Cleaning", "San Francisco"
+
+
+class TestExplainCellMarketplace:
+    def test_contributions_average_to_value_for_emd(self, schema, toy_market_dataset):
+        engine = MarketplaceUnfairness(toy_market_dataset, schema, measure="emd")
+        explanation = explain_cell(engine, BLACK_FEMALE, QUERY, LOCATION)
+        mean = statistics.fmean(c.distance for c in explanation.contributions)
+        assert explanation.value == pytest.approx(mean)
+
+    def test_covers_all_populated_comparables(self, schema, toy_market_dataset):
+        engine = MarketplaceUnfairness(toy_market_dataset, schema, measure="emd")
+        explanation = explain_cell(engine, BLACK_FEMALE, QUERY, LOCATION)
+        names = {str(c.comparable) for c in explanation.contributions}
+        assert names == {"Black Male", "Asian Female", "White Female"}
+
+    def test_member_counts(self, schema, toy_market_dataset):
+        engine = MarketplaceUnfairness(toy_market_dataset, schema, measure="emd")
+        explanation = explain_cell(engine, BLACK_FEMALE, QUERY, LOCATION)
+        assert all(c.group_size == 2 for c in explanation.contributions)
+
+    def test_exposure_contributions_exist(self, schema, toy_market_dataset):
+        engine = MarketplaceUnfairness(toy_market_dataset, schema, measure="exposure")
+        explanation = explain_cell(engine, BLACK_FEMALE, QUERY, LOCATION)
+        assert len(explanation.contributions) == 3
+
+    def test_narrative_mentions_dominant_group(self, schema, toy_market_dataset):
+        engine = MarketplaceUnfairness(toy_market_dataset, schema, measure="emd")
+        explanation = explain_cell(engine, BLACK_FEMALE, QUERY, LOCATION)
+        assert str(explanation.dominant.comparable) in explanation.narrative()
+
+    def test_unpopulated_group_raises(self, schema, toy_market_dataset):
+        engine = MarketplaceUnfairness(toy_market_dataset, schema, measure="emd")
+        ghost = Group({"gender": "Male", "ethnicity": "White"})
+        # WM exists in the toy data, so use a query that does not.
+        with pytest.raises(DataError):
+            explain_cell(engine, ghost, "missing-query", LOCATION)
+
+
+class TestExplainCellSearch:
+    def test_contributions_average_to_value(self, schema, toy_search_dataset):
+        engine = SearchEngineUnfairness(toy_search_dataset, schema, measure="kendall")
+        explanation = explain_cell(engine, BLACK_FEMALE, QUERY, LOCATION)
+        mean = statistics.fmean(c.distance for c in explanation.contributions)
+        assert explanation.value == pytest.approx(mean)
+
+    def test_jaccard_variant(self, schema, toy_search_dataset):
+        engine = SearchEngineUnfairness(toy_search_dataset, schema, measure="jaccard")
+        explanation = explain_cell(engine, BLACK_FEMALE, QUERY, LOCATION)
+        assert 0.0 <= explanation.value <= 1.0
+
+
+class TestExplainAggregate:
+    def test_returns_top_cells_sorted(self, schema, small_marketplace_dataset):
+        fbox = FBox.for_marketplace(small_marketplace_dataset, schema)
+        cells = explain_aggregate(fbox.cube, "query", "Handyman", top=4)
+        assert len(cells) == 4
+        values = [cell.value for cell in cells]
+        assert values == sorted(values, reverse=True)
+        assert all(cell.query == "Handyman" for cell in cells)
+
+    def test_group_dimension(self, schema, small_marketplace_dataset):
+        fbox = FBox.for_marketplace(small_marketplace_dataset, schema)
+        group = fbox.groups[0]
+        cells = explain_aggregate(fbox.cube, "group", group, top=3)
+        assert all(cell.group == group for cell in cells)
+
+    def test_unknown_member_raises(self, schema, small_marketplace_dataset):
+        fbox = FBox.for_marketplace(small_marketplace_dataset, schema)
+        with pytest.raises(DataError, match="no defined cells"):
+            explain_aggregate(fbox.cube, "query", "Quantum Repair")
+
+    def test_nonpositive_top_raises(self, schema, small_marketplace_dataset):
+        fbox = FBox.for_marketplace(small_marketplace_dataset, schema)
+        with pytest.raises(DataError, match="positive"):
+            explain_aggregate(fbox.cube, "query", "Handyman", top=0)

@@ -1,0 +1,113 @@
+"""Exposure unfairness (§3.3.2) and the Figure 5 walkthrough."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.measures.exposure import (
+    ExposureMeasure,
+    exposure_deviation,
+    group_exposure_mass,
+    group_relevance_mass,
+)
+from repro.core.rankings import RankedList
+from repro.exceptions import MeasureError
+from repro.experiments.toy import figure5_exposure, table3_ranking
+
+
+class TestFigure5:
+    """The paper's exactly-computable worked example."""
+
+    def test_group_exposure_mass(self):
+        result = figure5_exposure()
+        assert result.group_exposure == pytest.approx(0.94, abs=0.01)
+
+    def test_comparable_exposure_mass(self):
+        result = figure5_exposure()
+        assert result.comparable_exposure == pytest.approx(4.0, abs=0.06)
+
+    def test_group_relevance_mass(self):
+        result = figure5_exposure()
+        assert result.group_relevance == pytest.approx(0.5)
+
+    def test_comparable_relevance_mass(self):
+        result = figure5_exposure()
+        assert result.comparable_relevance == pytest.approx(2.9)
+
+    def test_shares(self):
+        result = figure5_exposure()
+        assert result.exposure_share == pytest.approx(0.19, abs=0.005)
+        assert result.relevance_share == pytest.approx(0.15, abs=0.005)
+
+    def test_unfairness(self):
+        assert figure5_exposure().unfairness == pytest.approx(0.04, abs=0.005)
+
+
+class TestMasses:
+    def test_exposure_mass_sums_members(self):
+        ranking = RankedList(["a", "b", "c"])
+        total = group_exposure_mass(ranking, ["a", "c"])
+        assert total == pytest.approx(ranking.exposure("a") + ranking.exposure("c"))
+
+    def test_relevance_mass_uses_proxy(self):
+        ranking = table3_ranking()
+        assert group_relevance_mass(ranking, ["w3"]) == pytest.approx(0.9)
+
+    def test_relevance_mass_uses_true_scores(self):
+        ranking = table3_ranking(with_scores=True)
+        assert group_relevance_mass(ranking, ["w8"]) == pytest.approx(0.8)
+
+
+class TestDeviation:
+    def test_empty_group_rejected(self):
+        ranking = RankedList(["a", "b"])
+        with pytest.raises(MeasureError, match="no members"):
+            exposure_deviation(ranking, [], {"other": ["b"]})
+
+    def test_invalid_denominator_rejected(self):
+        ranking = RankedList(["a", "b"])
+        with pytest.raises(MeasureError, match="denominator"):
+            exposure_deviation(ranking, ["a"], {}, denominator="global")
+
+    def test_binary_complement_symmetry_under_comparables(self):
+        """Two jointly exhaustive groups get identical deviations.
+
+        This is the property that makes the paper's unequal Male/Female
+        exposure values unreproducible from its formulas (EXPERIMENTS.md).
+        """
+        ranking = RankedList(["a", "b", "c", "d"])
+        males = ["a", "c"]
+        females = ["b", "d"]
+        dev_m = exposure_deviation(ranking, males, {"Female": females})
+        dev_f = exposure_deviation(ranking, females, {"Male": males})
+        assert dev_m == pytest.approx(dev_f)
+
+    def test_ranking_denominator_breaks_symmetry_with_unlabeled(self):
+        ranking = RankedList(["a", "b", "c", "d", "u"])  # 'u' in no group
+        males = ["a", "c"]
+        females = ["b", "d"]
+        dev_m = exposure_deviation(ranking, males, {"Female": females}, "ranking")
+        dev_f = exposure_deviation(ranking, females, {"Male": males}, "ranking")
+        assert dev_m != pytest.approx(dev_f)
+
+    def test_perfectly_proportional_group_has_low_deviation(self):
+        # A group spread evenly through the ranking tracks its relevance.
+        ranking = RankedList([f"w{i}" for i in range(1, 11)])
+        evens = [f"w{i}" for i in range(2, 11, 2)]
+        odds = [f"w{i}" for i in range(1, 11, 2)]
+        deviation = exposure_deviation(ranking, evens, {"odds": odds})
+        assert deviation < 0.1
+
+    def test_bottom_group_deviates_more_than_spread_group(self):
+        ranking = RankedList([f"w{i}" for i in range(1, 11)])
+        bottom = ["w9", "w10"]
+        spread = ["w2", "w8"]
+        rest = [w for w in ranking if w not in bottom and w not in spread]
+        dev_bottom = exposure_deviation(ranking, bottom, {"rest": rest + spread})
+        dev_spread = exposure_deviation(ranking, spread, {"rest": rest + bottom})
+        assert dev_bottom > dev_spread
+
+    def test_measure_object(self):
+        measure = ExposureMeasure()
+        ranking = RankedList(["a", "b"])
+        assert measure(ranking, ["a"], {"other": ["b"]}) >= 0.0

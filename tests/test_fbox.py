@@ -1,0 +1,93 @@
+"""The F-Box facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fbox import FBox
+from repro.core.groups import Group
+from repro.exceptions import AlgorithmError
+
+
+class TestMarketplaceFBox:
+    def test_defaults_to_full_lattice_and_observed_domains(
+        self, schema, small_marketplace_dataset
+    ):
+        fbox = FBox.for_marketplace(small_marketplace_dataset, schema)
+        assert len(fbox.groups) == 11
+        assert fbox.queries == small_marketplace_dataset.queries
+        assert fbox.locations == small_marketplace_dataset.locations
+
+    def test_cube_is_cached(self, schema, small_marketplace_dataset):
+        fbox = FBox.for_marketplace(small_marketplace_dataset, schema)
+        assert fbox.cube is fbox.cube
+
+    def test_quantify_fagin_equals_naive(self, schema, small_marketplace_dataset):
+        fbox = FBox.for_marketplace(small_marketplace_dataset, schema)
+        fagin = fbox.quantify("group", k=3)
+        naive = fbox.quantify("group", k=3, algorithm="naive")
+        assert fagin.keys() == naive.keys()
+        assert fagin.values() == pytest.approx(naive.values())
+
+    def test_unknown_algorithm_rejected(self, schema, small_marketplace_dataset):
+        fbox = FBox.for_marketplace(small_marketplace_dataset, schema)
+        with pytest.raises(AlgorithmError, match="algorithm"):
+            fbox.quantify("group", k=1, algorithm="magic")
+
+    def test_family_cached_per_direction(self, schema, small_marketplace_dataset):
+        fbox = FBox.for_marketplace(small_marketplace_dataset, schema)
+        assert fbox.family("group") is fbox.family("group")
+        assert fbox.family("group") is not fbox.family("group", order="least")
+
+    def test_family_rejects_bad_order(self, schema, small_marketplace_dataset):
+        fbox = FBox.for_marketplace(small_marketplace_dataset, schema)
+        with pytest.raises(AlgorithmError):
+            fbox.family("group", order="sideways")
+
+    def test_unfairness_lookup(self, schema, small_marketplace_dataset):
+        fbox = FBox.for_marketplace(small_marketplace_dataset, schema)
+        group = Group({"gender": "Female", "ethnicity": "Asian"})
+        query = fbox.queries[0]
+        location = fbox.locations[0]
+        assert 0.0 <= fbox.unfairness(group, query, location) <= 1.0
+
+    def test_compare_returns_report(self, schema, small_marketplace_dataset):
+        fbox = FBox.for_marketplace(small_marketplace_dataset, schema)
+        report = fbox.compare(
+            "location", fbox.locations[0], fbox.locations[1], "query"
+        )
+        assert len(report.rows) == len(fbox.queries)
+
+    def test_compare_index_algorithm_agrees(self, schema, small_marketplace_dataset):
+        fbox = FBox.for_marketplace(small_marketplace_dataset, schema)
+        cube_report = fbox.compare(
+            "location", fbox.locations[0], fbox.locations[1], "query"
+        )
+        index_report = fbox.compare(
+            "location", fbox.locations[0], fbox.locations[1], "query",
+            algorithm="indices",
+        )
+        assert cube_report.reversed_members == index_report.reversed_members
+        assert index_report.stats.sorted_accesses > 0
+
+    def test_compare_unknown_algorithm_rejected(
+        self, schema, small_marketplace_dataset
+    ):
+        fbox = FBox.for_marketplace(small_marketplace_dataset, schema)
+        with pytest.raises(AlgorithmError, match="algorithm"):
+            fbox.compare(
+                "location", fbox.locations[0], fbox.locations[1], "query",
+                algorithm="psychic",
+            )
+
+
+class TestSearchFBox:
+    def test_constructor_and_quantify(self, schema, small_search_dataset):
+        fbox = FBox.for_search(small_search_dataset, schema, measure="jaccard")
+        result = fbox.quantify("group", k=2)
+        assert len(result.entries) == 2
+
+    def test_custom_groups_respected(self, schema, small_search_dataset):
+        groups = [Group({"gender": "Male"}), Group({"gender": "Female"})]
+        fbox = FBox.for_search(small_search_dataset, schema, groups=groups)
+        assert fbox.cube.groups == groups

@@ -1,0 +1,145 @@
+"""Groups, variants, comparable groups, and the group lattice (§3.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.attributes import AttributeSchema, default_schema
+from repro.core.groups import (
+    Group,
+    comparable_groups,
+    enumerate_groups,
+    group_lattice,
+    variants,
+)
+from repro.exceptions import SchemaError
+
+BLACK_FEMALE = Group({"gender": "Female", "ethnicity": "Black"})
+
+
+class TestGroup:
+    def test_label_is_canonical(self):
+        a = Group({"gender": "Female", "ethnicity": "Black"})
+        b = Group({"ethnicity": "Black", "gender": "Female"})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(SchemaError, match="at least one predicate"):
+            Group({})
+
+    def test_attributes(self):
+        assert BLACK_FEMALE.attributes == ("ethnicity", "gender")
+
+    def test_value_of(self):
+        assert BLACK_FEMALE.value_of("gender") == "Female"
+
+    def test_value_of_unconstrained_raises(self):
+        with pytest.raises(SchemaError):
+            BLACK_FEMALE.value_of("income")
+
+    def test_with_value(self):
+        male = BLACK_FEMALE.with_value("gender", "Male")
+        assert male.value_of("gender") == "Male"
+        assert male.value_of("ethnicity") == "Black"
+
+    def test_with_value_unconstrained_raises(self):
+        with pytest.raises(SchemaError):
+            BLACK_FEMALE.with_value("income", "high")
+
+    def test_matches_superset_profile(self):
+        assert BLACK_FEMALE.matches(
+            {"gender": "Female", "ethnicity": "Black", "city": "Boston"}
+        )
+
+    def test_does_not_match_differing_profile(self):
+        assert not BLACK_FEMALE.matches({"gender": "Male", "ethnicity": "Black"})
+
+    def test_does_not_match_missing_attribute(self):
+        assert not BLACK_FEMALE.matches({"gender": "Female"})
+
+    def test_display_name_for_full_profile(self):
+        assert BLACK_FEMALE.name == "Black Female"
+
+    def test_display_name_for_marginal_group(self):
+        assert Group({"ethnicity": "Asian"}).name == "Asian"
+
+    def test_validate_against_schema(self, schema):
+        BLACK_FEMALE.validate(schema)
+        with pytest.raises(SchemaError):
+            Group({"gender": "Robot"}).validate(schema)
+
+
+class TestVariants:
+    def test_gender_variant_of_full_profile(self, schema):
+        result = variants(BLACK_FEMALE, "gender", schema)
+        assert result == [Group({"gender": "Male", "ethnicity": "Black"})]
+
+    def test_ethnicity_variants_of_full_profile(self, schema):
+        result = variants(BLACK_FEMALE, "ethnicity", schema)
+        names = {group.name for group in result}
+        assert names == {"Asian Female", "White Female"}
+
+    def test_never_contains_self(self, schema):
+        for attribute in BLACK_FEMALE.attributes:
+            assert BLACK_FEMALE not in variants(BLACK_FEMALE, attribute, schema)
+
+    def test_unconstrained_attribute_raises(self, schema):
+        with pytest.raises(SchemaError):
+            variants(Group({"gender": "Male"}), "ethnicity", schema)
+
+
+class TestComparableGroups:
+    def test_paper_example_black_females(self, schema):
+        names = {group.name for group in comparable_groups(BLACK_FEMALE, schema)}
+        assert names == {"Black Male", "Asian Female", "White Female"}
+
+    def test_marginal_group_compares_within_attribute(self, schema):
+        names = {g.name for g in comparable_groups(Group({"gender": "Male"}), schema)}
+        assert names == {"Female"}
+
+    def test_ethnicity_marginal(self, schema):
+        names = {g.name for g in comparable_groups(Group({"ethnicity": "Asian"}), schema)}
+        assert names == {"Black", "White"}
+
+    def test_no_duplicates(self, schema):
+        result = comparable_groups(BLACK_FEMALE, schema)
+        assert len(result) == len(set(result))
+
+    def test_comparability_is_symmetric(self, schema):
+        for group in group_lattice(schema):
+            for other in comparable_groups(group, schema):
+                assert group in comparable_groups(other, schema)
+
+
+class TestEnumeration:
+    def test_full_profiles(self, schema):
+        groups = enumerate_groups(schema)
+        assert len(groups) == 6
+
+    def test_single_attribute(self, schema):
+        groups = enumerate_groups(schema, ["ethnicity"])
+        assert {g.name for g in groups} == {"Asian", "Black", "White"}
+
+    def test_lattice_has_eleven_groups(self, schema):
+        lattice = group_lattice(schema)
+        assert len(lattice) == 11
+        assert len(set(lattice)) == 11
+
+    def test_lattice_finest_first(self, schema):
+        lattice = group_lattice(schema)
+        assert all(len(g.attributes) == 2 for g in lattice[:6])
+        assert all(len(g.attributes) == 1 for g in lattice[6:])
+
+    def test_lattice_scales_with_schema(self):
+        schema = AttributeSchema({"a": ("1", "2"), "b": ("x", "y"), "c": ("p", "q")})
+        # 3 single (×2) + 3 pairs (×4) + 1 triple (×8) = 6 + 12 + 8
+        assert len(group_lattice(schema)) == 26
+
+    @given(st.sampled_from(["gender", "ethnicity"]))
+    def test_every_lattice_group_has_comparables(self, attribute):
+        schema = default_schema()
+        for group in group_lattice(schema):
+            assert comparable_groups(group, schema)

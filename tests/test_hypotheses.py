@@ -1,0 +1,82 @@
+"""Cross-site hypothesis generation and verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fbox import FBox
+from repro.exceptions import AlgorithmError
+from repro.experiments.hypotheses import Hypothesis, generate, verify
+
+
+@pytest.fixture(scope="module")
+def market_fbox(small_marketplace_dataset, schema):
+    fbox = FBox.for_marketplace(small_marketplace_dataset, schema)
+    fbox.cube
+    return fbox
+
+
+@pytest.fixture(scope="module")
+def search_fbox(small_search_dataset, schema):
+    fbox = FBox.for_search(small_search_dataset, schema)
+    fbox.cube
+    return fbox
+
+
+class TestGenerate:
+    def test_pairs_extremes(self, market_fbox):
+        hypotheses = generate(market_fbox, "query", top=2, source="taskrabbit")
+        assert len(hypotheses) == 2
+        first = hypotheses[0]
+        assert first.margin > 0
+        assert first.worse != first.better
+        assert "taskrabbit" in str(first)
+
+    def test_self_consistency_on_source(self, market_fbox):
+        """A generated hypothesis is by construction true on its source."""
+        for hypothesis in generate(market_fbox, "location", top=3):
+            outcome = verify(hypothesis, market_fbox, target="source")
+            assert outcome.confirmed
+
+    def test_invalid_top_rejected(self, market_fbox):
+        with pytest.raises(AlgorithmError):
+            generate(market_fbox, "group", top=0)
+
+
+class TestVerify:
+    def test_translation_to_term_sets(self, market_fbox, search_fbox):
+        from repro.searchengine.keyword_planner import term_variants
+
+        hypothesis = Hypothesis(
+            dimension="query",
+            worse="Yard Work",
+            better="Furniture Assembly",
+            margin=0.1,
+            source="taskrabbit",
+        )
+        mapping = {
+            "Yard Work": term_variants("yard work"),
+            "Furniture Assembly": term_variants("furniture assembly"),
+        }
+        outcome = verify(
+            hypothesis, search_fbox, translate=mapping.__getitem__, target="google"
+        )
+        # Calibrated shape: yard work diverges more than furniture assembly.
+        assert outcome.confirmed
+        assert outcome.worse_value > outcome.better_value
+        assert "CONFIRMED" in str(outcome)
+
+    def test_rejection_is_reported(self, market_fbox):
+        inverted = Hypothesis(
+            dimension="query", worse="Delivery", better="Handyman", margin=0.0
+        )
+        outcome = verify(inverted, market_fbox)
+        assert not outcome.confirmed
+        assert "REJECTED" in str(outcome)
+
+    def test_location_dimension(self, search_fbox):
+        hypothesis = Hypothesis(
+            dimension="location", worse="Boston, MA", better="Washington, DC", margin=0.0
+        )
+        outcome = verify(hypothesis, search_fbox)
+        assert outcome.confirmed

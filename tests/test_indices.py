@@ -1,0 +1,113 @@
+"""The three inverted-index families (Table 5)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cube import UnfairnessCube
+from repro.core.indices import InvertedIndex, build_family
+from repro.exceptions import IndexError_
+
+from tests.helpers import make_cube
+
+
+class TestInvertedIndex:
+    def test_sorted_descending(self):
+        index = InvertedIndex.from_pairs([("a", 0.1), ("b", 0.9), ("c", 0.5)])
+        assert [key for key, _ in index.entries] == ["b", "c", "a"]
+
+    def test_sorted_ascending(self):
+        index = InvertedIndex.from_pairs(
+            [("a", 0.1), ("b", 0.9)], descending=False
+        )
+        assert index.sorted_access(0) == ("a", 0.1)
+
+    def test_nan_values_dropped(self):
+        index = InvertedIndex.from_pairs([("a", float("nan")), ("b", 0.5)])
+        assert len(index) == 1
+
+    def test_sorted_access_out_of_range(self):
+        index = InvertedIndex.from_pairs([("a", 0.5)])
+        with pytest.raises(IndexError_, match="out of range"):
+            index.sorted_access(5)
+
+    def test_random_access(self):
+        index = InvertedIndex.from_pairs([("a", 0.5), ("b", 0.7)])
+        assert index.random_access("a") == 0.5
+
+    def test_random_access_miss(self):
+        index = InvertedIndex.from_pairs([("a", 0.5)])
+        with pytest.raises(IndexError_):
+            index.random_access("z")
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("dimension", ["group", "query", "location"])
+    def test_family_covers_all_pairs(self, cube, dimension):
+        family = build_family(cube, dimension)
+        sizes = {
+            "group": len(cube.queries) * len(cube.locations),
+            "query": len(cube.groups) * len(cube.locations),
+            "location": len(cube.groups) * len(cube.queries),
+        }
+        assert len(family.pair_keys) == sizes[dimension]
+
+    def test_group_family_lists_are_sorted(self, cube):
+        family = build_family(cube, "group")
+        for pair in family.pair_keys:
+            values = [value for _, value in family.posting_list(pair).entries]
+            assert values == sorted(values, reverse=True)
+
+    def test_values_match_cube(self, cube):
+        family = build_family(cube, "group")
+        pair = ("q1", "l2")
+        for group in cube.groups:
+            assert family.random_access(pair, group) == pytest.approx(
+                cube.value(group, "q1", "l2")
+            )
+
+    def test_missing_cells_absent_from_lists(self, cube):
+        values = cube.values.copy()
+        values[0, 0, 0] = np.nan
+        holey = UnfairnessCube(cube.groups, cube.queries, cube.locations, values)
+        family = build_family(holey, "group")
+        assert not family.has_value(("q0", "l0"), cube.groups[0])
+        assert len(family.posting_list(("q0", "l0"))) == len(cube.groups) - 1
+
+    def test_unknown_pair_raises(self, cube):
+        family = build_family(cube, "group")
+        with pytest.raises(IndexError_, match="no posting list"):
+            family.posting_list(("nope", "l0"))
+
+    def test_unknown_dimension_raises(self, cube):
+        with pytest.raises(IndexError_, match="unknown dimension"):
+            build_family(cube, "time")
+
+
+class TestAccessCounting:
+    def test_sorted_and_random_accesses_counted(self, cube):
+        family = build_family(cube, "group")
+        pair = family.pair_keys[0]
+        family.sorted_access(pair, 0)
+        family.sorted_access(pair, 1)
+        family.random_access(pair, cube.groups[0])
+        assert family.stats.sorted_accesses == 2
+        assert family.stats.random_accesses == 1
+
+    def test_reset(self, cube):
+        family = build_family(cube, "group")
+        family.sorted_access(family.pair_keys[0], 0)
+        family.reset_stats()
+        assert family.stats.sorted_accesses == 0
+
+    def test_merged_with(self, cube):
+        family = build_family(cube, "group")
+        family.sorted_access(family.pair_keys[0], 0)
+        other = build_family(cube, "query")
+        other.random_access(other.pair_keys[0], "q0")
+        merged = family.stats.merged_with(other.stats)
+        assert merged.sorted_accesses == 1
+        assert merged.random_accesses == 1

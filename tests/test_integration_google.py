@@ -1,0 +1,69 @@
+"""End-to-end Google pipeline: engine → extension → study → F-Box."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fbox import FBox
+from repro.core.groups import Group
+from repro.searchengine.engine import GoogleJobsEngine
+from repro.searchengine.study import StudyDesign, run_study
+
+WF = Group({"gender": "Female", "ethnicity": "White"})
+BM = Group({"gender": "Male", "ethnicity": "Black"})
+
+
+@pytest.fixture(scope="module")
+def kendall_fbox(small_search_dataset, schema):
+    fbox = FBox.for_search(small_search_dataset, schema, measure="kendall")
+    fbox.cube
+    return fbox
+
+
+class TestHeadlineFindings:
+    def test_white_females_more_divergent_than_black_males(self, kendall_fbox):
+        assert kendall_fbox.aggregate(groups=[WF]) > kendall_fbox.aggregate(
+            groups=[BM]
+        )
+
+    def test_dc_fairer_than_boston(self, kendall_fbox):
+        dc = kendall_fbox.aggregate(locations=["Washington, DC"])
+        boston = kendall_fbox.aggregate(locations=["Boston, MA"])
+        assert dc < boston
+
+    def test_dc_unfairness_is_negligible(self, kendall_fbox):
+        """Washington, DC is calibrated to zero personalization divergence."""
+        assert kendall_fbox.aggregate(locations=["Washington, DC"]) < 0.06
+
+    def test_yard_work_less_fair_than_furniture_assembly(self, kendall_fbox):
+        from repro.searchengine.keyword_planner import term_variants
+
+        yard = kendall_fbox.aggregate(queries=term_variants("yard work"))
+        assembly = kendall_fbox.aggregate(queries=term_variants("furniture assembly"))
+        assert yard > assembly
+
+    def test_jaccard_agrees_on_group_ordering(self, small_search_dataset, schema):
+        """The paper: Kendall and Jaccard report mostly similar results."""
+        jaccard = FBox.for_search(small_search_dataset, schema, measure="jaccard")
+        assert jaccard.aggregate(groups=[WF]) > jaccard.aggregate(groups=[BM])
+
+
+class TestPersonalizationAblation:
+    def test_unpersonalized_engine_is_fair_everywhere(self, schema):
+        engine = GoogleJobsEngine(seed=11, personalization_scale=0.0)
+        design = StudyDesign(pairs=(("yard work", "London, UK"),))
+        dataset = run_study(engine, design).dataset
+        fbox = FBox.for_search(dataset, schema)
+        # Noise sources remain, so unfairness is small but maybe not zero.
+        assert fbox.aggregate() < 0.12
+
+
+class TestStudyDataProperties:
+    def test_every_observation_covers_all_participants(self, small_search_dataset):
+        for observation in small_search_dataset.observations():
+            assert len(observation.results_by_user) == 18
+
+    def test_user_lists_are_valid_pages(self, small_search_dataset):
+        for observation in small_search_dataset.observations():
+            for ranking in observation.results_by_user.values():
+                assert 0 < len(ranking) <= 20

@@ -1,0 +1,98 @@
+"""End-to-end TaskRabbit pipeline: site → crawl → F-Box → paper findings.
+
+These run on a reduced crawl (six cities, category level) and assert the
+*shape* properties the paper reports, which the calibrated simulator must
+reproduce even at small scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fbox import FBox
+from repro.core.groups import Group
+from repro.marketplace.crawl import run_crawl
+from repro.marketplace.site import TaskRabbitSite
+
+AF = Group({"gender": "Female", "ethnicity": "Asian"})
+WM = Group({"gender": "Male", "ethnicity": "White"})
+MALE = Group({"gender": "Male"})
+FEMALE = Group({"gender": "Female"})
+
+
+@pytest.fixture(scope="module")
+def emd_fbox(small_marketplace_dataset, schema):
+    fbox = FBox.for_marketplace(small_marketplace_dataset, schema, measure="emd")
+    fbox.cube
+    return fbox
+
+
+class TestHeadlineFindings:
+    def test_asian_females_more_discriminated_than_white_males(self, emd_fbox):
+        assert emd_fbox.aggregate(groups=[AF]) > emd_fbox.aggregate(groups=[WM])
+
+    def test_asian_females_top_the_group_ranking(self, emd_fbox):
+        top = emd_fbox.quantify("group", k=3)
+        assert AF in top.keys()
+
+    def test_male_female_emd_tie(self, emd_fbox):
+        """Table 8's Male = Female equality under EMD is structural."""
+        assert emd_fbox.aggregate(groups=[MALE]) == pytest.approx(
+            emd_fbox.aggregate(groups=[FEMALE])
+        )
+
+    def test_handyman_less_fair_than_delivery(self, emd_fbox):
+        handyman = emd_fbox.aggregate(queries=["Handyman"])
+        delivery = emd_fbox.aggregate(queries=["Delivery"])
+        assert handyman > delivery
+
+    def test_birmingham_less_fair_than_chicago(self, emd_fbox):
+        birmingham = emd_fbox.aggregate(locations=["Birmingham, UK"])
+        chicago = emd_fbox.aggregate(locations=["Chicago, IL"])
+        assert birmingham > chicago
+
+
+class TestBiasAblation:
+    def test_unbiased_site_erases_group_gap(self, schema, small_marketplace_dataset):
+        neutral_site = TaskRabbitSite(seed=11, bias_scale=0.0)
+        neutral = run_crawl(
+            neutral_site,
+            level="category",
+            cities=list(small_marketplace_dataset.locations),
+        ).dataset
+        biased_fbox = FBox.for_marketplace(small_marketplace_dataset, schema)
+        neutral_fbox = FBox.for_marketplace(neutral, schema)
+        biased_gap = biased_fbox.aggregate(groups=[AF]) - biased_fbox.aggregate(
+            groups=[WM]
+        )
+        neutral_gap = neutral_fbox.aggregate(groups=[AF]) - neutral_fbox.aggregate(
+            groups=[WM]
+        )
+        assert biased_gap > neutral_gap
+
+
+class TestLabelingNoiseRobustness:
+    def test_conclusions_survive_amt_noise(self, schema, site):
+        noisy = run_crawl(
+            site,
+            level="category",
+            cities=["Birmingham, UK", "Chicago, IL"],
+            label_error_rate=0.05,
+        ).dataset
+        fbox = FBox.for_marketplace(noisy, schema)
+        assert fbox.aggregate(groups=[AF]) > fbox.aggregate(groups=[WM])
+
+
+class TestProblemConsistency:
+    def test_fagin_and_naive_agree_end_to_end(self, emd_fbox):
+        for dimension in ("group", "query", "location"):
+            fagin = emd_fbox.quantify(dimension, k=3)
+            naive = emd_fbox.quantify(dimension, k=3, algorithm="naive")
+            assert fagin.keys() == naive.keys()
+
+    def test_comparison_rows_match_aggregates(self, emd_fbox):
+        report = emd_fbox.compare("query", "Handyman", "Delivery", "location")
+        for row in report.rows:
+            assert row.value_r1 == pytest.approx(
+                emd_fbox.aggregate(queries=["Handyman"], locations=[row.member])
+            )

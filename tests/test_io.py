@@ -1,0 +1,72 @@
+"""JSONL dataset persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.io import (
+    load_marketplace_dataset,
+    load_search_dataset,
+    save_marketplace_dataset,
+    save_search_dataset,
+)
+from repro.exceptions import DataError
+
+
+class TestMarketplaceRoundTrip:
+    def test_round_trip_preserves_everything(self, small_marketplace_dataset, tmp_path):
+        path = tmp_path / "market.jsonl"
+        save_marketplace_dataset(small_marketplace_dataset, path)
+        loaded = load_marketplace_dataset(path)
+        assert set(loaded.workers) == set(small_marketplace_dataset.workers)
+        assert loaded.queries == small_marketplace_dataset.queries
+        assert loaded.locations == small_marketplace_dataset.locations
+        original = small_marketplace_dataset.observations()[0]
+        reloaded = loaded.observation(original.query, original.location)
+        assert reloaded.ranking.items == original.ranking.items
+
+    def test_round_trip_preserves_attributes_and_features(
+        self, small_marketplace_dataset, tmp_path
+    ):
+        path = tmp_path / "market.jsonl"
+        save_marketplace_dataset(small_marketplace_dataset, path)
+        loaded = load_marketplace_dataset(path)
+        worker_id = next(iter(small_marketplace_dataset.workers))
+        original = small_marketplace_dataset.workers[worker_id]
+        restored = loaded.workers[worker_id]
+        assert restored.attributes == original.attributes
+        assert restored.features == original.features
+
+
+class TestSearchRoundTrip:
+    def test_round_trip(self, small_search_dataset, tmp_path):
+        path = tmp_path / "search.jsonl"
+        save_search_dataset(small_search_dataset, path)
+        loaded = load_search_dataset(path)
+        assert set(loaded.users) == set(small_search_dataset.users)
+        assert len(loaded) == len(small_search_dataset)
+        original = small_search_dataset.observations()[0]
+        reloaded = loaded.observation(original.query, original.location)
+        for user_id, ranking in original.results_by_user.items():
+            assert reloaded.results_by_user[user_id].items == ranking.items
+
+
+class TestErrors:
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "worker"\n')
+        with pytest.raises(DataError, match="invalid JSON"):
+            load_marketplace_dataset(path)
+
+    def test_unknown_record_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "mystery"}\n')
+        with pytest.raises(DataError, match="unknown record kind"):
+            load_marketplace_dataset(path)
+
+    def test_blank_lines_are_skipped(self, small_search_dataset, tmp_path):
+        path = tmp_path / "search.jsonl"
+        save_search_dataset(small_search_dataset, path)
+        path.write_text(path.read_text() + "\n\n")
+        loaded = load_search_dataset(path)
+        assert len(loaded) == len(small_search_dataset)

@@ -1,0 +1,78 @@
+"""Jaccard index and distance."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.measures.jaccard import JaccardMeasure, jaccard_distance, jaccard_index
+from repro.core.rankings import RankedList
+from repro.exceptions import MeasureError
+
+item_sets = st.frozensets(st.sampled_from("abcdefgh"), min_size=1, max_size=8)
+
+
+class TestIndex:
+    def test_identical_sets(self):
+        assert jaccard_index({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_index({"a"}, {"b"}) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard_index({"a", "b", "c"}, {"b", "c", "d"}) == pytest.approx(0.5)
+
+    def test_both_empty_rejected(self):
+        with pytest.raises(MeasureError, match="undefined"):
+            jaccard_index(set(), set())
+
+    def test_one_empty_is_zero(self):
+        assert jaccard_index({"a"}, set()) == 0.0
+
+    @given(item_sets, item_sets)
+    def test_symmetry(self, left, right):
+        assert jaccard_index(left, right) == jaccard_index(right, left)
+
+    @given(item_sets, item_sets)
+    def test_bounded(self, left, right):
+        assert 0.0 <= jaccard_index(left, right) <= 1.0
+
+
+class TestDistance:
+    def test_complement_of_index(self):
+        assert jaccard_distance({"a"}, {"a", "b"}) == pytest.approx(0.5)
+
+    @given(item_sets, item_sets, item_sets)
+    def test_triangle_inequality(self, a, b, c):
+        # Jaccard distance is a metric on finite sets.
+        ab = jaccard_distance(a, b)
+        bc = jaccard_distance(b, c)
+        ac = jaccard_distance(a, c)
+        assert ac <= ab + bc + 1e-12
+
+    @given(item_sets)
+    def test_identity(self, items):
+        assert jaccard_distance(items, items) == 0.0
+
+
+class TestMeasureObject:
+    def test_distance_mode_default(self):
+        measure = JaccardMeasure()
+        a = RankedList(["a", "b"])
+        b = RankedList(["b", "c"])
+        assert measure(a, b) == pytest.approx(2.0 / 3.0)
+
+    def test_index_mode_reproduces_figure3_arithmetic(self):
+        measure = JaccardMeasure(mode="index")
+        a = RankedList(["a", "b"])
+        b = RankedList(["b", "c"])
+        assert measure(a, b) == pytest.approx(1.0 / 3.0)
+
+    def test_order_is_ignored(self):
+        measure = JaccardMeasure()
+        assert measure(RankedList(["a", "b"]), RankedList(["b", "a"])) == 0.0
+
+    def test_invalid_mode(self):
+        with pytest.raises(MeasureError, match="mode"):
+            JaccardMeasure(mode="other")

@@ -1,0 +1,259 @@
+"""The marketplace substrate: catalog, workers, scoring, site, crawl."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration import PROFILE_PENALTY
+from repro.data.schema import WorkerProfile
+from repro.exceptions import DataError
+from repro.marketplace.catalog import (
+    ALL_JOBS,
+    CATEGORIES,
+    CITIES,
+    JOBS_BY_CATEGORY,
+    UNAVAILABLE_PAIRS,
+    category_of,
+    crawl_queries,
+    jobs_available_in,
+)
+from repro.marketplace.crawl import run_crawl
+from repro.marketplace.scoring import (
+    ETHNICITY_PENALTY,
+    GENDER_PENALTY,
+    ScoringModel,
+)
+from repro.marketplace.site import AVAILABILITY_QUOTA, TaskRabbitSite
+from repro.marketplace.workers import (
+    CITY_COMPOSITION,
+    TOTAL_WORKERS,
+    demographic_breakdown,
+    generate_city_workers,
+    generate_population,
+)
+
+
+class TestCatalog:
+    def test_fifty_six_cities(self):
+        assert len(CITIES) == 56
+        assert len(set(CITIES)) == 56
+
+    def test_eight_categories_of_twelve_jobs(self):
+        assert len(CATEGORIES) == 8
+        assert all(len(JOBS_BY_CATEGORY[c]) == 12 for c in CATEGORIES)
+        assert len(ALL_JOBS) == 96
+
+    def test_crawl_yields_papers_5361_queries(self):
+        assert len(crawl_queries()) == 5361
+
+    def test_unavailable_pairs_reference_real_jobs_and_cities(self):
+        for job, city in UNAVAILABLE_PAIRS:
+            assert job in ALL_JOBS
+            assert city in CITIES
+
+    def test_category_of(self):
+        assert category_of("Lawn Mowing") == "Yard Work"
+        assert category_of("Handyman") == "Handyman"
+        with pytest.raises(DataError):
+            category_of("Quantum Repair")
+
+    def test_jobs_available_in_respects_gaps(self):
+        assert "Snow Removal" not in jobs_available_in("Miami, FL")
+        assert "Snow Removal" in jobs_available_in("Chicago, IL")
+        with pytest.raises(DataError):
+            jobs_available_in("Atlantis")
+
+    def test_comparison_subjects_exist(self):
+        for job in ("Lawn Mowing", "Event Decorating", "Back To Organized",
+                    "Organize & Declutter", "Organize Closet"):
+            assert job in ALL_JOBS
+
+
+class TestWorkers:
+    def test_population_totals_papers_3311(self):
+        population = generate_population(seed=3)
+        assert sum(len(pool) for pool in population.values()) == TOTAL_WORKERS == 3311
+
+    def test_city_composition_is_enforced(self):
+        workers = generate_city_workers("Detroit, MI", seed=3)
+        counts = {}
+        for worker in workers:
+            key = (worker.attributes["gender"], worker.attributes["ethnicity"])
+            counts[key] = counts.get(key, 0) + 1
+        assert counts == CITY_COMPOSITION
+
+    def test_generation_is_deterministic(self):
+        a = generate_city_workers("Boston, MA", seed=5)
+        b = generate_city_workers("Boston, MA", seed=5)
+        assert [(w.worker_id, w.features) for w in a] == [
+            (w.worker_id, w.features) for w in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_city_workers("Boston, MA", seed=5)
+        b = generate_city_workers("Boston, MA", seed=6)
+        assert any(
+            x.features["rating"] != y.features["rating"] for x, y in zip(a, b)
+        )
+
+    def test_breakdown_tracks_figures_7_and_8(self):
+        breakdown = demographic_breakdown(generate_population(seed=3))
+        # Paper: ≈72% male, ≈66% white (we include a small Unknown slice).
+        assert breakdown["gender"]["Male"] == pytest.approx(0.72, abs=0.08)
+        assert breakdown["ethnicity"]["White"] == pytest.approx(0.66, abs=0.08)
+
+    def test_ratings_within_bounds(self):
+        for worker in generate_city_workers("Chicago, IL", seed=3):
+            assert 1.0 <= worker.features["rating"] <= 5.0
+
+
+class TestScoring:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return ScoringModel(seed=3)
+
+    def make_worker(self, gender, ethnicity):
+        return WorkerProfile(
+            "w-test",
+            {"gender": gender, "ethnicity": ethnicity},
+            {"rating": 4.5, "jobs_completed": 100.0},
+        )
+
+    def test_penalty_decomposition_matches_table8_extremes(self):
+        af = GENDER_PENALTY["Female"] + ETHNICITY_PENALTY["Asian"]
+        assert af == pytest.approx(PROFILE_PENALTY["Asian Female"], abs=0.01)
+        assert GENDER_PENALTY["Male"] + ETHNICITY_PENALTY["White"] == 0.0
+
+    def test_asian_females_penalized_most(self, model):
+        af = model.penalty(self.make_worker("Female", "Asian"), "Handyman", "Birmingham, UK")
+        wm = model.penalty(self.make_worker("Male", "White"), "Handyman", "Birmingham, UK")
+        assert af > wm == 0.0
+
+    def test_penalty_scales_with_location(self, model):
+        worker = self.make_worker("Female", "Asian")
+        unfair = model.penalty(worker, "Handyman", "Birmingham, UK")
+        fair = model.penalty(worker, "Handyman", "Chicago, IL")
+        assert unfair > fair
+
+    def test_penalty_scales_with_job(self, model):
+        worker = self.make_worker("Female", "Asian")
+        handyman = model.penalty(worker, "Handyman", "Boston, MA")
+        delivery = model.penalty(worker, "Delivery", "Boston, MA")
+        assert handyman > delivery
+
+    def test_gender_flip_cities_penalize_males(self, model):
+        male = self.make_worker("Male", "White")
+        assert model.gender_component("Male", "Nashville, TN") > 0.0
+        assert model.gender_component("Female", "Nashville, TN") == 0.0
+        assert model.penalty(male, "Handyman", "Nashville, TN") > 0.0
+
+    def test_bias_scale_zero_is_neutral(self):
+        neutral = ScoringModel(seed=3, bias_scale=0.0)
+        worker = self.make_worker("Female", "Asian")
+        assert neutral.penalty(worker, "Handyman", "Birmingham, UK") == 0.0
+        assert neutral.exclusion(worker, "Handyman", "Birmingham, UK") == 0.0
+        assert neutral.instability(worker, "Handyman", "Birmingham, UK") == 0.0
+
+    def test_exclusion_probability_bounds(self, model):
+        worker = self.make_worker("Female", "Asian")
+        probability = model.exclusion_probability(worker, "Handyman", "Birmingham, UK")
+        assert 0.0 < probability <= 0.85
+
+    def test_boost_overrides_yield_promotions(self, model):
+        white = self.make_worker("Male", "White")
+        probability = model.exclusion_probability(
+            white, "Event Decorating", "Boston, MA"
+        )
+        assert probability < 0.0  # Tables 13–14 White boost
+
+    def test_scores_clipped_to_unit_interval(self, model):
+        worker = self.make_worker("Female", "Asian")
+        for city in ("Birmingham, UK", "Chicago, IL"):
+            assert 0.0 <= model.score(worker, "Handyman", city) <= 1.0
+
+    def test_deterministic(self):
+        a = ScoringModel(seed=3)
+        b = ScoringModel(seed=3)
+        worker = self.make_worker("Female", "Black")
+        assert a.raw_score(worker, "Delivery", "Boston, MA") == b.raw_score(
+            worker, "Delivery", "Boston, MA"
+        )
+
+
+class TestSite:
+    def test_search_returns_capped_quota_composition(self, site):
+        from repro.marketplace.site import RESULT_CAP
+
+        ranking = site.search("Handyman", "Chicago, IL")
+        # 52 available workers truncated to the paper's 50-result page.
+        assert len(ranking) == RESULT_CAP
+        counts = {}
+        by_id = {w.worker_id: w for w in site.workers_in("Chicago, IL")}
+        for worker_id in ranking:
+            worker = by_id[worker_id]
+            key = (worker.attributes["gender"], worker.attributes["ethnicity"])
+            counts[key] = counts.get(key, 0) + 1
+        cut = sum(AVAILABILITY_QUOTA.values()) - RESULT_CAP
+        for profile, quota in AVAILABILITY_QUOTA.items():
+            assert quota - cut <= counts.get(profile, 0) <= quota
+
+    def test_search_is_deterministic(self, site):
+        a = site.search("Delivery", "Boston, MA")
+        b = site.search("Delivery", "Boston, MA")
+        assert a.items == b.items
+
+    def test_different_jobs_rank_differently(self, site):
+        a = site.search("Handyman", "Boston, MA")
+        b = site.search("Delivery", "Boston, MA")
+        assert a.items != b.items
+
+    def test_scores_normalized_when_requested(self, site):
+        ranking = site.search("Handyman", "Boston, MA", with_scores=True)
+        values = [ranking.scores[item] for item in ranking]
+        assert max(values) == pytest.approx(1.0)
+        assert min(values) == pytest.approx(0.0)
+        assert values == sorted(values, reverse=True)
+
+    def test_no_scores_by_default(self, site):
+        assert site.search("Handyman", "Boston, MA").scores is None
+
+    def test_unknown_city_rejected(self, site):
+        with pytest.raises(DataError):
+            site.search("Handyman", "Gotham")
+
+    def test_unknown_job_rejected(self, site):
+        with pytest.raises(DataError):
+            site.search("Dragon Taming", "Boston, MA")
+
+    def test_limit_truncates(self, site):
+        assert len(site.search("Handyman", "Boston, MA", limit=5)) == 5
+
+
+class TestCrawl:
+    def test_category_level_scope(self, site):
+        report = run_crawl(site, level="category", cities=["Boston, MA"])
+        assert report.queries_run == len(CATEGORIES)
+        assert report.dataset.locations == ["Boston, MA"]
+
+    def test_job_level_respects_unavailable_pairs(self, site):
+        report = run_crawl(site, level="job", cities=["Miami, FL"])
+        assert ("Snow Removal") not in report.dataset.queries
+        assert report.queries_run == len(jobs_available_in("Miami, FL"))
+
+    def test_invalid_level_rejected(self, site):
+        with pytest.raises(DataError, match="level"):
+            run_crawl(site, level="continental")
+
+    def test_empty_scope_rejected(self, site):
+        with pytest.raises(DataError, match="selects no"):
+            run_crawl(site, level="job", jobs=[])
+
+    def test_labeling_error_rate_flows_through(self, site):
+        report = run_crawl(
+            site, level="category", cities=["Boston, MA"], label_error_rate=0.3
+        )
+        assert report.labeling_accuracy < 1.0
+
+    def test_perfect_labels_by_default(self, site):
+        report = run_crawl(site, level="category", cities=["Boston, MA"])
+        assert report.labeling_accuracy == 1.0

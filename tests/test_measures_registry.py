@@ -1,0 +1,40 @@
+"""The measure registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.measures import available_measures, get_measure, register_measure
+from repro.core.measures.emd import EmdMeasure
+from repro.core.measures.exposure import ExposureMeasure
+from repro.core.measures.jaccard import JaccardMeasure
+from repro.core.measures.kendall import KendallTauMeasure
+from repro.exceptions import MeasureError
+
+
+class TestRegistry:
+    def test_all_four_paper_measures_registered(self):
+        names = available_measures()
+        for expected in ("kendall", "jaccard", "emd", "exposure"):
+            assert expected in names
+
+    def test_get_measure_constructs_instances(self):
+        assert isinstance(get_measure("kendall"), KendallTauMeasure)
+        assert isinstance(get_measure("jaccard"), JaccardMeasure)
+        assert isinstance(get_measure("emd"), EmdMeasure)
+        assert isinstance(get_measure("exposure"), ExposureMeasure)
+
+    def test_lookup_is_case_insensitive(self):
+        assert isinstance(get_measure("KENDALL"), KendallTauMeasure)
+
+    def test_options_are_forwarded(self):
+        measure = get_measure("kendall", penalty=1.0)
+        assert measure.penalty == 1.0
+
+    def test_unknown_measure_lists_alternatives(self):
+        with pytest.raises(MeasureError, match="available"):
+            get_measure("cosine")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(MeasureError, match="already registered"):
+            register_measure("kendall", KendallTauMeasure)

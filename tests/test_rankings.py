@@ -1,0 +1,96 @@
+"""Ranked lists, relevance proxy, and exposure."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.rankings import RankedList, exposure_from_rank, relevance_from_rank
+from repro.exceptions import MeasureError
+
+
+class TestRelevanceProxy:
+    def test_top_rank(self):
+        assert relevance_from_rank(1, 10) == pytest.approx(0.9)
+
+    def test_bottom_rank_is_zero(self):
+        assert relevance_from_rank(10, 10) == 0.0
+
+    def test_rejects_zero_rank(self):
+        with pytest.raises(MeasureError, match="1-based"):
+            relevance_from_rank(0, 10)
+
+    def test_rejects_rank_beyond_size(self):
+        with pytest.raises(MeasureError, match="exceeds"):
+            relevance_from_rank(11, 10)
+
+
+class TestExposure:
+    def test_uses_natural_log(self):
+        assert exposure_from_rank(1) == pytest.approx(1.0 / math.log(2.0))
+
+    def test_decreasing_in_rank(self):
+        assert exposure_from_rank(1) > exposure_from_rank(2) > exposure_from_rank(50)
+
+    def test_rejects_zero_rank(self):
+        with pytest.raises(MeasureError):
+            exposure_from_rank(0)
+
+    def test_figure5_black_female_mass(self):
+        # Paper Figure 5: workers at ranks 7 and 8 hold exposure ≈ 0.94.
+        assert exposure_from_rank(7) + exposure_from_rank(8) == pytest.approx(
+            0.94, abs=0.01
+        )
+
+
+class TestRankedList:
+    def test_ranks_are_one_based(self):
+        ranking = RankedList(["a", "b", "c"])
+        assert ranking.rank("a") == 1
+        assert ranking.rank("c") == 3
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(MeasureError, match="duplicate"):
+            RankedList(["a", "a"])
+
+    def test_missing_item_raises(self):
+        with pytest.raises(MeasureError, match="not in this ranked list"):
+            RankedList(["a"]).rank("z")
+
+    def test_relevance_falls_back_to_rank_proxy(self):
+        ranking = RankedList(["a", "b"])
+        assert ranking.relevance("a") == pytest.approx(0.5)
+        assert ranking.relevance("b") == 0.0
+
+    def test_relevance_uses_true_scores_when_present(self):
+        ranking = RankedList(["a", "b"], scores={"a": 0.9, "b": 0.3})
+        assert ranking.relevance("b") == 0.3
+
+    def test_scores_must_cover_all_items(self):
+        with pytest.raises(MeasureError, match="missing"):
+            RankedList(["a", "b"], scores={"a": 0.9})
+
+    def test_scores_must_be_in_unit_interval(self):
+        with pytest.raises(MeasureError, match="lie in"):
+            RankedList(["a"], scores={"a": 1.5})
+
+    def test_top_prefix(self):
+        ranking = RankedList(["a", "b", "c"], scores={"a": 0.9, "b": 0.5, "c": 0.1})
+        top = ranking.top(2)
+        assert top.items == ("a", "b")
+        assert top.scores == {"a": 0.9, "b": 0.5}
+
+    def test_top_rejects_negative(self):
+        with pytest.raises(MeasureError):
+            RankedList(["a"]).top(-1)
+
+    def test_container_protocol(self):
+        ranking = RankedList(["a", "b"])
+        assert len(ranking) == 2
+        assert "a" in ranking
+        assert "z" not in ranking
+        assert list(ranking) == ["a", "b"]
+
+    def test_item_set(self):
+        assert RankedList(["a", "b"]).item_set() == frozenset({"a", "b"})

@@ -1,0 +1,57 @@
+"""Text-table rendering."""
+
+from __future__ import annotations
+
+from repro.core.comparison import BreakdownRow, ComparisonReport
+from repro.experiments.report import fmt, render_comparison, render_table
+
+
+class TestFmt:
+    def test_float_formatting(self):
+        assert fmt(0.12345) == "0.123"
+        assert fmt(0.12345, decimals=1) == "0.1"
+
+    def test_non_float_passthrough(self):
+        assert fmt("abc") == "abc"
+        assert fmt(7) == "7"
+
+
+class TestRenderTable:
+    def test_alignment_and_structure(self):
+        text = render_table(
+            "Demo", ("name", "value"), [("alpha", 0.5), ("b", 0.25)]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert lines[1] == "===="
+        assert "name" in lines[2] and "value" in lines[2]
+        assert lines[4].startswith("alpha")
+        assert "0.500" in lines[4]
+
+    def test_column_widths_expand_to_contents(self):
+        text = render_table("T", ("x",), [("a-very-long-cell",)])
+        assert "a-very-long-cell" in text
+
+
+class TestRenderComparison:
+    def test_includes_overall_and_reversal_marks(self):
+        report = ComparisonReport(
+            dimension="group",
+            r1="Males",
+            r2="Females",
+            breakdown_dimension="location",
+            overall_r1=0.48,
+            overall_r2=0.74,
+            rows=(
+                BreakdownRow("Oklahoma City, OK", 0.853, 0.732, True),
+                BreakdownRow("Boston, MA", 0.4, 0.6, False),
+            ),
+        )
+        text = render_comparison("Table 4", report)
+        assert "All" in text
+        assert "0.480" in text and "0.740" in text
+        lines = text.splitlines()
+        oklahoma = next(line for line in lines if "Oklahoma" in line)
+        assert "REVERSED" in oklahoma
+        boston = next(line for line in lines if "Boston" in line)
+        assert "REVERSED" not in boston

@@ -1,0 +1,256 @@
+"""The Google-side substrate: corpus, personas, engine, extension, study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.schema import SearchUser
+from repro.exceptions import DataError
+from repro.searchengine.engine import (
+    CARRY_OVER_WINDOW_MINUTES,
+    ExecutionContext,
+    GoogleJobsEngine,
+    NoiseConfig,
+)
+from repro.searchengine.extension import ChromeExtension, ExtensionConfig
+from repro.searchengine.jobs import (
+    BASE_RESULTS,
+    GOOGLE_LOCATIONS,
+    GOOGLE_QUERIES,
+    base_ranking,
+    posting_pool,
+)
+from repro.searchengine.keyword_planner import (
+    TERMS_PER_QUERY,
+    canonical_query_of,
+    term_variants,
+)
+from repro.searchengine.personas import recruit, recruit_all
+from repro.searchengine.study import StudyDesign, full_design, paper_design, run_study
+
+QUIET = NoiseConfig(
+    carry_over=False, ab_testing=False, geolocation=False, infrastructure=False
+)
+
+WHITE_FEMALE = SearchUser("u-wf", {"gender": "Female", "ethnicity": "White"})
+BLACK_MALE = SearchUser("u-bm", {"gender": "Male", "ethnicity": "Black"})
+
+
+class TestCorpus:
+    def test_pool_and_base_ranking_sizes(self):
+        pool = posting_pool("yard work", "Boston, MA")
+        assert len(pool) == 32
+        assert base_ranking("yard work", "Boston, MA") == pool[:BASE_RESULTS]
+
+    def test_pools_differ_by_query_and_location(self):
+        assert posting_pool("yard work", "Boston, MA") != posting_pool(
+            "yard work", "Bristol, UK"
+        )
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(DataError):
+            posting_pool("unicorn grooming", "Boston, MA")
+
+    def test_unknown_location_rejected(self):
+        with pytest.raises(DataError):
+            posting_pool("yard work", "Springfield")
+
+
+class TestKeywordPlanner:
+    def test_five_variants_per_query(self):
+        for query in GOOGLE_QUERIES:
+            variants = term_variants(query)
+            assert len(variants) == TERMS_PER_QUERY
+            assert len(set(variants)) == TERMS_PER_QUERY
+
+    def test_tables_20_21_terms_exist(self):
+        variants = term_variants("general cleaning")
+        assert "office cleaning jobs" in variants
+        assert "private cleaning jobs" in variants
+
+    def test_canonical_mapping_round_trips(self):
+        for query in GOOGLE_QUERIES:
+            for term in term_variants(query):
+                assert canonical_query_of(term) == query
+
+    def test_unknown_term_rejected(self):
+        with pytest.raises(DataError):
+            canonical_query_of("quantum jobs")
+
+
+class TestPersonas:
+    def test_recruit_counts_and_ids(self):
+        participants = recruit("Female", "Black", "Boston, MA")
+        assert len(participants) == 3
+        assert len({p.user_id for p in participants}) == 3
+        for participant in participants:
+            assert participant.user.attributes == {
+                "gender": "Female",
+                "ethnicity": "Black",
+            }
+
+    def test_recruit_all_covers_every_study(self):
+        participants = recruit_all(["Boston, MA", "Bristol, UK"])
+        assert len(participants) == 2 * 6 * 3
+
+    def test_invalid_group_rejected(self):
+        with pytest.raises(DataError):
+            recruit("Robot", "Black", "Boston, MA")
+
+    def test_invalid_location_rejected(self):
+        with pytest.raises(DataError):
+            recruit("Male", "Black", "Springfield")
+
+
+class TestEngine:
+    def test_search_is_deterministic(self):
+        engine = GoogleJobsEngine(seed=5, noise=QUIET)
+        a = engine.search(WHITE_FEMALE, "yard work jobs", "London, UK")
+        b = engine.search(WHITE_FEMALE, "yard work jobs", "London, UK")
+        assert a.items == b.items
+
+    def test_results_have_page_size(self):
+        engine = GoogleJobsEngine(seed=5, noise=QUIET)
+        page = engine.search(WHITE_FEMALE, "yard work jobs", "London, UK")
+        assert len(page) == BASE_RESULTS
+
+    def test_divergence_orders_groups(self):
+        engine = GoogleJobsEngine(seed=5)
+        wf = engine.divergence(WHITE_FEMALE, "yard work jobs", "London, UK")
+        bm = engine.divergence(BLACK_MALE, "yard work jobs", "London, UK")
+        assert wf > bm
+
+    def test_divergence_orders_locations(self):
+        engine = GoogleJobsEngine(seed=5)
+        london = engine.divergence(WHITE_FEMALE, "yard work jobs", "London, UK")
+        dc = engine.divergence(WHITE_FEMALE, "yard work jobs", "Washington, DC")
+        assert london > dc == 0.0
+
+    def test_flip_city_swaps_genders(self):
+        engine = GoogleJobsEngine(seed=5)
+        wf = engine.divergence(WHITE_FEMALE, "yard work jobs", "Bristol, UK")
+        wm = engine.divergence(
+            SearchUser("u-wm", {"gender": "Male", "ethnicity": "White"}),
+            "yard work jobs",
+            "Bristol, UK",
+        )
+        assert wm > wf
+
+    def test_personalization_scale_zero_returns_base_ranking(self):
+        engine = GoogleJobsEngine(seed=5, noise=QUIET, personalization_scale=0.0)
+        page = engine.search(WHITE_FEMALE, "yard work jobs", "London, UK")
+        assert list(page.items) == base_ranking("yard work", "London, UK")
+
+    def test_higher_divergence_moves_further_from_base(self):
+        engine = GoogleJobsEngine(seed=5, noise=QUIET)
+        base = set(base_ranking("yard work", "London, UK"))
+        wf_page = set(engine.search(WHITE_FEMALE, "yard work jobs", "London, UK").items)
+        bm_page = set(engine.search(BLACK_MALE, "yard work jobs", "London, UK").items)
+        assert len(base - wf_page) >= len(base - bm_page)
+
+    def test_geolocation_noise_only_without_proxy_match(self):
+        noise = NoiseConfig(carry_over=False, ab_testing=False, infrastructure=False)
+        engine = GoogleJobsEngine(seed=5, noise=noise)
+        pinned = engine.search(
+            BLACK_MALE, "yard work jobs", "Washington, DC",
+            ExecutionContext(origin="Washington, DC"),
+        )
+        roaming = engine.search(
+            BLACK_MALE, "yard work jobs", "Washington, DC",
+            ExecutionContext(origin="London, UK"),
+        )
+        assert pinned.items != roaming.items
+
+    def test_carry_over_contaminates_recent_searches_only(self):
+        noise = NoiseConfig(ab_testing=False, geolocation=False, infrastructure=False)
+        engine = GoogleJobsEngine(seed=5, noise=noise)
+        recent = ExecutionContext(
+            minute=5.0, history=((0.0, "run errand jobs"),)
+        )
+        old = ExecutionContext(
+            minute=CARRY_OVER_WINDOW_MINUTES + 5.0,
+            history=((0.0, "run errand jobs"),),
+        )
+        contaminated = engine.search(BLACK_MALE, "yard work jobs", "Washington, DC", recent)
+        clean = engine.search(BLACK_MALE, "yard work jobs", "Washington, DC", old)
+        assert any(item.startswith("job-run-errand") for item in contaminated)
+        assert not any(item.startswith("job-run-errand") for item in clean)
+
+    def test_results_never_contain_duplicates(self):
+        engine = GoogleJobsEngine(seed=5)
+        for execution in range(4):
+            context = ExecutionContext(
+                minute=execution * 2.0,
+                origin="London, UK",
+                execution=execution,
+                history=((0.0, "general cleaning jobs"),),
+            )
+            page = engine.search(WHITE_FEMALE, "yard work jobs", "London, UK", context)
+            assert len(set(page.items)) == len(page.items)
+
+
+class TestExtension:
+    def test_repeats_recover_stable_result_under_ab_noise(self):
+        noise = NoiseConfig(
+            carry_over=False, geolocation=False, infrastructure=False,
+            ab_probability=0.5,
+        )
+        engine = GoogleJobsEngine(seed=5, noise=noise)
+        extension = ChromeExtension(engine, ExtensionConfig(repeats=2, max_repeats=6))
+        page, _, runs = extension.run_term(WHITE_FEMALE, "yard work jobs", "London, UK")
+        assert runs >= 2
+        assert len(page) > 0
+
+    def test_single_run_config(self):
+        engine = GoogleJobsEngine(seed=5, noise=QUIET)
+        extension = ChromeExtension(engine, ExtensionConfig(repeats=1))
+        _, __, runs = extension.run_term(WHITE_FEMALE, "yard work jobs", "London, UK")
+        assert runs == 1
+
+    def test_run_terms_covers_all_terms(self):
+        engine = GoogleJobsEngine(seed=5)
+        extension = ChromeExtension(engine)
+        results = extension.run_terms(
+            WHITE_FEMALE, term_variants("yard work"), "London, UK"
+        )
+        assert set(results) == set(term_variants("yard work"))
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            ExtensionConfig(repeats=0)
+        with pytest.raises(ValueError):
+            ExtensionConfig(repeats=3, max_repeats=2)
+
+
+class TestStudy:
+    def test_paper_design_matches_table7(self):
+        design = paper_design()
+        assert design.locations_per_query() == {
+            "yard work": 4,
+            "general cleaning": 3,
+            "event staffing": 1,
+            "moving job": 1,
+            "run errand": 1,
+        }
+        assert len(design.locations) == 10
+
+    def test_full_design_is_dense(self):
+        design = full_design()
+        assert len(design.pairs) == len(GOOGLE_QUERIES) * len(GOOGLE_LOCATIONS)
+
+    def test_invalid_design_rejected(self):
+        with pytest.raises(DataError):
+            StudyDesign(pairs=(("yard work", "Springfield"),))
+
+    def test_run_study_structure(self, small_search_dataset):
+        # Built in conftest from a 2×2 design: 10 terms × 2 locations.
+        assert len(small_search_dataset) == 20
+        assert len(small_search_dataset.users) == 2 * 6 * 3
+
+    def test_run_study_counts(self):
+        engine = GoogleJobsEngine(seed=13)
+        design = StudyDesign(pairs=(("run errand", "London, UK"),))
+        report = run_study(engine, design)
+        assert report.studies == 6
+        assert report.participants == 18
+        assert report.searches_executed == 18 * 5

@@ -1,0 +1,96 @@
+"""The paper's worked examples (Figures 1–5, Tables 1–3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.toy import (
+    TABLE1_RESULTS,
+    figure1_measured,
+    figure1_unfairness,
+    figure2_unfairness,
+    figure3_measured,
+    figure3_partial_unfairness,
+    figure4_unfairness,
+    figure5_exposure,
+    table1_dataset,
+    table2_workers,
+    table3_ranking,
+    toy_marketplace_dataset,
+)
+
+
+class TestIllustrativeAverages:
+    def test_figure1(self):
+        assert figure1_unfairness() == pytest.approx(0.50)
+
+    def test_figure2(self):
+        assert figure2_unfairness() == pytest.approx(0.45)
+
+    def test_figure3(self):
+        assert figure3_partial_unfairness() == pytest.approx(0.65)
+
+    def test_figure4(self):
+        assert figure4_unfairness() == pytest.approx(0.50)
+
+
+class TestMeasuredOnToyData:
+    def test_figure1_measured_is_a_valid_distance(self):
+        assert 0.0 <= figure1_measured() <= 1.0
+
+    def test_figure3_measured_is_a_valid_index(self):
+        assert 0.0 <= figure3_measured() <= 1.0
+
+
+class TestTable1:
+    def test_verbatim_lists(self):
+        assert TABLE1_RESULTS["w1"] == ("b", "d", "e")
+        assert TABLE1_RESULTS["w10"] == ("a", "b", "c")
+
+    def test_dataset_structure(self):
+        dataset = table1_dataset()
+        assert len(dataset.users) == 10
+        observation = dataset.observation("Home Cleaning", "San Francisco")
+        assert len(observation.results_by_user) == 10
+
+
+class TestTables2And3:
+    def test_ten_workers_with_three_attributes(self):
+        workers = table2_workers()
+        assert len(workers) == 10
+        assert workers[0].attributes == {
+            "gender": "Female",
+            "nationality": "America",
+            "ethnicity": "Asian",
+        }
+
+    def test_ranking_order_is_verbatim(self):
+        ranking = table3_ranking()
+        assert ranking.items[:3] == ("w3", "w8", "w6")
+        assert ranking.items[-1] == "w10"
+
+    def test_scores_match_table3(self):
+        ranking = table3_ranking(with_scores=True)
+        assert ranking.scores["w3"] == 0.9
+        assert ranking.scores["w10"] == 0.0
+
+    def test_rank_proxy_equals_table3_scores(self):
+        """Table 3's scores are exactly 1 − rank/10, so the proxy is exact."""
+        scored = table3_ranking(with_scores=True)
+        proxied = table3_ranking()
+        for worker in scored:
+            assert proxied.relevance(worker) == pytest.approx(scored.scores[worker])
+
+    def test_toy_dataset(self):
+        dataset = toy_marketplace_dataset()
+        assert len(dataset.workers) == 10
+
+
+class TestFigure5:
+    def test_full_walkthrough(self):
+        result = figure5_exposure()
+        assert result.group_exposure == pytest.approx(0.94, abs=0.01)
+        assert result.comparable_exposure == pytest.approx(4.0, abs=0.06)
+        assert result.group_relevance == pytest.approx(0.5)
+        assert result.comparable_relevance == pytest.approx(2.9)
+        assert result.unfairness == pytest.approx(0.04, abs=0.005)

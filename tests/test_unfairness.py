@@ -1,0 +1,158 @@
+"""The unfairness engines (Equation 1 and §3.3) on hand-checked data."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.core.groups import Group
+from repro.core.measures.jaccard import jaccard_distance
+from repro.core.measures.kendall import kendall_tau_distance
+from repro.core.rankings import RankedList
+from repro.core.unfairness import (
+    MarketplaceUnfairness,
+    SearchEngineUnfairness,
+    aggregate_unfairness,
+)
+from repro.data.schema import (
+    MarketplaceDataset,
+    MarketplaceObservation,
+    SearchDataset,
+    SearchObservation,
+    SearchUser,
+    WorkerProfile,
+)
+from repro.exceptions import DataError, MeasureError
+from repro.experiments.toy import table1_dataset, toy_marketplace_dataset
+
+BLACK_FEMALE = Group({"gender": "Female", "ethnicity": "Black"})
+QUERY, LOCATION = "Home Cleaning", "San Francisco"
+
+
+class TestSearchEngineUnfairness:
+    def test_equation1_matches_hand_computation(self, schema, toy_search_dataset):
+        engine = SearchEngineUnfairness(toy_search_dataset, schema, measure="kendall")
+        value = engine.unfairness(BLACK_FEMALE, QUERY, LOCATION)
+
+        observation = toy_search_dataset.observation(QUERY, LOCATION)
+        lists = observation.results_by_user
+        members = toy_search_dataset.members_in_observation(BLACK_FEMALE, observation)
+        per_group = []
+        for other in (
+            Group({"gender": "Male", "ethnicity": "Black"}),
+            Group({"gender": "Female", "ethnicity": "Asian"}),
+            Group({"gender": "Female", "ethnicity": "White"}),
+        ):
+            others = toy_search_dataset.members_in_observation(other, observation)
+            per_group.append(
+                statistics.fmean(
+                    kendall_tau_distance(lists[a], lists[b])
+                    for a in members
+                    for b in others
+                )
+            )
+        assert value == pytest.approx(statistics.fmean(per_group))
+
+    def test_jaccard_measure_variant(self, schema, toy_search_dataset):
+        engine = SearchEngineUnfairness(toy_search_dataset, schema, measure="jaccard")
+        value = engine.unfairness(BLACK_FEMALE, QUERY, LOCATION)
+        assert 0.0 <= value <= 1.0
+
+    def test_unknown_measure_rejected(self, schema, toy_search_dataset):
+        with pytest.raises(MeasureError):
+            SearchEngineUnfairness(toy_search_dataset, schema, measure="emd")
+
+    def test_empty_group_is_undefined(self, schema):
+        users = [
+            SearchUser("u1", {"gender": "Male", "ethnicity": "White"}),
+            SearchUser("u2", {"gender": "Female", "ethnicity": "White"}),
+        ]
+        dataset = SearchDataset(
+            users,
+            [
+                SearchObservation(
+                    "q", "l", {"u1": RankedList(["a"]), "u2": RankedList(["b"])}
+                )
+            ],
+        )
+        engine = SearchEngineUnfairness(dataset, schema)
+        group = Group({"gender": "Male", "ethnicity": "Asian"})
+        assert not engine.defined_for(group, "q", "l")
+        with pytest.raises(DataError, match="no users"):
+            engine.unfairness(group, "q", "l")
+
+    def test_gender_symmetry_for_binary_split(self, schema, toy_search_dataset):
+        """DIST is pairwise-symmetric, so Male and Female tie exactly."""
+        engine = SearchEngineUnfairness(toy_search_dataset, schema)
+        male = engine.unfairness(Group({"gender": "Male"}), QUERY, LOCATION)
+        female = engine.unfairness(Group({"gender": "Female"}), QUERY, LOCATION)
+        assert male == pytest.approx(female)
+
+
+class TestMarketplaceUnfairness:
+    def test_exposure_matches_figure5(self, schema, toy_market_dataset):
+        engine = MarketplaceUnfairness(toy_market_dataset, schema, measure="exposure")
+        value = engine.unfairness(BLACK_FEMALE, QUERY, LOCATION)
+        assert value == pytest.approx(0.04, abs=0.005)
+
+    def test_emd_is_bounded(self, schema, toy_market_dataset):
+        engine = MarketplaceUnfairness(toy_market_dataset, schema, measure="emd")
+        value = engine.unfairness(BLACK_FEMALE, QUERY, LOCATION)
+        assert 0.0 <= value <= 1.0
+
+    def test_emd_gender_symmetry(self, schema, toy_market_dataset):
+        """Table 8's Male = Female EMD equality is structural."""
+        engine = MarketplaceUnfairness(toy_market_dataset, schema, measure="emd")
+        male = engine.unfairness(Group({"gender": "Male"}), QUERY, LOCATION)
+        female = engine.unfairness(Group({"gender": "Female"}), QUERY, LOCATION)
+        assert male == pytest.approx(female)
+
+    def test_unknown_measure_rejected(self, schema, toy_market_dataset):
+        with pytest.raises(MeasureError):
+            MarketplaceUnfairness(toy_market_dataset, schema, measure="kendall")
+
+    def test_unrepresented_group_is_undefined(self, schema):
+        workers = [
+            WorkerProfile("w1", {"gender": "Male", "ethnicity": "White"}),
+            WorkerProfile("w2", {"gender": "Female", "ethnicity": "White"}),
+        ]
+        dataset = MarketplaceDataset(
+            workers, [MarketplaceObservation("q", "l", RankedList(["w1", "w2"]))]
+        )
+        engine = MarketplaceUnfairness(dataset, schema)
+        missing = Group({"gender": "Male", "ethnicity": "Asian"})
+        assert not engine.defined_for(missing, "q", "l")
+        with pytest.raises(DataError, match="no workers"):
+            engine.unfairness(missing, "q", "l")
+
+    def test_group_with_no_comparables_is_undefined(self, schema):
+        workers = [WorkerProfile("w1", {"gender": "Male", "ethnicity": "White"})]
+        dataset = MarketplaceDataset(
+            workers, [MarketplaceObservation("q", "l", RankedList(["w1"]))]
+        )
+        engine = MarketplaceUnfairness(dataset, schema)
+        group = Group({"gender": "Male", "ethnicity": "White"})
+        assert not engine.defined_for(group, "q", "l")
+
+
+class TestAggregation:
+    def test_single_triple_aggregate(self, schema, toy_market_dataset):
+        engine = MarketplaceUnfairness(toy_market_dataset, schema, measure="exposure")
+        value = aggregate_unfairness(engine, [BLACK_FEMALE], [QUERY], [LOCATION])
+        assert value == pytest.approx(engine.unfairness(BLACK_FEMALE, QUERY, LOCATION))
+
+    def test_multi_group_aggregate_is_mean(self, schema, toy_market_dataset):
+        engine = MarketplaceUnfairness(toy_market_dataset, schema, measure="exposure")
+        groups = [BLACK_FEMALE, Group({"gender": "Male", "ethnicity": "White"})]
+        combined = aggregate_unfairness(engine, groups, [QUERY], [LOCATION])
+        individual = [
+            engine.unfairness(group, QUERY, LOCATION) for group in groups
+        ]
+        assert combined == pytest.approx(statistics.fmean(individual))
+
+    def test_all_undefined_raises(self, schema, toy_market_dataset):
+        engine = MarketplaceUnfairness(toy_market_dataset, schema)
+        ghost = Group({"gender": "Male", "ethnicity": "White"})
+        with pytest.raises(DataError, match="no defined"):
+            aggregate_unfairness(engine, [ghost], ["missing-query"], ["nowhere"])
