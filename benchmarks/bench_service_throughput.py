@@ -1,0 +1,121 @@
+"""Service throughput: warm-cache vs cold-cache requests/sec, p50/p95.
+
+Boots a real F-Box server on an ephemeral port (small six-city datasets),
+then measures three request populations over HTTP:
+
+* **build** — the very first request, which materializes the cube;
+* **cold cache** — distinct parameterizations (every one a cache miss that
+  runs a real top-k / comparison on the shared, already-built F-Box);
+* **warm cache** — one hot request repeated (every one an LRU hit).
+
+Writes ``benchmarks/results/service_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import threading
+import urllib.request
+from time import perf_counter
+
+from _util import emit
+from repro.core.attributes import default_schema  # noqa: F401  (import check)
+from repro.experiments.datasets import build_taskrabbit_dataset
+from repro.service.registry import SMALL_CITIES, DatasetRegistry, DatasetSpec
+from repro.service.server import make_server
+
+COLD_REQUESTS = 60
+WARM_REQUESTS = 300
+
+
+def _post(base: str, path: str, payload: dict) -> float:
+    """One POST; returns elapsed seconds (asserts HTTP 200)."""
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    started = perf_counter()
+    with urllib.request.urlopen(request) as response:
+        assert response.status == 200
+        response.read()
+    return perf_counter() - started
+
+
+def _percentiles(latencies: list[float]) -> tuple[float, float]:
+    ordered = sorted(latencies)
+    p50 = ordered[len(ordered) // 2]
+    p95 = ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+    return p50, p95
+
+
+def _cold_population() -> list[dict]:
+    """Distinct request parameterizations — every one a cache miss."""
+    population = []
+    for dimension in ("group", "query", "location"):
+        for order in ("most", "least"):
+            for k in range(1, 6):
+                population.append(
+                    {
+                        "dataset": "taskrabbit",
+                        "dimension": dimension,
+                        "order": order,
+                        "k": k,
+                    }
+                )
+    return population[:COLD_REQUESTS]
+
+
+def test_service_throughput():
+    dataset = build_taskrabbit_dataset(seed=7, cities=SMALL_CITIES)
+    registry = DatasetRegistry()
+    registry.register(
+        DatasetSpec(name="taskrabbit", site="taskrabbit", loader=lambda: dataset)
+    )
+    server = make_server(registry=registry, port=0, request_timeout=300.0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = server.url
+    try:
+        build_seconds = _post(
+            base, "/quantify", {"dataset": "taskrabbit", "dimension": "group", "k": 11}
+        )
+
+        cold_latencies = [
+            _post(base, "/quantify", payload) for payload in _cold_population()
+        ]
+        hot = {"dataset": "taskrabbit", "dimension": "group", "k": 11}
+        warm_latencies = [_post(base, "/quantify", hot) for _ in range(WARM_REQUESTS)]
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    rows = []
+    for label, latencies in (("cold cache", cold_latencies), ("warm cache", warm_latencies)):
+        p50, p95 = _percentiles(latencies)
+        rows.append(
+            (
+                label,
+                len(latencies),
+                1.0 / statistics.fmean(latencies),
+                p50 * 1000.0,
+                p95 * 1000.0,
+            )
+        )
+    lines = [
+        "Service throughput — F-Box query server (six-city TaskRabbit crawl)",
+        "=" * 66,
+        f"first request (cube + index build): {build_seconds * 1000.0:.1f} ms",
+        "",
+        f"{'population':<12} {'requests':>8} {'req/s':>10} {'p50 ms':>9} {'p95 ms':>9}",
+        f"{'-' * 12} {'-' * 8} {'-' * 10} {'-' * 9} {'-' * 9}",
+    ]
+    for label, count, rps, p50, p95 in rows:
+        lines.append(f"{label:<12} {count:>8} {rps:>10.1f} {p50:>9.3f} {p95:>9.3f}")
+    emit("service_throughput", "\n".join(lines))
+
+    cold_rps = rows[0][2]
+    warm_rps = rows[1][2]
+    assert warm_rps > cold_rps  # the cache must actually pay for itself

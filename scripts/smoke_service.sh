@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Smoke test for the F-Box query service:
+#   boots `repro serve` on a free port, waits for /healthz, fires one
+#   /quantify request, and exits nonzero on any failure.
+#
+# Usage: scripts/smoke_service.sh [timeout-seconds]
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TIMEOUT="${1:-120}"
+export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+PORT="$(python3 - <<'EOF'
+import socket
+with socket.socket() as s:
+    s.bind(("127.0.0.1", 0))
+    print(s.getsockname()[1])
+EOF
+)" || { echo "smoke: could not pick a free port" >&2; exit 1; }
+
+BASE="http://127.0.0.1:${PORT}"
+LOG="$(mktemp)"
+
+python3 -m repro serve --port "$PORT" --scope small >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+cleanup() {
+    kill "$SERVER_PID" 2>/dev/null
+    wait "$SERVER_PID" 2>/dev/null
+    rm -f "$LOG"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "smoke: $1" >&2
+    echo "--- server log ---" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+# http GET|POST <url> [json-body] -> prints "<status> <body>"
+http() {
+    python3 - "$@" <<'EOF'
+import json, sys, urllib.error, urllib.request
+method, url = sys.argv[1], sys.argv[2]
+data = sys.argv[3].encode() if len(sys.argv) > 3 else None
+request = urllib.request.Request(
+    url, data=data, method=method,
+    headers={"Content-Type": "application/json"} if data else {},
+)
+try:
+    with urllib.request.urlopen(request, timeout=30) as response:
+        print(response.status, response.read().decode())
+except urllib.error.HTTPError as error:
+    print(error.code, error.read().decode())
+except Exception as error:
+    print(0, error)
+EOF
+}
+
+# Wait for /healthz (the small-scope datasets load lazily, so boot is fast).
+DEADLINE=$((SECONDS + TIMEOUT))
+while true; do
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server process died during boot"
+    RESULT="$(http GET "$BASE/healthz")"
+    STATUS="${RESULT%% *}"
+    if [ "$STATUS" = "200" ]; then
+        break
+    fi
+    [ "$SECONDS" -lt "$DEADLINE" ] || fail "healthz did not answer 200 within ${TIMEOUT}s (last: $RESULT)"
+    sleep 0.5
+done
+echo "smoke: healthz ok"
+
+RESULT="$(http POST "$BASE/quantify" '{"dataset": "taskrabbit", "dimension": "group", "k": 3}')"
+STATUS="${RESULT%% *}"
+[ "$STATUS" = "200" ] || fail "quantify answered $RESULT"
+case "$RESULT" in
+    *'"unfairness"'*) ;;
+    *) fail "quantify body lacks unfairness values: $RESULT" ;;
+esac
+echo "smoke: quantify ok"
+
+RESULT="$(http GET "$BASE/metrics")"
+STATUS="${RESULT%% *}"
+[ "$STATUS" = "200" ] || fail "metrics answered $RESULT"
+case "$RESULT" in
+    *fbox_requests_total*) ;;
+    *) fail "metrics exposition lacks fbox_requests_total" ;;
+esac
+echo "smoke: metrics ok"
+
+echo "smoke: PASS"
+exit 0

@@ -7,17 +7,21 @@ Commands
 ``compare``    Problem 2: breakdown members whose ordering reverses
 ``reproduce``  regenerate one of the paper's tables/figures by name
 ``toy``        print the paper's worked examples (Figures 1–5)
+``serve``      run the long-lived F-Box query service (HTTP JSON API)
+
+``quantify`` and ``compare`` accept ``--json`` to emit the same documents
+the service returns (shared encoder: :mod:`repro.service.encoding`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import __version__
 from .core.attributes import default_schema
 from .core.fbox import FBox
-from .core.groups import Group
 from .data.io import (
     load_marketplace_dataset,
     load_search_dataset,
@@ -63,6 +67,9 @@ def build_parser() -> argparse.ArgumentParser:
     quantify.add_argument("-k", type=int, default=5)
     quantify.add_argument("--order", choices=["most", "least"], default="most")
     quantify.add_argument("--algorithm", choices=["fagin", "naive"], default="fagin")
+    quantify.add_argument(
+        "--json", action="store_true", help="emit the service's JSON document"
+    )
 
     compare = subparsers.add_parser("compare", help="Problem 2: reversal breakdown")
     _add_dataset_arguments(compare)
@@ -70,6 +77,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("r1", help="first member (group label as g=v,...; else literal)")
     compare.add_argument("r2", help="second member")
     compare.add_argument("breakdown", choices=["group", "query", "location"])
+    compare.add_argument(
+        "--json", action="store_true", help="emit the service's JSON document"
+    )
 
     explain = subparsers.add_parser(
         "explain", help="decompose one unfairness value into contributions"
@@ -89,6 +99,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reproduce.add_argument("--measure", default=None)
     reproduce.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the F-Box query service (HTTP JSON API)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    serve.add_argument(
+        "--scope", choices=["small", "full"], default="small",
+        help="small = six-city crawl / paper study design (fast boot); "
+        "full = paper-scale simulation",
+    )
+    serve.add_argument(
+        "--taskrabbit-data", default=None,
+        help="saved JSONL marketplace dataset to serve instead of simulating",
+    )
+    serve.add_argument(
+        "--google-data", default=None,
+        help="saved JSONL search dataset to serve instead of simulating",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="result-cache capacity (0 disables caching)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request deadline in seconds (0 disables)",
+    )
+    serve.add_argument(
+        "--preload", action="store_true",
+        help="materialize every dataset and default F-Box before listening",
+    )
     return parser
 
 
@@ -102,17 +144,9 @@ def _add_dataset_arguments(sub: argparse.ArgumentParser) -> None:
 
 
 def _parse_member(dimension: str, text: str):
-    if dimension != "group":
-        return text
-    predicates = {}
-    for part in text.split(","):
-        if "=" not in part:
-            raise ReproError(
-                f"group members are written as attr=value[,attr=value]; got {text!r}"
-            )
-        name, value = part.split("=", 1)
-        predicates[name.strip()] = value.strip()
-    return Group(predicates)
+    from .service.encoding import parse_member
+
+    return parse_member(dimension, text)
 
 
 def _load_fbox(args) -> FBox:
@@ -147,6 +181,13 @@ def _command_generate(args) -> int:
 def _command_quantify(args) -> int:
     fbox = _load_fbox(args)
     result = fbox.quantify(args.dimension, k=args.k, order=args.order, algorithm=args.algorithm)
+    if args.json:
+        from .service.encoding import encode_topk
+
+        document = encode_topk(result, args.dimension)
+        document.update(dataset=args.site, k=args.k, algorithm=args.algorithm)
+        print(json.dumps(document, sort_keys=True, indent=2))
+        return 0
     title = f"{args.order}-unfair {args.dimension}s (k={args.k}, {args.algorithm})"
     rows = [(str(key), value) for key, value in result.entries]
     print(report_mod.render_table(title, (args.dimension, "unfairness"), rows))
@@ -164,6 +205,13 @@ def _command_compare(args) -> int:
     r1 = _parse_member(args.dimension, args.r1)
     r2 = _parse_member(args.dimension, args.r2)
     result = fbox.compare(args.dimension, r1, r2, args.breakdown)
+    if args.json:
+        from .service.encoding import encode_comparison
+
+        document = encode_comparison(result)
+        document.update(dataset=args.site)
+        print(json.dumps(document, sort_keys=True, indent=2))
+        return 0
     print(
         report_mod.render_comparison(
             f"{args.r1} vs {args.r2} by {args.breakdown}", result
@@ -256,6 +304,26 @@ def _command_reproduce(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    from .service.registry import default_registry
+    from .service.server import serve
+
+    registry = default_registry(
+        seed=args.seed,
+        scope=args.scope,
+        taskrabbit_path=args.taskrabbit_data,
+        google_path=args.google_data,
+    )
+    return serve(
+        registry=registry,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        request_timeout=args.timeout if args.timeout > 0 else None,
+        preload=args.preload,
+    )
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "quantify": _command_quantify,
@@ -263,6 +331,7 @@ _COMMANDS = {
     "explain": _command_explain,
     "toy": _command_toy,
     "reproduce": _command_reproduce,
+    "serve": _command_serve,
 }
 
 

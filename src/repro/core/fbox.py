@@ -13,6 +13,7 @@ cube and whatever index families the queries need.
 
 from __future__ import annotations
 
+import threading
 from typing import Hashable, Iterable, Sequence
 
 from ..data.schema import MarketplaceDataset, SearchDataset
@@ -58,6 +59,11 @@ class FBox:
         self.locations = list(locations)
         self._cube: UnfairnessCube | None = None
         self._families: dict[tuple[str, bool], IndexFamily] = {}
+        # Shared FBox instances (the query service) materialize lazily from
+        # many threads; the lock makes each build happen exactly once.
+        self._build_lock = threading.RLock()
+        self.cube_builds = 0
+        self.family_builds = 0
 
     # ------------------------------------------------------------------
     # Constructors
@@ -118,22 +124,51 @@ class FBox:
 
     @property
     def cube(self) -> UnfairnessCube:
-        """The materialized unfairness cube (computed on first use)."""
+        """The materialized unfairness cube (computed exactly once).
+
+        Double-checked locking: the fast path reads the attribute without
+        taking the lock, so concurrent readers pay nothing once the cube
+        exists, and first-touch threads race to the lock where only the
+        winner computes.
+        """
         if self._cube is None:
-            self._cube = UnfairnessCube.compute(
-                self.engine, self.groups, self.queries, self.locations
-            )
+            with self._build_lock:
+                if self._cube is None:
+                    self._cube = UnfairnessCube.compute(
+                        self.engine, self.groups, self.queries, self.locations
+                    )
+                    self.cube_builds += 1
         return self._cube
 
     def family(self, dimension: str, order: str = "most") -> IndexFamily:
-        """The ``dimension``-based index family (cached per sort direction)."""
+        """The ``dimension``-based index family (cached per sort direction).
+
+        Built exactly once per ``(dimension, order)`` under the same lock as
+        the cube, so concurrent first-touch queries share one build.
+        """
         if order not in ("most", "least"):
             raise AlgorithmError(f"order must be 'most' or 'least', got {order!r}")
         descending = order == "most"
         key = (dimension, descending)
         if key not in self._families:
-            self._families[key] = build_family(self.cube, dimension, descending)
+            cube = self.cube  # materialize outside the family check
+            with self._build_lock:
+                if key not in self._families:
+                    self._families[key] = build_family(cube, dimension, descending)
+                    self.family_builds += 1
         return self._families[key]
+
+    @property
+    def signature(self) -> tuple:
+        """A cheap, hashable identity for cache keys: engine kind, measure,
+        and domain sizes.  Stable across calls; no cube materialization."""
+        return (
+            type(self.engine).__name__,
+            getattr(self.engine, "measure_name", None),
+            len(self.groups),
+            len(self.queries),
+            len(self.locations),
+        )
 
     # ------------------------------------------------------------------
     # The paper's two problems
@@ -156,9 +191,12 @@ class FBox:
         or the exhaustive baseline (``"naive"``).
         """
         if algorithm == "fagin":
-            return top_k(
-                self.cube, dimension, k, order=order, family=self.family(dimension, order)
-            )
+            family = self.family(dimension, order)
+            # The TA resets then accumulates the family's access counters;
+            # serialize runs on the shared family so each result reports a
+            # coherent count.
+            with family.query_lock:
+                return top_k(self.cube, dimension, k, order=order, family=family)
         if algorithm == "naive":
             return naive_top_k(self.cube, dimension, k, order=order)
         raise AlgorithmError(f"algorithm must be 'fagin' or 'naive', got {algorithm!r}")

@@ -18,6 +18,7 @@ Access counters support the cost accounting used by the benchmarks.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
@@ -28,18 +29,58 @@ from .groups import Group
 __all__ = ["InvertedIndex", "IndexFamily", "build_family", "AccessStats"]
 
 
-@dataclass
+@dataclass(eq=False)
 class AccessStats:
-    """Counts of sorted and random accesses performed through an index family."""
+    """Counts of sorted and random accesses performed through an index family.
+
+    Counters are incremented under a lock so families can be shared across
+    threads (the query service runs the Fagin algorithms concurrently);
+    :meth:`snapshot` takes a consistent copy for delta reporting and
+    :meth:`reset` rezeroes in place.
+    """
 
     sorted_accesses: int = 0
     random_accesses: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_sorted(self, count: int = 1) -> None:
+        """Count ``count`` sorted accesses (thread-safe)."""
+        with self._lock:
+            self.sorted_accesses += count
+
+    def record_random(self, count: int = 1) -> None:
+        """Count ``count`` random accesses (thread-safe)."""
+        with self._lock:
+            self.random_accesses += count
+
+    def reset(self) -> None:
+        """Zero both counters in place."""
+        with self._lock:
+            self.sorted_accesses = 0
+            self.random_accesses = 0
+
+    def snapshot(self) -> "AccessStats":
+        """A consistent point-in-time copy, detached from the live counters."""
+        with self._lock:
+            return AccessStats(
+                sorted_accesses=self.sorted_accesses,
+                random_accesses=self.random_accesses,
+            )
 
     def merged_with(self, other: "AccessStats") -> "AccessStats":
         """Combine two counters (used when an algorithm runs in phases)."""
+        mine, theirs = self.snapshot(), other.snapshot()
         return AccessStats(
-            sorted_accesses=self.sorted_accesses + other.sorted_accesses,
-            random_accesses=self.random_accesses + other.random_accesses,
+            sorted_accesses=mine.sorted_accesses + theirs.sorted_accesses,
+            random_accesses=mine.random_accesses + theirs.random_accesses,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessStats):
+            return NotImplemented
+        return (
+            self.sorted_accesses == other.sorted_accesses
+            and self.random_accesses == other.random_accesses
         )
 
 
@@ -100,6 +141,10 @@ class IndexFamily:
         self._lists = lists
         self._random = random_lookup
         self.stats = AccessStats()
+        # Algorithms that reset-then-accumulate ``stats`` (the Fagin top-k)
+        # hold this while running so concurrent runs on a shared family
+        # cannot garble each other's access accounting.
+        self.query_lock = threading.Lock()
 
     @property
     def pair_keys(self) -> list[tuple]:
@@ -115,12 +160,12 @@ class IndexFamily:
 
     def sorted_access(self, pair: tuple, position: int) -> tuple[Hashable, float]:
         """Counted sorted access into the ``pair`` posting list."""
-        self.stats.sorted_accesses += 1
+        self.stats.record_sorted()
         return self.posting_list(pair).sorted_access(position)
 
     def random_access(self, pair: tuple, key: Hashable) -> float:
         """Counted O(1) random access: value of ``key`` in the ``pair`` list."""
-        self.stats.random_accesses += 1
+        self.stats.record_random()
         try:
             return self._random[pair][key]
         except KeyError:
@@ -131,8 +176,17 @@ class IndexFamily:
         return pair in self._random and key in self._random[pair]
 
     def reset_stats(self) -> None:
-        """Zero the access counters (benchmarks call this between runs)."""
+        """Detach a fresh zeroed counter (benchmarks call this between runs).
+
+        The previous :class:`AccessStats` object is *replaced*, not mutated,
+        so results already holding a reference (e.g. a ``TopKResult``) keep
+        their frozen counts.
+        """
         self.stats = AccessStats()
+
+    def stats_snapshot(self) -> AccessStats:
+        """A consistent copy of the current access counters."""
+        return self.stats.snapshot()
 
 
 def build_family(

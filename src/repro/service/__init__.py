@@ -1,0 +1,50 @@
+"""The F-Box query service: a long-lived, concurrent fairness-query server.
+
+The paper frames the F-Box (Figures 6 and 9) as a reusable component that
+answers quantification and comparison queries on demand.  This package turns
+the one-shot CLI into that component: a stdlib-only HTTP JSON API that
+
+* loads or synthesizes each dataset **once** and shares :class:`~repro.core.
+  fbox.FBox` instances across requests (:mod:`repro.service.registry`),
+* caches hot query results in a thread-safe LRU (:mod:`repro.service.cache`),
+* records per-endpoint latency histograms, in-flight gauges, and cumulative
+  index-access counts (:mod:`repro.service.observability`), and
+* maps invalid inputs to structured 4xx JSON errors rather than stack traces
+  (:mod:`repro.service.handlers`, :mod:`repro.service.server`).
+
+Start it with ``repro serve`` or programmatically::
+
+    from repro.service import make_server
+    server = make_server(port=0)          # ephemeral port
+    server.serve_forever()
+"""
+
+from __future__ import annotations
+
+from .cache import LRUCache
+from .encoding import (
+    canonical_key,
+    encode_comparison,
+    encode_explanation,
+    encode_topk,
+    parse_member,
+)
+from .observability import ServiceMetrics
+from .registry import DatasetRegistry, DatasetSpec, default_registry
+from .server import FBoxServer, make_server, serve
+
+__all__ = [
+    "LRUCache",
+    "ServiceMetrics",
+    "DatasetRegistry",
+    "DatasetSpec",
+    "default_registry",
+    "FBoxServer",
+    "make_server",
+    "serve",
+    "canonical_key",
+    "encode_topk",
+    "encode_comparison",
+    "encode_explanation",
+    "parse_member",
+]

@@ -1,0 +1,81 @@
+"""A thread-safe LRU cache for query results, with hit/miss/eviction counters.
+
+The service's workloads are read-heavy and highly repetitive — the same
+top-k and comparison queries arrive over and over — so a small LRU over
+canonicalized request parameters (:func:`repro.service.encoding.
+canonical_key`) absorbs most of the load once an F-Box is warm.  Counters
+feed the ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+__all__ = ["LRUCache"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used mapping with a fixed capacity.
+
+    ``capacity <= 0`` disables caching entirely (every lookup misses and
+    nothing is stored) — useful for benchmarking the cold path.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default=None):
+        """The cached value for ``key`` (refreshing recency), else ``default``."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Store ``key → value``, evicting the least-recently-used overflow."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """A consistent snapshot of size and counters."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

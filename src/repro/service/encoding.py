@@ -1,0 +1,146 @@
+"""Machine-readable encodings of F-Box results, shared by CLI and service.
+
+One encoder per result type so ``repro quantify --json``, ``repro compare
+--json``, and the HTTP endpoints emit byte-identical JSON documents, plus the
+canonicalization that turns request parameters into stable cache keys.
+
+Groups appear in two places with different needs: *inputs* are parsed from
+the compact ``attr=value[,attr=value]`` syntax (:func:`parse_member`), and
+*outputs* carry both the human-readable name and the exact predicate mapping
+so callers can round-trip them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Hashable, Mapping
+
+from ..core.comparison import ComparisonReport
+from ..core.explain import CellExplanation
+from ..core.fagin import TopKResult
+from ..core.groups import Group
+from ..core.indices import AccessStats
+from ..exceptions import ReproError
+
+__all__ = [
+    "parse_group",
+    "parse_member",
+    "member_payload",
+    "encode_topk",
+    "encode_comparison",
+    "encode_explanation",
+    "canonical_key",
+]
+
+
+def parse_group(text: str) -> Group:
+    """Parse the CLI/service group syntax ``attr=value[,attr=value]``."""
+    predicates: dict[str, str] = {}
+    for part in text.split(","):
+        if "=" not in part:
+            raise ReproError(
+                f"group members are written as attr=value[,attr=value]; got {text!r}"
+            )
+        name, value = part.split("=", 1)
+        name, value = name.strip(), value.strip()
+        if not name or not value:
+            raise ReproError(
+                f"group predicates need a non-empty attribute and value; got {text!r}"
+            )
+        predicates[name] = value
+    return Group(predicates)
+
+
+def parse_member(dimension: str, text: str) -> Hashable:
+    """Parse one dimension member: groups get label syntax, others are literal."""
+    if dimension == "group":
+        return parse_group(text)
+    return text
+
+
+def member_payload(member: Hashable) -> dict:
+    """Encode one dimension member; groups carry their predicates."""
+    if isinstance(member, Group):
+        return {"name": member.name, "predicates": dict(member.predicates)}
+    return {"name": str(member)}
+
+
+def _stats_payload(stats: AccessStats) -> dict:
+    return {
+        "sorted_accesses": stats.sorted_accesses,
+        "random_accesses": stats.random_accesses,
+    }
+
+
+def encode_topk(result: TopKResult, dimension: str) -> dict:
+    """JSON document for a Problem 1 (quantification) result."""
+    return {
+        "kind": "quantification",
+        "dimension": dimension,
+        "order": result.order,
+        "entries": [
+            {**member_payload(key), "unfairness": value}
+            for key, value in result.entries
+        ],
+        "rounds": result.rounds,
+        "early_stopped": result.early_stopped,
+        "access_stats": _stats_payload(result.stats),
+    }
+
+
+def encode_comparison(report: ComparisonReport) -> dict:
+    """JSON document for a Problem 2 (comparison) result."""
+    return {
+        "kind": "comparison",
+        "dimension": report.dimension,
+        "breakdown": report.breakdown_dimension,
+        "r1": member_payload(report.r1),
+        "r2": member_payload(report.r2),
+        "overall": {"r1": report.overall_r1, "r2": report.overall_r2},
+        "rows": [
+            {
+                **member_payload(row.member),
+                "value_r1": row.value_r1,
+                "value_r2": row.value_r2,
+                "reversed": row.reversed_vs_overall,
+            }
+            for row in report.rows
+        ],
+        "reversed_members": [
+            member_payload(member)["name"] for member in report.reversed_members
+        ],
+        "access_stats": _stats_payload(report.stats),
+    }
+
+
+def encode_explanation(explanation: CellExplanation) -> dict:
+    """JSON document for a cell explanation."""
+    return {
+        "kind": "explanation",
+        "group": member_payload(explanation.group),
+        "query": explanation.query,
+        "location": explanation.location,
+        "unfairness": explanation.value,
+        "narrative": explanation.narrative(),
+        "contributions": [
+            {
+                "comparable": member_payload(contribution.comparable),
+                "distance": contribution.distance,
+                "group_size": contribution.group_size,
+                "comparable_size": contribution.comparable_size,
+            }
+            for contribution in explanation.contributions
+        ],
+    }
+
+
+def canonical_key(endpoint: str, params: Mapping[str, object]) -> str:
+    """A stable cache key: endpoint plus canonically serialized parameters.
+
+    Parameters are JSON-serialized with sorted keys and no whitespace, so two
+    requests that differ only in field order (or absent-vs-default fields the
+    caller normalized away) map to the same key.
+    """
+    return endpoint + ":" + json.dumps(
+        params, sort_keys=True, separators=(",", ":"), default=str
+    )

@@ -1,0 +1,49 @@
+"""Service-level errors carrying HTTP status codes.
+
+Library errors (:class:`~repro.exceptions.ReproError` subclasses) say *what*
+went wrong; these say what the HTTP layer should do about it.  Handlers
+raise (or map into) one of these and the server renders a structured JSON
+error body — never a 500 with a traceback — for any invalid input.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ReproError
+
+__all__ = ["ServiceError", "BadRequest", "NotFound", "Unprocessable", "RequestTimeout"]
+
+
+class ServiceError(ReproError):
+    """Base class for errors the HTTP layer renders as a JSON error body."""
+
+    status = 500
+    kind = "internal"
+
+
+class BadRequest(ServiceError):
+    """The request envelope is malformed: bad JSON, missing or mistyped fields."""
+
+    status = 400
+    kind = "bad_request"
+
+
+class NotFound(ServiceError):
+    """The addressed resource (path or dataset) does not exist."""
+
+    status = 404
+    kind = "not_found"
+
+
+class Unprocessable(ServiceError):
+    """The request is well-formed but semantically invalid for this dataset:
+    unknown dimensions, malformed group labels, members outside the domain."""
+
+    status = 422
+    kind = "unprocessable"
+
+
+class RequestTimeout(ServiceError):
+    """The per-request deadline elapsed before the query finished."""
+
+    status = 503
+    kind = "timeout"

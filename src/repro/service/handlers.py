@@ -1,0 +1,264 @@
+"""Endpoint logic: validate, consult the cache, query the F-Box, encode.
+
+Handlers are plain functions over a :class:`ServiceContext` — no HTTP in
+sight — so the full request surface (including every error path) is testable
+without a socket.  The server layer maps their return values onto HTTP
+responses and their :class:`~repro.service.errors.ServiceError` exceptions
+onto structured 4xx JSON bodies.
+
+Validation policy
+-----------------
+* envelope problems (non-object body, missing/mistyped fields) → 400;
+* unknown dataset names → 404;
+* semantically invalid queries (unknown dimensions or measures, malformed
+  group labels, members outside a domain, undefined cells) → 422.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+from ..core.explain import explain_cell
+from ..exceptions import ReproError
+from .cache import LRUCache
+from .encoding import (
+    canonical_key,
+    encode_comparison,
+    encode_explanation,
+    encode_topk,
+    parse_group,
+    parse_member,
+)
+from .errors import BadRequest, ServiceError, Unprocessable
+from .observability import ServiceMetrics
+from .registry import DatasetRegistry
+
+__all__ = [
+    "ServiceContext",
+    "handle_quantify",
+    "handle_compare",
+    "handle_explain",
+    "handle_datasets",
+    "handle_healthz",
+]
+
+_DIMENSIONS = ("group", "query", "location")
+_ORDERS = ("most", "least")
+_QUANTIFY_ALGORITHMS = ("fagin", "naive")
+_COMPARE_ALGORITHMS = ("cube", "indices")
+
+
+@dataclass
+class ServiceContext:
+    """Everything a handler needs: datasets, result cache, metrics."""
+
+    registry: DatasetRegistry
+    cache: LRUCache = field(default_factory=LRUCache)
+    metrics: ServiceMetrics = field(default_factory=ServiceMetrics)
+
+
+def _require_object(payload) -> Mapping:
+    if not isinstance(payload, Mapping):
+        raise BadRequest(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _string_field(payload: Mapping, name: str, required: bool = True) -> str | None:
+    value = payload.get(name)
+    if value is None:
+        if required:
+            raise BadRequest(f"missing required field {name!r}")
+        return None
+    if not isinstance(value, str) or not value:
+        raise BadRequest(f"field {name!r} must be a non-empty string")
+    return value
+
+
+def _int_field(payload: Mapping, name: str, default: int) -> int:
+    value = payload.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequest(f"field {name!r} must be an integer")
+    return value
+
+
+def _choice_field(
+    payload: Mapping, name: str, choices: tuple[str, ...], default: str | None = None
+) -> str:
+    """A string field restricted to ``choices``.
+
+    Missing-and-no-default is a 400 (envelope problem); present but outside
+    ``choices`` is a 422 (semantic problem).
+    """
+    value = payload.get(name, default)
+    if value is None:
+        raise BadRequest(f"missing required field {name!r}")
+    if not isinstance(value, str):
+        raise BadRequest(f"field {name!r} must be a string")
+    if value not in choices:
+        raise Unprocessable(
+            f"field {name!r} must be one of {list(choices)}, got {value!r}"
+        )
+    return value
+
+
+def _parse_member_or_422(dimension: str, text: str) -> Hashable:
+    try:
+        return parse_member(dimension, text)
+    except ServiceError:
+        raise
+    except ReproError as error:
+        raise Unprocessable(str(error)) from error
+
+
+def _run_query(fn):
+    """Run one F-Box call, translating library errors into 422s."""
+    try:
+        return fn()
+    except ServiceError:
+        raise
+    except ReproError as error:
+        raise Unprocessable(str(error)) from error
+
+
+def _cached(context: ServiceContext, key: str, compute):
+    """Cache-through: return ``(document, was_hit)``."""
+    hit = context.cache.get(key)
+    if hit is not None:
+        return hit, True
+    document = compute()
+    context.cache.put(key, document)
+    return document, False
+
+
+def handle_quantify(context: ServiceContext, payload) -> dict:
+    """``POST /quantify`` — Problem 1: top/bottom-k of one dimension."""
+    payload = _require_object(payload)
+    dataset = _string_field(payload, "dataset")
+    dimension = _choice_field(payload, "dimension", _DIMENSIONS)
+    k = _int_field(payload, "k", 5)
+    if k <= 0:
+        raise Unprocessable(f"k must be positive, got {k}")
+    order = _choice_field(payload, "order", _ORDERS, "most")
+    algorithm = _choice_field(payload, "algorithm", _QUANTIFY_ALGORITHMS, "fagin")
+    measure = _string_field(payload, "measure", required=False)
+    spec = context.registry.spec(dataset)  # 404 before any heavy work
+    measure = (measure or spec.default_measure).lower()
+
+    key = canonical_key(
+        "quantify",
+        {
+            "dataset": dataset,
+            "measure": measure,
+            "dimension": dimension,
+            "k": k,
+            "order": order,
+            "algorithm": algorithm,
+        },
+    )
+
+    def compute() -> dict:
+        fbox = context.registry.fbox(dataset, measure)
+        result = _run_query(
+            lambda: fbox.quantify(dimension, k=k, order=order, algorithm=algorithm)
+        )
+        context.metrics.record_access_stats(result.stats)
+        document = encode_topk(result, dimension)
+        document.update(dataset=dataset, measure=measure, k=k, algorithm=algorithm)
+        return document
+
+    document, was_hit = _cached(context, key, compute)
+    return {**document, "cached": was_hit}
+
+
+def handle_compare(context: ServiceContext, payload) -> dict:
+    """``POST /compare`` — Problem 2: reversal breakdown of r1 vs r2."""
+    payload = _require_object(payload)
+    dataset = _string_field(payload, "dataset")
+    dimension = _choice_field(payload, "dimension", _DIMENSIONS)
+    breakdown = _choice_field(payload, "breakdown", _DIMENSIONS)
+    r1_text = _string_field(payload, "r1")
+    r2_text = _string_field(payload, "r2")
+    algorithm = _choice_field(payload, "algorithm", _COMPARE_ALGORITHMS, "cube")
+    measure = _string_field(payload, "measure", required=False)
+    spec = context.registry.spec(dataset)
+    measure = (measure or spec.default_measure).lower()
+    r1 = _parse_member_or_422(dimension, r1_text)
+    r2 = _parse_member_or_422(dimension, r2_text)
+
+    key = canonical_key(
+        "compare",
+        {
+            "dataset": dataset,
+            "measure": measure,
+            "dimension": dimension,
+            "breakdown": breakdown,
+            "r1": str(r1),
+            "r2": str(r2),
+            "algorithm": algorithm,
+        },
+    )
+
+    def compute() -> dict:
+        fbox = context.registry.fbox(dataset, measure)
+        report = _run_query(
+            lambda: fbox.compare(dimension, r1, r2, breakdown, algorithm=algorithm)
+        )
+        context.metrics.record_access_stats(report.stats)
+        document = encode_comparison(report)
+        document.update(dataset=dataset, measure=measure, algorithm=algorithm)
+        return document
+
+    document, was_hit = _cached(context, key, compute)
+    return {**document, "cached": was_hit}
+
+
+def handle_explain(context: ServiceContext, payload) -> dict:
+    """``POST /explain`` — decompose one ``d<g,q,l>`` cell."""
+    payload = _require_object(payload)
+    dataset = _string_field(payload, "dataset")
+    group_text = _string_field(payload, "group")
+    query = _string_field(payload, "query")
+    location = _string_field(payload, "location")
+    measure = _string_field(payload, "measure", required=False)
+    spec = context.registry.spec(dataset)
+    measure = (measure or spec.default_measure).lower()
+    try:
+        group = parse_group(group_text)
+    except ReproError as error:
+        raise Unprocessable(str(error)) from error
+
+    key = canonical_key(
+        "explain",
+        {
+            "dataset": dataset,
+            "measure": measure,
+            "group": str(group),
+            "query": query,
+            "location": location,
+        },
+    )
+
+    def compute() -> dict:
+        fbox = context.registry.fbox(dataset, measure)
+        explanation = _run_query(
+            lambda: explain_cell(fbox.engine, group, query, location)
+        )
+        document = encode_explanation(explanation)
+        document.update(dataset=dataset, measure=measure)
+        return document
+
+    document, was_hit = _cached(context, key, compute)
+    return {**document, "cached": was_hit}
+
+
+def handle_datasets(context: ServiceContext, payload=None) -> dict:
+    """``GET /datasets`` — the registry listing."""
+    return {"datasets": context.registry.describe()}
+
+
+def handle_healthz(context: ServiceContext, payload=None) -> dict:
+    """``GET /healthz`` — liveness."""
+    return {"status": "ok", "datasets": context.registry.names()}

@@ -1,0 +1,220 @@
+"""Service metrics: latency histograms, gauges, counters, and /metrics text.
+
+Everything is stdlib and lock-protected.  The exposition format follows the
+Prometheus text conventions (``# TYPE`` lines, ``_bucket``/``_sum``/
+``_count`` histogram series with cumulative ``le`` buckets) so any standard
+scraper can consume ``GET /metrics``, while :meth:`LatencyHistogram.quantile`
+gives the benchmarks p50/p95 straight from the buckets.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Mapping
+
+from ..core.indices import AccessStats
+
+__all__ = ["LatencyHistogram", "ServiceMetrics", "render_metrics"]
+
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+"""Latency bucket upper bounds, in seconds (plus an implicit +Inf)."""
+
+
+class LatencyHistogram:
+    """A fixed-bucket histogram of request durations (seconds)."""
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.bounds) + 1)  # last slot is +Inf
+        self.total = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration."""
+        with self._lock:
+            slot = len(self.bounds)
+            for index, bound in enumerate(self.bounds):
+                if seconds <= bound:
+                    slot = index
+                    break
+            self.counts[slot] += 1
+            self.total += seconds
+            self.count += 1
+
+    def snapshot(self) -> dict:
+        """Consistent copy: per-bucket counts, sum, and count."""
+        with self._lock:
+            return {
+                "bounds": self.bounds,
+                "counts": tuple(self.counts),
+                "sum": self.total,
+                "count": self.count,
+            }
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket upper bounds (0 when empty)."""
+        snap = self.snapshot()
+        if snap["count"] == 0:
+            return 0.0
+        target = q * snap["count"]
+        cumulative = 0
+        for bound, count in zip(snap["bounds"], snap["counts"]):
+            cumulative += count
+            if cumulative >= target:
+                return bound
+        return snap["bounds"][-1] if snap["bounds"] else 0.0
+
+
+class ServiceMetrics:
+    """All service-side instrumentation behind one thread-safe facade."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._in_flight: dict[str, int] = {}
+        self._requests: dict[tuple[str, int], int] = {}
+        self.sorted_accesses = 0
+        self.random_accesses = 0
+        self.timeouts = 0
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+
+    def histogram(self, endpoint: str) -> LatencyHistogram:
+        """The latency histogram for one endpoint (created on first use)."""
+        with self._lock:
+            histogram = self._histograms.get(endpoint)
+            if histogram is None:
+                histogram = self._histograms[endpoint] = LatencyHistogram()
+            return histogram
+
+    def request_started(self, endpoint: str) -> None:
+        with self._lock:
+            self._in_flight[endpoint] = self._in_flight.get(endpoint, 0) + 1
+
+    def request_finished(self, endpoint: str, status: int, seconds: float) -> None:
+        with self._lock:
+            self._in_flight[endpoint] = max(0, self._in_flight.get(endpoint, 1) - 1)
+            key = (endpoint, status)
+            self._requests[key] = self._requests.get(key, 0) + 1
+        self.histogram(endpoint).observe(seconds)
+
+    def record_timeout(self) -> None:
+        with self._lock:
+            self.timeouts += 1
+
+    # ------------------------------------------------------------------
+    # Index access accounting
+    # ------------------------------------------------------------------
+
+    def record_access_stats(self, stats: AccessStats) -> None:
+        """Accumulate one query's index-access delta into the service totals."""
+        snap = stats.snapshot()
+        with self._lock:
+            self.sorted_accesses += snap.sorted_accesses
+            self.random_accesses += snap.random_accesses
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything, consistently: gauges, counters, histogram snapshots."""
+        with self._lock:
+            in_flight = dict(self._in_flight)
+            requests = dict(self._requests)
+            sorted_accesses = self.sorted_accesses
+            random_accesses = self.random_accesses
+            timeouts = self.timeouts
+            histograms = dict(self._histograms)
+        return {
+            "in_flight": in_flight,
+            "requests": requests,
+            "sorted_accesses": sorted_accesses,
+            "random_accesses": random_accesses,
+            "timeouts": timeouts,
+            "histograms": {
+                endpoint: histogram.snapshot()
+                for endpoint, histogram in histograms.items()
+            },
+        }
+
+
+def _labels(pairs: Mapping[str, object]) -> str:
+    inner = ",".join(f'{key}="{value}"' for key, value in pairs.items())
+    return "{" + inner + "}" if inner else ""
+
+
+def render_metrics(
+    metrics: ServiceMetrics, cache_stats: Mapping[str, int], build_counts: Mapping[str, int]
+) -> str:
+    """Render the full /metrics exposition text."""
+    snap = metrics.snapshot()
+    lines: list[str] = []
+
+    lines.append("# TYPE fbox_requests_total counter")
+    for (endpoint, status), count in sorted(snap["requests"].items()):
+        lines.append(
+            f"fbox_requests_total{_labels({'endpoint': endpoint, 'status': status})} {count}"
+        )
+
+    lines.append("# TYPE fbox_in_flight gauge")
+    for endpoint, gauge in sorted(snap["in_flight"].items()):
+        lines.append(f"fbox_in_flight{_labels({'endpoint': endpoint})} {gauge}")
+
+    lines.append("# TYPE fbox_request_seconds histogram")
+    for endpoint, histogram in sorted(snap["histograms"].items()):
+        cumulative = 0
+        for bound, count in zip(histogram["bounds"], histogram["counts"]):
+            cumulative += count
+            lines.append(
+                "fbox_request_seconds_bucket"
+                f"{_labels({'endpoint': endpoint, 'le': bound})} {cumulative}"
+            )
+        cumulative += histogram["counts"][-1]
+        lines.append(
+            "fbox_request_seconds_bucket"
+            f"{_labels({'endpoint': endpoint, 'le': '+Inf'})} {cumulative}"
+        )
+        lines.append(
+            f"fbox_request_seconds_sum{_labels({'endpoint': endpoint})} "
+            f"{histogram['sum']:.6f}"
+        )
+        lines.append(
+            f"fbox_request_seconds_count{_labels({'endpoint': endpoint})} "
+            f"{histogram['count']}"
+        )
+
+    lines.append("# TYPE fbox_index_accesses_total counter")
+    lines.append(
+        f"fbox_index_accesses_total{_labels({'mode': 'sorted'})} {snap['sorted_accesses']}"
+    )
+    lines.append(
+        f"fbox_index_accesses_total{_labels({'mode': 'random'})} {snap['random_accesses']}"
+    )
+
+    lines.append("# TYPE fbox_request_timeouts_total counter")
+    lines.append(f"fbox_request_timeouts_total {snap['timeouts']}")
+
+    lines.append("# TYPE fbox_cache_events_total counter")
+    for event in ("hits", "misses", "evictions"):
+        lines.append(
+            f"fbox_cache_events_total{_labels({'event': event})} {cache_stats[event]}"
+        )
+    lines.append("# TYPE fbox_cache_entries gauge")
+    lines.append(f"fbox_cache_entries {cache_stats['size']}")
+    lines.append("# TYPE fbox_cache_capacity gauge")
+    lines.append(f"fbox_cache_capacity {cache_stats['capacity']}")
+
+    lines.append("# TYPE fbox_cube_builds_total counter")
+    lines.append(f"fbox_cube_builds_total {build_counts['cube_builds']}")
+    lines.append("# TYPE fbox_index_family_builds_total counter")
+    lines.append(f"fbox_index_family_builds_total {build_counts['family_builds']}")
+    lines.append("# TYPE fbox_instances gauge")
+    lines.append(f"fbox_instances {build_counts['fboxes']}")
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,256 @@
+"""The dataset registry: load once, share F-Boxes across requests.
+
+A :class:`DatasetSpec` describes how to obtain one named dataset (load a
+saved JSONL file or synthesize from a seed); the :class:`DatasetRegistry`
+materializes each dataset **once** and hands out one shared
+:class:`~repro.core.fbox.FBox` per ``(dataset, measure)`` pair.  Both levels
+use double-checked locking, so under concurrent first-touch traffic every
+dataset is built by exactly one thread and every cube/index family exactly
+once (the FBox itself locks its lazy builds).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.attributes import default_schema
+from ..core.fbox import FBox
+from ..data.io import load_marketplace_dataset, load_search_dataset
+from ..exceptions import ReproError
+from .errors import NotFound, ServiceError, Unprocessable
+
+__all__ = ["DatasetSpec", "DatasetRegistry", "default_registry", "SMALL_CITIES"]
+
+_SITES = ("taskrabbit", "google")
+
+SMALL_CITIES = (
+    "Birmingham, UK",
+    "Oklahoma City, OK",
+    "Chicago, IL",
+    "San Francisco, CA",
+    "Boston, MA",
+    "Seattle, WA",
+)
+"""Reduced crawl scope used by ``--scope small`` for fast boots."""
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """How to obtain one named dataset.
+
+    Parameters
+    ----------
+    name:
+        Registry key, used as the ``dataset`` field of every request.
+    site:
+        ``"taskrabbit"`` (marketplace) or ``"google"`` (search engine);
+        selects the FBox constructor and the default measure.
+    loader:
+        Zero-argument callable returning the dataset object.  Called at most
+        once per registry.
+    default_measure:
+        Measure used when a request omits one (``emd`` for marketplaces,
+        ``kendall`` for search engines).
+    description:
+        One line for the ``/datasets`` listing.
+    """
+
+    name: str
+    site: str
+    loader: Callable[[], object] = field(compare=False)
+    default_measure: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.site not in _SITES:
+            raise ReproError(f"site must be one of {_SITES}, got {self.site!r}")
+        if not self.default_measure:
+            object.__setattr__(
+                self,
+                "default_measure",
+                "emd" if self.site == "taskrabbit" else "kendall",
+            )
+
+
+class DatasetRegistry:
+    """Thread-safe home of datasets and their shared F-Boxes."""
+
+    def __init__(self, schema=None) -> None:
+        self.schema = schema if schema is not None else default_schema()
+        self._specs: dict[str, DatasetSpec] = {}
+        self._datasets: dict[str, object] = {}
+        self._fboxes: dict[tuple[str, str], FBox] = {}
+        self._lock = threading.RLock()
+
+    def register(self, spec: DatasetSpec) -> None:
+        """Add (or replace) a dataset spec; drops any stale materializations."""
+        with self._lock:
+            self._specs[spec.name] = spec
+            self._datasets.pop(spec.name, None)
+            for key in [k for k in self._fboxes if k[0] == spec.name]:
+                del self._fboxes[key]
+
+    def names(self) -> list[str]:
+        """Registered dataset names, in registration order."""
+        with self._lock:
+            return list(self._specs)
+
+    def spec(self, name: str) -> DatasetSpec:
+        """The spec for ``name``; raises :class:`NotFound` when unregistered."""
+        with self._lock:
+            spec = self._specs.get(name)
+        if spec is None:
+            known = ", ".join(sorted(self.names())) or "none"
+            raise NotFound(f"unknown dataset {name!r} (registered: {known})")
+        return spec
+
+    def dataset(self, name: str):
+        """The materialized dataset (loaded exactly once, double-checked)."""
+        spec = self.spec(name)
+        loaded = self._datasets.get(name)
+        if loaded is None:
+            with self._lock:
+                loaded = self._datasets.get(name)
+                if loaded is None:
+                    loaded = spec.loader()
+                    self._datasets[name] = loaded
+        return loaded
+
+    def is_loaded(self, name: str) -> bool:
+        """True when the dataset has been materialized already."""
+        with self._lock:
+            return name in self._datasets
+
+    def loaded_measures(self, name: str) -> list[str]:
+        """Measures with a live FBox for ``name``."""
+        with self._lock:
+            return [measure for (n, measure) in self._fboxes if n == name]
+
+    def fbox(self, name: str, measure: str | None = None) -> FBox:
+        """The shared FBox for ``(name, measure)``, built exactly once.
+
+        An invalid measure surfaces as :class:`Unprocessable` so the HTTP
+        layer answers 422 instead of 500.
+        """
+        spec = self.spec(name)
+        measure = (measure or spec.default_measure).lower()
+        key = (name, measure)
+        fbox = self._fboxes.get(key)
+        if fbox is None:
+            dataset = self.dataset(name)
+            with self._lock:
+                fbox = self._fboxes.get(key)
+                if fbox is None:
+                    try:
+                        if spec.site == "taskrabbit":
+                            fbox = FBox.for_marketplace(
+                                dataset, self.schema, measure=measure
+                            )
+                        else:
+                            fbox = FBox.for_search(
+                                dataset, self.schema, measure=measure
+                            )
+                    except ServiceError:
+                        raise
+                    except ReproError as error:
+                        raise Unprocessable(
+                            f"cannot build an F-Box for dataset {name!r} with "
+                            f"measure {measure!r}: {error}"
+                        ) from error
+                    self._fboxes[key] = fbox
+        return fbox
+
+    def preload(self) -> None:
+        """Materialize every dataset and its default-measure FBox eagerly."""
+        for name in self.names():
+            self.fbox(name)
+
+    def build_counts(self) -> dict[str, int]:
+        """Cumulative cube and index-family builds across all live F-Boxes."""
+        with self._lock:
+            fboxes = list(self._fboxes.values())
+        return {
+            "cube_builds": sum(fbox.cube_builds for fbox in fboxes),
+            "family_builds": sum(fbox.family_builds for fbox in fboxes),
+            "fboxes": len(fboxes),
+        }
+
+    def describe(self) -> list[dict]:
+        """The ``/datasets`` listing: one entry per registered spec."""
+        entries = []
+        for name in self.names():
+            spec = self.spec(name)
+            entry = {
+                "name": name,
+                "site": spec.site,
+                "default_measure": spec.default_measure,
+                "description": spec.description,
+                "loaded": self.is_loaded(name),
+                "measures_ready": sorted(self.loaded_measures(name)),
+            }
+            if self.is_loaded(name):
+                dataset = self.dataset(name)
+                entry["observations"] = len(dataset)
+                entry["queries"] = len(dataset.queries)
+                entry["locations"] = len(dataset.locations)
+            entries.append(entry)
+        return entries
+
+
+def default_registry(
+    seed: int | None = None,
+    scope: str = "small",
+    taskrabbit_path: str | None = None,
+    google_path: str | None = None,
+) -> DatasetRegistry:
+    """The registry ``repro serve`` boots with: one TaskRabbit, one Google.
+
+    ``scope="small"`` crawls six cities (fast boots, smoke tests);
+    ``scope="full"`` runs the paper-scale category crawl and full study
+    design.  A JSONL path replaces simulation for that dataset.
+    """
+    from ..experiments.datasets import (
+        DEFAULT_SEED,
+        build_google_dataset,
+        build_taskrabbit_dataset,
+    )
+
+    if scope not in ("small", "full"):
+        raise ReproError(f"scope must be 'small' or 'full', got {scope!r}")
+    seed = DEFAULT_SEED if seed is None else seed
+    cities = SMALL_CITIES if scope == "small" else None
+    design = "paper" if scope == "small" else "full"
+
+    if taskrabbit_path:
+        taskrabbit_loader = lambda: load_marketplace_dataset(taskrabbit_path)
+        taskrabbit_description = f"loaded from {taskrabbit_path}"
+    else:
+        taskrabbit_loader = lambda: build_taskrabbit_dataset(seed=seed, cities=cities)
+        taskrabbit_description = f"simulated crawl (seed={seed}, scope={scope})"
+    if google_path:
+        google_loader = lambda: load_search_dataset(google_path)
+        google_description = f"loaded from {google_path}"
+    else:
+        google_loader = lambda: build_google_dataset(seed=seed, design=design)
+        google_description = f"simulated study (seed={seed}, design={design})"
+
+    registry = DatasetRegistry()
+    registry.register(
+        DatasetSpec(
+            name="taskrabbit",
+            site="taskrabbit",
+            loader=taskrabbit_loader,
+            description=taskrabbit_description,
+        )
+    )
+    registry.register(
+        DatasetSpec(
+            name="google",
+            site="google",
+            loader=google_loader,
+            description=google_description,
+        )
+    )
+    return registry

@@ -1,0 +1,281 @@
+"""The HTTP layer: routing, timeouts, graceful shutdown.
+
+A :class:`~http.server.ThreadingHTTPServer` gives each request its own
+thread; shared state (registry, cache, metrics) lives on the server object
+and is internally synchronized.  POST queries run under a per-request
+deadline — a guard thread executes the handler and the request thread waits
+``timeout`` seconds before answering 503 (the stray computation finishes in
+the background and still warms the cache).
+
+``serve`` is the blocking entry point behind ``repro serve``: it installs
+SIGTERM/SIGINT handlers that trigger a clean ``shutdown()`` so in-flight
+requests drain before the process exits.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
+
+from .cache import LRUCache
+from .errors import BadRequest, NotFound, RequestTimeout, ServiceError
+from .handlers import (
+    ServiceContext,
+    handle_compare,
+    handle_datasets,
+    handle_explain,
+    handle_healthz,
+    handle_quantify,
+)
+from .observability import ServiceMetrics, render_metrics
+from .registry import DatasetRegistry, default_registry
+
+__all__ = ["FBoxServer", "make_server", "serve"]
+
+_POST_ROUTES = {
+    "/quantify": handle_quantify,
+    "/compare": handle_compare,
+    "/explain": handle_explain,
+}
+_GET_ROUTES = {
+    "/datasets": handle_datasets,
+    "/healthz": handle_healthz,
+}
+
+_MAX_BODY_BYTES = 1 << 20  # 1 MiB is plenty for query parameters
+
+
+class FBoxServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared service context."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        context: ServiceContext,
+        request_timeout: float | None = 30.0,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, _RequestHandler)
+        self.context = context
+        self.request_timeout = request_timeout
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    server: FBoxServer  # narrowed for readability
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path == "/metrics":
+            self._tracked("/metrics", self._metrics_response)
+            return
+        handler = _GET_ROUTES.get(self.path)
+        if handler is None:
+            self._send_error_response(NotFound(f"no such endpoint: GET {self.path}"))
+            return
+        self._tracked(
+            self.path, lambda: (200, handler(self.server.context))
+        )
+
+    def do_POST(self) -> None:  # noqa: N802
+        handler = _POST_ROUTES.get(self.path)
+        if handler is None:
+            self._send_error_response(NotFound(f"no such endpoint: POST {self.path}"))
+            return
+
+        def run() -> tuple[int, dict]:
+            payload = self._read_json_body()
+            document = self._with_deadline(
+                lambda: handler(self.server.context, payload)
+            )
+            return 200, document
+
+        self._tracked(self.path, run)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _tracked(self, endpoint: str, run) -> None:
+        """Run one request with metrics: in-flight, latency, status counts."""
+        metrics = self.server.context.metrics
+        metrics.request_started(endpoint)
+        started = perf_counter()
+        status = 500
+        try:
+            try:
+                status, document = run()
+                body = (
+                    document
+                    if isinstance(document, bytes)
+                    else _json_bytes(document)
+                )
+                content_type = (
+                    "text/plain; version=0.0.4; charset=utf-8"
+                    if endpoint == "/metrics"
+                    else "application/json"
+                )
+                self._write(status, body, content_type)
+            except ServiceError as error:
+                status = error.status
+                if isinstance(error, RequestTimeout):
+                    metrics.record_timeout()
+                self._send_error_response(error)
+            except Exception as error:  # pragma: no cover - defensive
+                status = 500
+                self._write(
+                    500,
+                    _json_bytes(
+                        {"error": {"kind": "internal", "message": str(error)}}
+                    ),
+                    "application/json",
+                )
+        finally:
+            metrics.request_finished(endpoint, status, perf_counter() - started)
+
+    def _metrics_response(self) -> tuple[int, bytes]:
+        context = self.server.context
+        text = render_metrics(
+            context.metrics,
+            context.cache.stats(),
+            context.registry.build_counts(),
+        )
+        return 200, text.encode("utf-8")
+
+    def _with_deadline(self, fn):
+        """Run ``fn`` under the server's per-request timeout."""
+        timeout = self.server.request_timeout
+        if not timeout or timeout <= 0:
+            return fn()
+        outcome: dict = {}
+        done = threading.Event()
+
+        def worker() -> None:
+            try:
+                outcome["value"] = fn()
+            except BaseException as error:  # propagated to the request thread
+                outcome["error"] = error
+            finally:
+                done.set()
+
+        threading.Thread(target=worker, daemon=True).start()
+        if not done.wait(timeout):
+            raise RequestTimeout(
+                f"request exceeded the {timeout:g}s deadline; retry once the "
+                "F-Box is warm"
+            )
+        if "error" in outcome:
+            raise outcome["error"]
+        return outcome["value"]
+
+    def _read_json_body(self):
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or 0)
+        except ValueError:
+            raise BadRequest("invalid Content-Length header") from None
+        if length <= 0:
+            raise BadRequest("request body is required")
+        if length > _MAX_BODY_BYTES:
+            raise BadRequest(f"request body exceeds {_MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise BadRequest(f"request body is not valid JSON: {error}") from None
+
+    def _send_error_response(self, error: ServiceError) -> None:
+        body = _json_bytes(
+            {"error": {"kind": error.kind, "message": str(error)}}
+        )
+        self._write(error.status, body, "application/json")
+
+    def _write(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+
+def _json_bytes(document: dict) -> bytes:
+    return json.dumps(document, sort_keys=True).encode("utf-8")
+
+
+def make_server(
+    registry: DatasetRegistry | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    cache_size: int = 256,
+    request_timeout: float | None = 30.0,
+    quiet: bool = True,
+) -> FBoxServer:
+    """Build a ready-to-serve F-Box server (``port=0`` picks an ephemeral one)."""
+    context = ServiceContext(
+        registry=registry if registry is not None else default_registry(),
+        cache=LRUCache(cache_size),
+        metrics=ServiceMetrics(),
+    )
+    return FBoxServer((host, port), context, request_timeout=request_timeout, quiet=quiet)
+
+
+def serve(
+    registry: DatasetRegistry | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    cache_size: int = 256,
+    request_timeout: float | None = 30.0,
+    preload: bool = False,
+    quiet: bool = False,
+) -> int:
+    """Run the service until SIGTERM/SIGINT; returns a process exit code.
+
+    Must be called from the main thread (signal handlers are installed).
+    """
+    server = make_server(
+        registry=registry,
+        host=host,
+        port=port,
+        cache_size=cache_size,
+        request_timeout=request_timeout,
+        quiet=quiet,
+    )
+    if preload:
+        print("preloading datasets ...", flush=True)
+        server.context.registry.preload()
+
+    def _shutdown(signum, frame) -> None:
+        # shutdown() must not run on the serve_forever thread; hand it off.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {
+        sig: signal.signal(sig, _shutdown) for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    datasets = ", ".join(server.context.registry.names()) or "none"
+    print(f"F-Box service listening on {server.url} (datasets: {datasets})", flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print("F-Box service stopped", flush=True)
+    return 0

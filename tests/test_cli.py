@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -25,6 +27,18 @@ class TestParser:
         assert args.site == "taskrabbit"
         assert args.k == 3
         assert args.order == "least"
+        assert args.json is False
+
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--scope", "full", "--cache-size", "64"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.scope == "full"
+        assert args.cache_size == 64
+        assert args.timeout == 30.0
+        assert args.preload is False
 
 
 class TestToyCommand:
@@ -108,6 +122,41 @@ class TestWithSavedDatasets:
         out = capsys.readouterr().out
         assert "driven most by" in out
         assert "comparable group" in out
+
+    def test_quantify_json_output(self, small_marketplace_dataset, tmp_path, capsys):
+        path = tmp_path / "tr.jsonl"
+        save_marketplace_dataset(small_marketplace_dataset, path)
+        code = main(
+            [
+                "quantify", "taskrabbit", "group", "-k", "2",
+                "--dataset", str(path), "--json",
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "quantification"
+        assert document["dimension"] == "group"
+        assert len(document["entries"]) == 2
+        entry = document["entries"][0]
+        assert set(entry) == {"name", "predicates", "unfairness"}
+        assert document["access_stats"]["sorted_accesses"] > 0
+
+    def test_compare_json_output(self, small_marketplace_dataset, tmp_path, capsys):
+        path = tmp_path / "tr.jsonl"
+        save_marketplace_dataset(small_marketplace_dataset, path)
+        code = main(
+            [
+                "compare", "taskrabbit", "group",
+                "gender=Male", "gender=Female", "location",
+                "--dataset", str(path), "--json",
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "comparison"
+        assert document["r1"]["predicates"] == {"gender": "Male"}
+        assert isinstance(document["reversed_members"], list)
+        assert document["rows"]
 
     def test_quantify_on_saved_search_dataset(
         self, small_search_dataset, tmp_path, capsys

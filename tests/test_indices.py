@@ -111,3 +111,46 @@ class TestAccessCounting:
         merged = family.stats.merged_with(other.stats)
         assert merged.sorted_accesses == 1
         assert merged.random_accesses == 1
+
+    def test_reset_stats_detaches_prior_snapshots(self, cube):
+        """A result holding the old counter object keeps its frozen counts."""
+        family = build_family(cube, "group")
+        family.sorted_access(family.pair_keys[0], 0)
+        before = family.stats
+        family.reset_stats()
+        assert before.sorted_accesses == 1
+        assert family.stats.sorted_accesses == 0
+
+    def test_snapshot_is_detached_and_reset_rezeroes_in_place(self, cube):
+        from repro.core.indices import AccessStats
+
+        stats = AccessStats()
+        stats.record_sorted(3)
+        stats.record_random()
+        snap = stats.snapshot()
+        stats.record_sorted()
+        assert snap == AccessStats(sorted_accesses=3, random_accesses=1)
+        assert stats.sorted_accesses == 4
+        stats.reset()
+        assert stats == AccessStats()
+        assert snap.sorted_accesses == 3  # unaffected by the reset
+
+    def test_counters_are_thread_safe(self, cube):
+        import threading
+
+        from repro.core.indices import AccessStats
+
+        stats = AccessStats()
+
+        def hammer():
+            for _ in range(2000):
+                stats.record_sorted()
+                stats.record_random()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.sorted_accesses == 16000
+        assert stats.random_accesses == 16000
