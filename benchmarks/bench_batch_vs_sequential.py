@@ -1,0 +1,140 @@
+"""The batching claim: one shared index sweep vs N sequential queries.
+
+Boots two identical cold F-Box servers and runs the same 16-point audit
+grid (k = 1..16 over one ``(dataset, measure, dimension, order)`` group)
+against each — once as 16 sequential ``POST /quantify`` calls, once as a
+single ``POST /batch``.  The planner answers the whole batched grid with
+one family build and one threshold-algorithm sweep at ``k_max``, so both
+the wall clock and the sorted+random access counters (read from
+``/metrics``) should drop sharply.
+
+Writes ``benchmarks/results/batch_vs_sequential.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from time import perf_counter
+
+from _util import emit
+from repro.experiments.datasets import build_taskrabbit_dataset
+from repro.service.registry import SMALL_CITIES, DatasetRegistry, DatasetSpec
+from repro.service.server import make_server
+
+GRID_KS = range(1, 17)
+
+
+def _post(base: str, path: str, payload) -> dict:
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        assert response.status == 200
+        return json.loads(response.read())
+
+
+def _metric(text: str, prefix: str) -> int:
+    line = next(line for line in text.splitlines() if line.startswith(prefix))
+    return int(line.rsplit(" ", 1)[1])
+
+
+def _boot(dataset):
+    registry = DatasetRegistry()
+    registry.register(
+        DatasetSpec(name="taskrabbit", site="taskrabbit", loader=lambda: dataset)
+    )
+    server = make_server(registry=registry, port=0, request_timeout=300.0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def _teardown(server, thread) -> None:
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _scrape(base: str) -> dict:
+    with urllib.request.urlopen(base + "/metrics") as response:
+        text = response.read().decode("utf-8")
+    return {
+        "sorted": _metric(text, 'fbox_index_accesses_total{mode="sorted"}'),
+        "random": _metric(text, 'fbox_index_accesses_total{mode="random"}'),
+        "family_builds": _metric(text, "fbox_index_family_builds_total"),
+        "cube_builds": _metric(text, "fbox_cube_builds_total"),
+    }
+
+
+def test_batch_vs_sequential():
+    dataset = build_taskrabbit_dataset(seed=7, cities=SMALL_CITIES)
+    grid = [
+        {"dataset": "taskrabbit", "dimension": "group", "k": k} for k in GRID_KS
+    ]
+
+    server, thread = _boot(dataset)
+    try:
+        started = perf_counter()
+        for payload in grid:
+            document = _post(server.url, "/quantify", payload)
+            assert document["cached"] is False
+        sequential_seconds = perf_counter() - started
+        sequential = _scrape(server.url)
+    finally:
+        _teardown(server, thread)
+
+    server, thread = _boot(dataset)
+    try:
+        started = perf_counter()
+        envelope = _post(
+            server.url, "/batch", [{"op": "quantify", **payload} for payload in grid]
+        )
+        batch_seconds = perf_counter() - started
+        batched = _scrape(server.url)
+    finally:
+        _teardown(server, thread)
+
+    assert envelope["succeeded"] == len(grid)
+    assert envelope["sweep_groups"] == 1
+    assert envelope["shared_items"] == len(grid)
+
+    def row(label: str, seconds: float, counters: dict) -> tuple:
+        return (
+            label,
+            seconds * 1000.0,
+            float(counters["sorted"]),
+            float(counters["random"]),
+            float(counters["sorted"] + counters["random"]),
+            float(counters["family_builds"]),
+        )
+
+    lines = [
+        "Shared-sweep batch vs sequential POSTs — 16-point audit grid",
+        "=" * 62,
+        f"{'strategy':<12} {'ms':>9} {'sorted':>8} {'random':>8} {'total':>8} {'builds':>7}",
+        f"{'-' * 12} {'-' * 9} {'-' * 8} {'-' * 8} {'-' * 8} {'-' * 7}",
+    ]
+    for label, ms, sorted_, random_, total, builds in (
+        row("sequential", sequential_seconds, sequential),
+        row("batch", batch_seconds, batched),
+    ):
+        lines.append(
+            f"{label:<12} {ms:>9.1f} {sorted_:>8.0f} {random_:>8.0f} "
+            f"{total:>8.0f} {builds:>7.0f}"
+        )
+    total_sequential = sequential["sorted"] + sequential["random"]
+    total_batched = batched["sorted"] + batched["random"]
+    lines.append("")
+    lines.append(
+        f"access reduction: {total_sequential}/{total_batched} = "
+        f"{total_sequential / max(1, total_batched):.1f}x"
+    )
+    emit("batch_vs_sequential", "\n".join(lines))
+
+    assert batched["family_builds"] == 1
+    assert batched["cube_builds"] == 1
+    assert total_batched < total_sequential

@@ -11,11 +11,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from time import perf_counter
+
 from _util import emit
 from repro.core.cube import UnfairnessCube
 from repro.core.fagin import naive_top_k, top_k
 from repro.core.groups import Group
-from repro.core.indices import build_family
+from repro.core.indices import InvertedIndex, build_family
 from repro.experiments.report import render_table
 
 
@@ -82,3 +84,44 @@ def test_fagin_matches_naive_at_scale():
     fagin = top_k(cube, "group", 7)
     naive = naive_top_k(cube, "group", 7)
     assert fagin.keys() == naive.keys()
+
+
+def _index_of_size(size: int) -> InvertedIndex:
+    return InvertedIndex.from_pairs(
+        [(f"k{i}", float((i * 7919) % 997) / 997.0) for i in range(size)]
+    )
+
+
+def _probe_seconds(index: InvertedIndex, size: int, probes: int = 20000) -> float:
+    """Mean seconds per random access, probing across the whole key range."""
+    keys = [f"k{(i * 31) % size}" for i in range(probes)]
+    started = perf_counter()
+    for key in keys:
+        index.random_access(key)
+    return (perf_counter() - started) / probes
+
+
+def test_random_access_is_constant_time(benchmark):
+    """The posting-list dict makes random access O(1), as the TA cost model
+    assumes.  With the old linear scan a 100x larger list cost ~100x per
+    probe; with the dict the ratio stays near 1 (20x is a generous bound
+    covering cache effects and timer noise)."""
+    small, large = _index_of_size(100), _index_of_size(10_000)
+    small_seconds = _probe_seconds(small, 100)
+    large_seconds = _probe_seconds(large, 10_000)
+    ratio = large_seconds / small_seconds
+    emit(
+        "random_access_scaling",
+        render_table(
+            "InvertedIndex.random_access cost vs posting-list size",
+            ("size", "ns/probe"),
+            [
+                ("100", small_seconds * 1e9),
+                ("10000", large_seconds * 1e9),
+                ("ratio", ratio),
+            ],
+            decimals=2,
+        ),
+    )
+    assert ratio < 20.0
+    benchmark(large.random_access, "k5000")

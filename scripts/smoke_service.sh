@@ -81,6 +81,15 @@ case "$RESULT" in
 esac
 echo "smoke: quantify ok"
 
+RESULT="$(http POST "$BASE/batch" '[{"op": "quantify", "dataset": "taskrabbit", "dimension": "group", "k": 2}, {"op": "quantify", "dataset": "taskrabbit", "dimension": "group", "k": 4}]')"
+STATUS="${RESULT%% *}"
+[ "$STATUS" = "200" ] || fail "batch answered $RESULT"
+case "$RESULT" in
+    *'"sweep_groups": 1'*|*'"sweep_groups":1'*) ;;
+    *) fail "batch envelope lacks a shared sweep group: $RESULT" ;;
+esac
+echo "smoke: batch ok"
+
 RESULT="$(http GET "$BASE/metrics")"
 STATUS="${RESULT%% *}"
 [ "$STATUS" = "200" ] || fail "metrics answered $RESULT"

@@ -7,6 +7,7 @@ Commands
 ``compare``    Problem 2: breakdown members whose ordering reverses
 ``reproduce``  regenerate one of the paper's tables/figures by name
 ``toy``        print the paper's worked examples (Figures 1–5)
+``batch``      answer a JSON file of sub-requests with shared index sweeps
 ``serve``      run the long-lived F-Box query service (HTTP JSON API)
 
 ``quantify`` and ``compare`` accept ``--json`` to emit the same documents
@@ -99,6 +100,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reproduce.add_argument("--measure", default=None)
     reproduce.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="answer a file of quantify/compare/explain requests in one run",
+    )
+    batch.add_argument(
+        "requests",
+        help='JSON file holding an array of sub-requests (or {"requests": [...]}); '
+        'each item needs an "op" of quantify|compare|explain',
+    )
+    batch.add_argument(
+        "--url", default=None,
+        help="POST to a running service's /batch instead of computing locally",
+    )
+    batch.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    batch.add_argument(
+        "--scope", choices=["small", "full"], default="small",
+        help="dataset scope for local (no --url) execution",
+    )
+    batch.add_argument(
+        "--taskrabbit-data", default=None,
+        help="saved JSONL marketplace dataset for local execution",
+    )
+    batch.add_argument(
+        "--google-data", default=None,
+        help="saved JSONL search dataset for local execution",
+    )
 
     serve = subparsers.add_parser(
         "serve", help="run the F-Box query service (HTTP JSON API)"
@@ -304,6 +332,60 @@ def _command_reproduce(args) -> int:
     return 0
 
 
+def _command_batch(args) -> int:
+    """Run a file of sub-requests through the batch planner, print the envelope.
+
+    Exit code 0 when every sub-request succeeded, 1 when any item failed
+    (the envelope is printed either way, so callers can inspect per-item
+    errors).
+    """
+    with open(args.requests, encoding="utf-8") as handle:
+        payload = json.load(handle)
+
+    if args.url:
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            args.url.rstrip("/") + "/batch",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request) as response:
+                document = json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            print(error.read().decode("utf-8", "replace"), file=sys.stderr)
+            print(f"error: POST /batch answered {error.code}", file=sys.stderr)
+            return 1
+    else:
+        from .service.cache import LRUCache
+        from .service.handlers import ServiceContext, handle_batch
+        from .service.observability import ServiceMetrics
+        from .service.registry import default_registry
+
+        registry = default_registry(
+            seed=args.seed,
+            scope=args.scope,
+            taskrabbit_path=args.taskrabbit_data,
+            google_path=args.google_data,
+        )
+        context = ServiceContext(
+            registry=registry, cache=LRUCache(256), metrics=ServiceMetrics()
+        )
+        document = handle_batch(context, payload)
+
+    print(json.dumps(document, sort_keys=True, indent=2))
+    failed = document.get("failed", 0)
+    if failed:
+        print(
+            f"{failed} of {document.get('count', '?')} sub-requests failed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _command_serve(args) -> int:
     from .service.registry import default_registry
     from .service.server import serve
@@ -331,6 +413,7 @@ _COMMANDS = {
     "explain": _command_explain,
     "toy": _command_toy,
     "reproduce": _command_reproduce,
+    "batch": _command_batch,
     "serve": _command_serve,
 }
 

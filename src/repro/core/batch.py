@@ -1,0 +1,99 @@
+"""Shared-sweep planning for batched fairness queries.
+
+Audit workloads rarely ask one question: they sweep grids — every dimension
+× order × k over the same cube — and answering each grid point with its own
+threshold-algorithm run repeats the identical sorted/random access pattern
+over and over.  This module is the core of the batch planner behind
+``POST /batch``: requests that agree on everything but ``k`` (the
+*homogeneous* case) are answered by **one** Fagin sweep at ``k_max`` whose
+heap walk is then sliced per request.
+
+Slicing is exact, not approximate: :func:`~repro.core.fagin.top_k` orders
+its result best-first with a deterministic tie-break, so the top-``k`` for
+any ``k ≤ k_max`` is literally the first ``k`` entries of the ``k_max``
+run.  Every sliced :class:`~repro.core.fagin.TopKResult` shares the sweep's
+frozen :class:`~repro.core.indices.AccessStats`, which is how callers can
+account the sweep's cost exactly once.
+
+:func:`group_key` is the grouping contract shared with the service layer:
+two sub-requests may share a sweep iff they agree on it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from ..exceptions import AlgorithmError
+from .cube import UnfairnessCube
+from .fagin import TopKResult, top_k
+from .indices import IndexFamily
+
+__all__ = ["group_key", "slice_top_k", "multi_top_k", "plan_groups"]
+
+
+def group_key(
+    dataset: str, measure: str, dimension: str, order: str
+) -> tuple[str, str, str, str]:
+    """The sharing contract: requests with equal keys ride one index sweep."""
+    return (dataset, measure, dimension, order)
+
+
+def slice_top_k(result: TopKResult, k: int) -> TopKResult:
+    """The exact top-``k`` carved out of a ``k_max`` sweep result.
+
+    The slice keeps the sweep's ``rounds``, ``early_stopped``, and (shared)
+    ``stats`` so each derived result documents the cost of the sweep that
+    produced it — callers accounting totals must count that sweep once, not
+    once per slice.
+    """
+    if k <= 0:
+        raise AlgorithmError(f"k must be positive, got {k}")
+    return TopKResult(
+        entries=result.entries[:k],
+        order=result.order,
+        rounds=result.rounds,
+        stats=result.stats,
+        early_stopped=result.early_stopped,
+    )
+
+
+def multi_top_k(
+    cube: UnfairnessCube,
+    dimension: str,
+    ks: Iterable[int],
+    order: str = "most",
+    family: IndexFamily | None = None,
+) -> dict[int, TopKResult]:
+    """Answer every ``k`` in ``ks`` from a single threshold-algorithm sweep.
+
+    Runs :func:`~repro.core.fagin.top_k` once at ``max(ks)`` and slices,
+    so an audit grid of n distinct ``k`` values costs one sweep's accesses
+    instead of n.  Returns ``{k: result}`` for each distinct requested ``k``.
+    """
+    wanted = sorted(set(ks))
+    if not wanted:
+        raise AlgorithmError("multi_top_k needs at least one k")
+    for k in wanted:
+        if k <= 0:
+            raise AlgorithmError(f"k must be positive, got {k}")
+    full = top_k(cube, dimension, wanted[-1], order=order, family=family)
+    results = {wanted[-1]: full}
+    for k in wanted[:-1]:
+        results[k] = slice_top_k(full, k)
+    return results
+
+
+def plan_groups(
+    items: Sequence[tuple[Hashable, object]]
+) -> Mapping[Hashable, list[object]]:
+    """Group planner inputs by their sharing key, preserving arrival order.
+
+    ``items`` are ``(key, payload)`` pairs — typically ``(group_key(...),
+    parsed_request)`` — and the result maps each distinct key to its
+    payloads.  Kept dependency-free so the service layer and offline CLI
+    share one grouping behavior.
+    """
+    groups: dict[Hashable, list[object]] = {}
+    for key, payload in items:
+        groups.setdefault(key, []).append(payload)
+    return groups

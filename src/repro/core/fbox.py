@@ -201,6 +201,25 @@ class FBox:
             return naive_top_k(self.cube, dimension, k, order=order)
         raise AlgorithmError(f"algorithm must be 'fagin' or 'naive', got {algorithm!r}")
 
+    def quantify_many(
+        self, dimension: str, ks: Iterable[int], order: str = "most"
+    ) -> dict[int, TopKResult]:
+        """Problem 1 for every ``k`` in ``ks`` from one shared index sweep.
+
+        The batch planner's core primitive: one threshold-algorithm run at
+        ``max(ks)`` is sliced into each requested ``k`` (see
+        :func:`repro.core.batch.multi_top_k`), so a grid of requests that
+        differ only in ``k`` costs a single sweep's accesses.  All returned
+        results share the sweep's frozen access stats — account them once.
+        """
+        from .batch import multi_top_k
+
+        family = self.family(dimension, order)
+        with family.query_lock:
+            return multi_top_k(
+                self.cube, dimension, ks, order=order, family=family
+            )
+
     def compare(
         self,
         dimension: str,

@@ -89,11 +89,17 @@ class InvertedIndex:
     """One posting list: keys of a single dimension sorted by unfairness.
 
     ``descending=True`` (the paper's layout) puts the most unfair first;
-    bottom-k algorithms build ascending families instead.
+    bottom-k algorithms build ascending families instead.  A key→value dict
+    is derived from the entries at construction time so :meth:`random_access`
+    is O(1), matching the access-cost model the Fagin algorithms assume.
     """
 
     entries: tuple[tuple[Hashable, float], ...]
     descending: bool = True
+    _values: dict = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_values", dict(self.entries))
 
     @classmethod
     def from_pairs(
@@ -113,11 +119,14 @@ class InvertedIndex:
         return self.entries[position]
 
     def random_access(self, key: Hashable) -> float:
-        """The unfairness value stored for ``key``."""
-        for entry_key, value in self.entries:
-            if entry_key == key:
-                return value
-        raise IndexError_(f"key {key!r} is not in this posting list")
+        """The unfairness value stored for ``key`` (O(1) dict probe)."""
+        try:
+            return self._values[key]
+        except KeyError:
+            raise IndexError_(f"key {key!r} is not in this posting list") from None
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._values
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -135,11 +144,9 @@ class IndexFamily:
         self,
         dimension: str,
         lists: dict[tuple, InvertedIndex],
-        random_lookup: dict[tuple, dict[Hashable, float]],
     ) -> None:
         self.dimension = dimension
         self._lists = lists
-        self._random = random_lookup
         self.stats = AccessStats()
         # Algorithms that reset-then-accumulate ``stats`` (the Fagin top-k)
         # hold this while running so concurrent runs on a shared family
@@ -167,13 +174,14 @@ class IndexFamily:
         """Counted O(1) random access: value of ``key`` in the ``pair`` list."""
         self.stats.record_random()
         try:
-            return self._random[pair][key]
-        except KeyError:
+            return self.posting_list(pair).random_access(key)
+        except IndexError_:
             raise IndexError_(f"key {key!r} has no value for pair {pair!r}") from None
 
     def has_value(self, pair: tuple, key: Hashable) -> bool:
         """True when ``key`` holds a value in the ``pair`` posting list."""
-        return pair in self._random and key in self._random[pair]
+        index = self._lists.get(pair)
+        return index is not None and key in index
 
     def reset_stats(self) -> None:
         """Detach a fresh zeroed counter (benchmarks call this between runs).
@@ -199,12 +207,9 @@ def build_family(
     ``"location"`` for ``I(g,q)``.
     """
     lists: dict[tuple, InvertedIndex] = {}
-    random_lookup: dict[tuple, dict[Hashable, float]] = {}
 
     def add(pair: tuple, pairs: list[tuple[Hashable, float]]) -> None:
-        index = InvertedIndex.from_pairs(pairs, descending=descending)
-        lists[pair] = index
-        random_lookup[pair] = dict(index.entries)
+        lists[pair] = InvertedIndex.from_pairs(pairs, descending=descending)
 
     if dimension == GROUP:
         for qi, query in enumerate(cube.queries):
@@ -238,4 +243,4 @@ def build_family(
                 )
     else:
         raise IndexError_(f"unknown dimension {dimension!r}; use group/query/location")
-    return IndexFamily(dimension, lists, random_lookup)
+    return IndexFamily(dimension, lists)

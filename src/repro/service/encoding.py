@@ -15,12 +15,15 @@ from __future__ import annotations
 import json
 from typing import Hashable, Mapping
 
+from typing import Sequence
+
 from ..core.comparison import ComparisonReport
 from ..core.explain import CellExplanation
 from ..core.fagin import TopKResult
 from ..core.groups import Group
 from ..core.indices import AccessStats
 from ..exceptions import ReproError
+from .errors import ServiceError
 
 __all__ = [
     "parse_group",
@@ -29,6 +32,9 @@ __all__ = [
     "encode_topk",
     "encode_comparison",
     "encode_explanation",
+    "batch_item_ok",
+    "batch_item_error",
+    "encode_batch",
     "canonical_key",
 ]
 
@@ -131,6 +137,46 @@ def encode_explanation(explanation: CellExplanation) -> dict:
             }
             for contribution in explanation.contributions
         ],
+    }
+
+
+def batch_item_ok(document: Mapping) -> dict:
+    """One successful sub-request inside a batch envelope."""
+    return {"status": 200, "body": dict(document)}
+
+
+def batch_item_error(error: ServiceError) -> dict:
+    """One failed sub-request: its own status and structured error body.
+
+    Mirrors the single-endpoint error JSON so clients can share decoding
+    logic; the enclosing batch still answers 200 (item failures are data,
+    not transport errors).
+    """
+    return {
+        "status": error.status,
+        "error": {"kind": error.kind, "message": str(error)},
+    }
+
+
+def encode_batch(
+    results: Sequence[Mapping], sweep_groups: int, shared_items: int
+) -> dict:
+    """The ``POST /batch`` response envelope.
+
+    ``results`` is item-aligned with the request array; ``sweep_groups``
+    and ``shared_items`` expose how much index-sweep sharing the planner
+    achieved for this batch.
+    """
+    results = [dict(result) for result in results]
+    succeeded = sum(1 for result in results if result.get("status") == 200)
+    return {
+        "kind": "batch",
+        "count": len(results),
+        "succeeded": succeeded,
+        "failed": len(results) - succeeded,
+        "sweep_groups": sweep_groups,
+        "shared_items": shared_items,
+        "results": results,
     }
 
 

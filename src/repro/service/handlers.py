@@ -19,11 +19,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping
 
+from ..core.batch import group_key
 from ..core.explain import explain_cell
 from ..exceptions import ReproError
 from .cache import LRUCache
 from .encoding import (
+    batch_item_error,
+    batch_item_ok,
     canonical_key,
+    encode_batch,
     encode_comparison,
     encode_explanation,
     encode_topk,
@@ -39,6 +43,7 @@ __all__ = [
     "handle_quantify",
     "handle_compare",
     "handle_explain",
+    "handle_batch",
     "handle_datasets",
     "handle_healthz",
 ]
@@ -47,6 +52,11 @@ _DIMENSIONS = ("group", "query", "location")
 _ORDERS = ("most", "least")
 _QUANTIFY_ALGORITHMS = ("fagin", "naive")
 _COMPARE_ALGORITHMS = ("cube", "indices")
+_BATCH_OPS = ("quantify", "compare", "explain")
+
+_MAX_BATCH_ITEMS = 64
+"""Upper bound on sub-requests per batch (everything runs under one
+request deadline, so unbounded batches would turn into guaranteed 503s)."""
 
 
 @dataclass
@@ -133,8 +143,26 @@ def _cached(context: ServiceContext, key: str, compute):
     return document, False
 
 
-def handle_quantify(context: ServiceContext, payload) -> dict:
-    """``POST /quantify`` — Problem 1: top/bottom-k of one dimension."""
+@dataclass(frozen=True)
+class _QuantifyRequest:
+    """One fully validated quantify sub-request plus its cache key."""
+
+    dataset: str
+    measure: str
+    dimension: str
+    k: int
+    order: str
+    algorithm: str
+    key: str
+
+    @property
+    def sweep_key(self) -> tuple[str, str, str, str]:
+        """The batch planner's sharing key (see :func:`repro.core.batch.group_key`)."""
+        return group_key(self.dataset, self.measure, self.dimension, self.order)
+
+
+def _parse_quantify(context: ServiceContext, payload) -> _QuantifyRequest:
+    """Validate a quantify payload without computing anything heavy."""
     payload = _require_object(payload)
     dataset = _string_field(payload, "dataset")
     dimension = _choice_field(payload, "dimension", _DIMENSIONS)
@@ -151,6 +179,7 @@ def handle_quantify(context: ServiceContext, payload) -> dict:
         "quantify",
         {
             "dataset": dataset,
+            "generation": context.registry.generation(dataset),
             "measure": measure,
             "dimension": dimension,
             "k": k,
@@ -158,18 +187,48 @@ def handle_quantify(context: ServiceContext, payload) -> dict:
             "algorithm": algorithm,
         },
     )
+    return _QuantifyRequest(
+        dataset=dataset,
+        measure=measure,
+        dimension=dimension,
+        k=k,
+        order=order,
+        algorithm=algorithm,
+        key=key,
+    )
 
-    def compute() -> dict:
-        fbox = context.registry.fbox(dataset, measure)
-        result = _run_query(
-            lambda: fbox.quantify(dimension, k=k, order=order, algorithm=algorithm)
+
+def _quantify_document(request: _QuantifyRequest, result) -> dict:
+    document = encode_topk(result, request.dimension)
+    document.update(
+        dataset=request.dataset,
+        measure=request.measure,
+        k=request.k,
+        algorithm=request.algorithm,
+    )
+    return document
+
+
+def _compute_quantify(context: ServiceContext, request: _QuantifyRequest) -> dict:
+    fbox = context.registry.fbox(request.dataset, request.measure)
+    result = _run_query(
+        lambda: fbox.quantify(
+            request.dimension,
+            k=request.k,
+            order=request.order,
+            algorithm=request.algorithm,
         )
-        context.metrics.record_access_stats(result.stats)
-        document = encode_topk(result, dimension)
-        document.update(dataset=dataset, measure=measure, k=k, algorithm=algorithm)
-        return document
+    )
+    context.metrics.record_access_stats(result.stats)
+    return _quantify_document(request, result)
 
-    document, was_hit = _cached(context, key, compute)
+
+def handle_quantify(context: ServiceContext, payload) -> dict:
+    """``POST /quantify`` — Problem 1: top/bottom-k of one dimension."""
+    request = _parse_quantify(context, payload)
+    document, was_hit = _cached(
+        context, request.key, lambda: _compute_quantify(context, request)
+    )
     return {**document, "cached": was_hit}
 
 
@@ -192,6 +251,7 @@ def handle_compare(context: ServiceContext, payload) -> dict:
         "compare",
         {
             "dataset": dataset,
+            "generation": context.registry.generation(dataset),
             "measure": measure,
             "dimension": dimension,
             "breakdown": breakdown,
@@ -234,6 +294,7 @@ def handle_explain(context: ServiceContext, payload) -> dict:
         "explain",
         {
             "dataset": dataset,
+            "generation": context.registry.generation(dataset),
             "measure": measure,
             "group": str(group),
             "query": query,
@@ -252,6 +313,109 @@ def handle_explain(context: ServiceContext, payload) -> dict:
 
     document, was_hit = _cached(context, key, compute)
     return {**document, "cached": was_hit}
+
+
+def _batch_items(payload) -> list:
+    """Unwrap and bound the batch envelope (whole-batch 400s live here)."""
+    if isinstance(payload, Mapping):
+        payload = payload.get("requests")
+        if payload is None:
+            raise BadRequest(
+                'batch body must be a JSON array of sub-requests or '
+                '{"requests": [...]}'
+            )
+    if not isinstance(payload, (list, tuple)):
+        raise BadRequest(
+            f"batch requests must be a JSON array, got {type(payload).__name__}"
+        )
+    if not payload:
+        raise BadRequest("batch is empty; send at least one sub-request")
+    if len(payload) > _MAX_BATCH_ITEMS:
+        raise BadRequest(
+            f"batch exceeds {_MAX_BATCH_ITEMS} sub-requests (got {len(payload)})"
+        )
+    return list(payload)
+
+
+def handle_batch(context: ServiceContext, payload) -> dict:
+    """``POST /batch`` — many quantify/compare/explain answers in one call.
+
+    The planner groups cold fagin-quantify sub-requests by
+    ``(dataset, measure, dimension, order)`` and answers each group with a
+    **single** threshold-algorithm sweep at the group's largest ``k``
+    (:meth:`repro.core.fbox.FBox.quantify_many`), slicing per-request
+    results out of the one heap walk.  Everything else — cache hits,
+    naive-algorithm quantifies, compares, explains — runs through the
+    existing single-request handlers, so per-item caching semantics are
+    identical to the standalone endpoints.
+
+    Item failures never fail the batch: each sub-request carries its own
+    ``status`` and either ``body`` or ``error`` in the item-aligned
+    ``results`` array, and the batch itself answers 200.  Only envelope
+    problems (empty, oversized, non-array) are whole-batch 400s.
+    """
+    items = _batch_items(payload)
+    results: list[dict | None] = [None] * len(items)
+    plans: dict[tuple, list[tuple[int, _QuantifyRequest]]] = {}
+
+    for position, item in enumerate(items):
+        try:
+            item = _require_object(item)
+            op = _choice_field(item, "op", _BATCH_OPS)
+            if op == "compare":
+                results[position] = batch_item_ok(handle_compare(context, item))
+            elif op == "explain":
+                results[position] = batch_item_ok(handle_explain(context, item))
+            else:
+                request = _parse_quantify(context, item)
+                hit = context.cache.get(request.key)
+                if hit is not None:
+                    results[position] = batch_item_ok({**hit, "cached": True})
+                elif request.algorithm == "fagin":
+                    plans.setdefault(request.sweep_key, []).append(
+                        (position, request)
+                    )
+                else:
+                    document, was_hit = _cached(
+                        context,
+                        request.key,
+                        lambda request=request: _compute_quantify(context, request),
+                    )
+                    results[position] = batch_item_ok(
+                        {**document, "cached": was_hit}
+                    )
+        except ServiceError as error:
+            results[position] = batch_item_error(error)
+
+    shared_items = sum(len(members) for members in plans.values() if len(members) > 1)
+    for members in plans.values():
+        _, first = members[0]
+        try:
+            fbox = context.registry.fbox(first.dataset, first.measure)
+            sweep = _run_query(
+                lambda: fbox.quantify_many(
+                    first.dimension,
+                    [request.k for _, request in members],
+                    order=first.order,
+                )
+            )
+            # Every sliced result shares the one sweep's frozen counters;
+            # account the sweep once, not once per sub-request.
+            context.metrics.record_access_stats(
+                next(iter(sweep.values())).stats
+            )
+            for position, request in members:
+                document = _quantify_document(request, sweep[request.k])
+                context.cache.put(request.key, document)
+                results[position] = batch_item_ok({**document, "cached": False})
+        except ServiceError as error:
+            for position, _ in members:
+                results[position] = batch_item_error(error)
+
+    context.metrics.record_batch(
+        items=len(items), groups=len(plans), shared_items=shared_items
+    )
+    return encode_batch(results, sweep_groups=len(plans), shared_items=shared_items)
 
 
 def handle_datasets(context: ServiceContext, payload=None) -> dict:

@@ -79,6 +79,11 @@ class ServiceMetrics:
         self.sorted_accesses = 0
         self.random_accesses = 0
         self.timeouts = 0
+        self.abandoned_requests = 0
+        self.batches = 0
+        self.batch_items = 0
+        self.batch_shared_items = 0
+        self.batch_groups = 0
 
     # ------------------------------------------------------------------
     # Request lifecycle
@@ -107,6 +112,26 @@ class ServiceMetrics:
         with self._lock:
             self.timeouts += 1
 
+    def record_abandoned(self) -> None:
+        """Count one worker abandoned at its deadline (it may still finish)."""
+        with self._lock:
+            self.abandoned_requests += 1
+
+    def record_batch(self, items: int, groups: int, shared_items: int) -> None:
+        """Account one ``/batch`` call.
+
+        ``items`` is the batch size, ``groups`` how many shared index sweeps
+        the planner ran, and ``shared_items`` how many items were answered
+        from a sweep they shared with at least one sibling — so
+        ``batch_shared_items / batch_items`` is the fleet-wide sharing ratio
+        and ``batch_items / batches`` the mean batch size.
+        """
+        with self._lock:
+            self.batches += 1
+            self.batch_items += items
+            self.batch_groups += groups
+            self.batch_shared_items += shared_items
+
     # ------------------------------------------------------------------
     # Index access accounting
     # ------------------------------------------------------------------
@@ -130,6 +155,11 @@ class ServiceMetrics:
             sorted_accesses = self.sorted_accesses
             random_accesses = self.random_accesses
             timeouts = self.timeouts
+            abandoned = self.abandoned_requests
+            batches = self.batches
+            batch_items = self.batch_items
+            batch_shared_items = self.batch_shared_items
+            batch_groups = self.batch_groups
             histograms = dict(self._histograms)
         return {
             "in_flight": in_flight,
@@ -137,6 +167,11 @@ class ServiceMetrics:
             "sorted_accesses": sorted_accesses,
             "random_accesses": random_accesses,
             "timeouts": timeouts,
+            "abandoned_requests": abandoned,
+            "batches": batches,
+            "batch_items": batch_items,
+            "batch_shared_items": batch_shared_items,
+            "batch_groups": batch_groups,
             "histograms": {
                 endpoint: histogram.snapshot()
                 for endpoint, histogram in histograms.items()
@@ -199,6 +234,22 @@ def render_metrics(
 
     lines.append("# TYPE fbox_request_timeouts_total counter")
     lines.append(f"fbox_request_timeouts_total {snap['timeouts']}")
+
+    lines.append("# TYPE fbox_abandoned_requests_total counter")
+    lines.append(f"fbox_abandoned_requests_total {snap['abandoned_requests']}")
+
+    lines.append("# TYPE fbox_batches_total counter")
+    lines.append(f"fbox_batches_total {snap['batches']}")
+    lines.append("# TYPE fbox_batch_items_total counter")
+    for label, count in (
+        ("all", snap["batch_items"]),
+        ("shared_sweep", snap["batch_shared_items"]),
+    ):
+        lines.append(
+            f"fbox_batch_items_total{_labels({'kind': label})} {count}"
+        )
+    lines.append("# TYPE fbox_batch_sweep_groups_total counter")
+    lines.append(f"fbox_batch_sweep_groups_total {snap['batch_groups']}")
 
     lines.append("# TYPE fbox_cache_events_total counter")
     for event in ("hits", "misses", "evictions"):

@@ -82,15 +82,28 @@ class DatasetRegistry:
         self._specs: dict[str, DatasetSpec] = {}
         self._datasets: dict[str, object] = {}
         self._fboxes: dict[tuple[str, str], FBox] = {}
+        self._generations: dict[str, int] = {}
         self._lock = threading.RLock()
 
     def register(self, spec: DatasetSpec) -> None:
-        """Add (or replace) a dataset spec; drops any stale materializations."""
+        """Add (or replace) a dataset spec; drops any stale materializations.
+
+        Each (re-)registration bumps the dataset's generation counter, which
+        the service folds into result-cache keys so answers computed against
+        a replaced dataset can never be served again (ROADMAP: cache
+        invalidation on mid-flight re-registration).
+        """
         with self._lock:
             self._specs[spec.name] = spec
             self._datasets.pop(spec.name, None)
             for key in [k for k in self._fboxes if k[0] == spec.name]:
                 del self._fboxes[key]
+            self._generations[spec.name] = self._generations.get(spec.name, 0) + 1
+
+    def generation(self, name: str) -> int:
+        """How many times ``name`` has been registered (0 when never)."""
+        with self._lock:
+            return self._generations.get(name, 0)
 
     def names(self) -> list[str]:
         """Registered dataset names, in registration order."""

@@ -15,6 +15,7 @@ requests drain before the process exits.
 from __future__ import annotations
 
 import json
+import logging
 import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -24,6 +25,7 @@ from .cache import LRUCache
 from .errors import BadRequest, NotFound, RequestTimeout, ServiceError
 from .handlers import (
     ServiceContext,
+    handle_batch,
     handle_compare,
     handle_datasets,
     handle_explain,
@@ -33,12 +35,15 @@ from .handlers import (
 from .observability import ServiceMetrics, render_metrics
 from .registry import DatasetRegistry, default_registry
 
-__all__ = ["FBoxServer", "make_server", "serve"]
+__all__ = ["FBoxServer", "make_server", "run_with_deadline", "serve"]
+
+_logger = logging.getLogger("repro.service")
 
 _POST_ROUTES = {
     "/quantify": handle_quantify,
     "/compare": handle_compare,
     "/explain": handle_explain,
+    "/batch": handle_batch,
 }
 _GET_ROUTES = {
     "/datasets": handle_datasets,
@@ -46,6 +51,7 @@ _GET_ROUTES = {
 }
 
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB is plenty for query parameters
+_MAX_DRAIN_BYTES = 8 << 20  # past this, closing beats reading an attacker's body
 
 
 class FBoxServer(ThreadingHTTPServer):
@@ -158,45 +164,51 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def _with_deadline(self, fn):
         """Run ``fn`` under the server's per-request timeout."""
-        timeout = self.server.request_timeout
-        if not timeout or timeout <= 0:
-            return fn()
-        outcome: dict = {}
-        done = threading.Event()
-
-        def worker() -> None:
-            try:
-                outcome["value"] = fn()
-            except BaseException as error:  # propagated to the request thread
-                outcome["error"] = error
-            finally:
-                done.set()
-
-        threading.Thread(target=worker, daemon=True).start()
-        if not done.wait(timeout):
-            raise RequestTimeout(
-                f"request exceeded the {timeout:g}s deadline; retry once the "
-                "F-Box is warm"
-            )
-        if "error" in outcome:
-            raise outcome["error"]
-        return outcome["value"]
+        return run_with_deadline(
+            fn, self.server.request_timeout, self.server.context.metrics
+        )
 
     def _read_json_body(self):
+        """Parse the request body, keeping the connection framing coherent.
+
+        This handler speaks HTTP/1.1 keep-alive, so any early 4xx MUST NOT
+        leave unread body bytes on the socket — they would be parsed as the
+        next pipelined request's start line.  Rejection paths therefore
+        either drain the declared body first (bounded by
+        ``_MAX_DRAIN_BYTES``) or mark the connection for close so the
+        client gets an unambiguous ``Connection: close`` response.
+        """
         length_header = self.headers.get("Content-Length")
         try:
             length = int(length_header or 0)
         except ValueError:
+            # Unknown body length: we cannot resync, so drop the connection.
+            self.close_connection = True
             raise BadRequest("invalid Content-Length header") from None
         if length <= 0:
+            # Nothing was sent, so nothing is left unread; keep-alive is safe.
             raise BadRequest("request body is required")
         if length > _MAX_BODY_BYTES:
+            if not self._drain_body(length):
+                self.close_connection = True
             raise BadRequest(f"request body exceeds {_MAX_BODY_BYTES} bytes")
         raw = self.rfile.read(length)
         try:
             return json.loads(raw)
         except json.JSONDecodeError as error:
             raise BadRequest(f"request body is not valid JSON: {error}") from None
+
+    def _drain_body(self, length: int) -> bool:
+        """Discard ``length`` unread body bytes; False when too big to drain."""
+        if length > _MAX_DRAIN_BYTES:
+            return False
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 1 << 16))
+            if not chunk:
+                return False
+            remaining -= len(chunk)
+        return True
 
     def _send_error_response(self, error: ServiceError) -> None:
         body = _json_bytes(
@@ -208,6 +220,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Tell the client explicitly; HTTP/1.1 defaults to keep-alive.
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
@@ -218,6 +233,65 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
 def _json_bytes(document: dict) -> bytes:
     return json.dumps(document, sort_keys=True).encode("utf-8")
+
+
+def run_with_deadline(fn, timeout: float | None, metrics: ServiceMetrics | None = None):
+    """Run ``fn`` on a guard thread, raising 503 after ``timeout`` seconds.
+
+    When the deadline fires, the worker thread is *abandoned*, not killed:
+    it keeps running (a successful late result still warms caches), the
+    ``abandoned_requests`` counter is bumped, and — the part that used to be
+    silently discarded — any exception the abandoned worker eventually
+    raises is logged under ``repro.service``.  The abandoned flag is flipped
+    under a lock shared with the worker's error path so a failure racing the
+    deadline is reported on exactly one side, never dropped.
+    """
+    if not timeout or timeout <= 0:
+        return fn()
+    outcome: dict = {}
+    done = threading.Event()
+    lock = threading.Lock()
+    state = {"abandoned": False}
+
+    def worker() -> None:
+        try:
+            value = fn()
+            with lock:
+                outcome["value"] = value
+        except BaseException as error:  # propagated to the request thread
+            with lock:
+                outcome["error"] = error
+                if state["abandoned"]:
+                    _log_abandoned_failure(error)
+        finally:
+            done.set()
+
+    threading.Thread(target=worker, daemon=True).start()
+    if done.wait(timeout):
+        if "error" in outcome:
+            raise outcome["error"]
+        return outcome["value"]
+    with lock:
+        state["abandoned"] = True
+        late_error = outcome.get("error")
+    if metrics is not None:
+        metrics.record_abandoned()
+    if late_error is not None:
+        # The worker failed in the instant between the wait expiring and the
+        # abandon flag being set; report it here instead.
+        _log_abandoned_failure(late_error)
+    raise RequestTimeout(
+        f"request exceeded the {timeout:g}s deadline; retry once the "
+        "F-Box is warm"
+    )
+
+
+def _log_abandoned_failure(error: BaseException) -> None:
+    _logger.error(
+        "abandoned request worker failed after its deadline: %s",
+        error,
+        exc_info=error,
+    )
 
 
 def make_server(

@@ -10,7 +10,10 @@ that 16 parallel first-touch requests build the cube exactly once.
 from __future__ import annotations
 
 import json
+import logging
+import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
@@ -21,8 +24,12 @@ from repro.core.attributes import default_schema
 from repro.core.fbox import FBox
 from repro.service.cache import LRUCache
 from repro.service.encoding import canonical_key
+from repro.service.errors import RequestTimeout
+from repro.service.handlers import ServiceContext, handle_quantify
+from repro.service.observability import ServiceMetrics
 from repro.service.registry import DatasetRegistry, DatasetSpec
-from repro.service.server import make_server
+from repro.service.server import make_server, run_with_deadline
+from repro.service import server as server_mod
 
 
 # ----------------------------------------------------------------------
@@ -437,6 +444,164 @@ class TestConcurrency:
 
 
 # ----------------------------------------------------------------------
+# Keep-alive framing on early-rejection paths
+# ----------------------------------------------------------------------
+
+
+def _read_http_response(reader) -> tuple[int, dict, bytes]:
+    """Parse one well-framed HTTP response off a socket file."""
+    status_line = reader.readline()
+    assert status_line.startswith(b"HTTP/1.1 "), status_line
+    status = int(status_line.split()[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = reader.read(int(headers.get("content-length", 0)))
+    return status, headers, body
+
+
+class TestKeepAliveFraming:
+    def test_pipelined_rejected_then_valid_request(self, service, monkeypatch):
+        """An oversized body is drained, not left to masquerade as request 2."""
+        monkeypatch.setattr(server_mod, "_MAX_BODY_BYTES", 64)
+        oversized = b"x" * 200
+        first = (
+            b"POST /quantify HTTP/1.1\r\n"
+            b"Host: t\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(oversized)).encode() + b"\r\n"
+            b"\r\n" + oversized
+        )
+        payload = json.dumps(
+            {"dataset": "taskrabbit", "dimension": "group", "k": 2}
+        ).encode()
+        second = (
+            b"POST /quantify HTTP/1.1\r\n"
+            b"Host: t\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(payload)).encode() + b"\r\n"
+            b"\r\n" + payload
+        )
+        host, port = service.server.server_address[:2]
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(first + second)  # pipelined on one connection
+            reader = sock.makefile("rb")
+            status1, _, body1 = _read_http_response(reader)
+            status2, _, body2 = _read_http_response(reader)
+        assert status1 == 400
+        assert "exceeds" in json.loads(body1)["error"]["message"]
+        assert status2 == 200
+        document = json.loads(body2)
+        assert document["kind"] == "quantification"
+        assert len(document["entries"]) == 2
+
+    def test_invalid_content_length_closes_the_connection(self, service):
+        """With an unparseable length we cannot resync, so we must close."""
+        request = (
+            b"POST /quantify HTTP/1.1\r\n"
+            b"Host: t\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: banana\r\n"
+            b"\r\n"
+        )
+        host, port = service.server.server_address[:2]
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(request)
+            reader = sock.makefile("rb")
+            status, headers, body = _read_http_response(reader)
+            assert status == 400
+            assert headers.get("connection") == "close"
+            assert "Content-Length" in json.loads(body)["error"]["message"]
+            assert reader.readline() == b""  # server hung up
+
+    def test_undrainably_large_body_closes_the_connection(
+        self, service, monkeypatch
+    ):
+        monkeypatch.setattr(server_mod, "_MAX_BODY_BYTES", 64)
+        monkeypatch.setattr(server_mod, "_MAX_DRAIN_BYTES", 128)
+        request = (
+            b"POST /quantify HTTP/1.1\r\n"
+            b"Host: t\r\n"
+            b"Content-Length: 4096\r\n"
+            b"\r\n"
+        )
+        host, port = service.server.server_address[:2]
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(request + b"y" * 4096)
+            reader = sock.makefile("rb")
+            status, headers, _ = _read_http_response(reader)
+            assert status == 400
+            assert headers.get("connection") == "close"
+            assert reader.readline() == b""
+
+
+# ----------------------------------------------------------------------
+# Deadline abandonment accounting
+# ----------------------------------------------------------------------
+
+
+class TestAbandonedWorkers:
+    def test_value_and_error_paths_unchanged(self):
+        assert run_with_deadline(lambda: 42, 1.0) == 42
+        with pytest.raises(ValueError, match="boom"):
+            run_with_deadline(lambda: (_ for _ in ()).throw(ValueError("boom")), 1.0)
+
+    def test_abandoned_worker_failure_is_counted_and_logged(self, caplog):
+        metrics = ServiceMetrics()
+        release = threading.Event()
+
+        def slow_failure():
+            release.wait(2.0)
+            raise ValueError("late boom")
+
+        with caplog.at_level(logging.ERROR, logger="repro.service"):
+            with pytest.raises(RequestTimeout):
+                run_with_deadline(slow_failure, 0.01, metrics)
+            assert metrics.abandoned_requests == 1
+            release.set()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if any(
+                    "abandoned request worker failed" in record.message
+                    for record in caplog.records
+                ):
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("abandoned worker's exception was never logged")
+        record = next(
+            record for record in caplog.records
+            if "abandoned request worker failed" in record.message
+        )
+        assert "late boom" in str(record.exc_info[1])
+
+    def test_abandoned_counter_reaches_the_exposition(
+        self, small_marketplace_dataset, small_search_dataset
+    ):
+        registry = _registry(small_marketplace_dataset, small_search_dataset)
+        server = make_server(registry=registry, port=0, request_timeout=1e-4)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        harness = ServiceHarness(server)
+        try:
+            status, _ = harness.post(
+                "/quantify", {"dataset": "taskrabbit", "dimension": "group"}
+            )
+            assert status == 503
+            _, text = harness.get("/metrics")
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        assert "fbox_abandoned_requests_total 1" in text
+        assert "fbox_request_timeouts_total 1" in text
+
+
+# ----------------------------------------------------------------------
 # Registry behavior that needs no server
 # ----------------------------------------------------------------------
 
@@ -475,3 +640,51 @@ class TestRegistry:
         registry.register(spec)
         assert not registry.is_loaded("tr")
         assert registry.build_counts()["fboxes"] == 0
+
+    def test_generation_counts_registrations(self, small_marketplace_dataset):
+        registry = DatasetRegistry()
+        assert registry.generation("tr") == 0
+        spec = DatasetSpec(
+            name="tr", site="taskrabbit", loader=lambda: small_marketplace_dataset
+        )
+        registry.register(spec)
+        assert registry.generation("tr") == 1
+        registry.register(spec)
+        assert registry.generation("tr") == 2
+
+    def test_reregister_mid_flight_serves_fresh_results(
+        self, site, small_marketplace_dataset
+    ):
+        """The ROADMAP stale-cache bug: cached answers must die with the data."""
+        from repro.marketplace.crawl import run_crawl
+
+        registry = DatasetRegistry()
+        registry.register(
+            DatasetSpec(
+                name="tr",
+                site="taskrabbit",
+                loader=lambda: small_marketplace_dataset,
+            )
+        )
+        context = ServiceContext(registry=registry)
+        request = {"dataset": "tr", "dimension": "location", "k": 10}
+
+        first = handle_quantify(context, request)
+        assert first["cached"] is False
+        assert handle_quantify(context, request)["cached"] is True
+        six_cities = {entry["name"] for entry in first["entries"]}
+        assert len(six_cities) == 6
+
+        two_city = run_crawl(
+            site, level="category", cities=["Boston, MA", "Seattle, WA"]
+        ).dataset
+        registry.register(
+            DatasetSpec(name="tr", site="taskrabbit", loader=lambda: two_city)
+        )
+
+        fresh = handle_quantify(context, request)
+        assert fresh["cached"] is False  # generation bump defeated the LRU
+        fresh_cities = {entry["name"] for entry in fresh["entries"]}
+        assert fresh_cities == {"Boston, MA", "Seattle, WA"}
+        # And the new generation caches normally from here on.
+        assert handle_quantify(context, request)["cached"] is True
