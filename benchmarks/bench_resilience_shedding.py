@@ -1,0 +1,159 @@
+"""Overload shedding: p99 of accepted requests with admission control on vs off.
+
+Boots two identical F-Box servers (small six-city TaskRabbit dataset) whose
+``/quantify`` handler burns a fixed slice of thread-CPU per request via the
+deterministic fault injector — real, GIL-contending work, so N concurrent
+requests genuinely demand N × burn of interpreter time.  Both servers then
+take the same 4x-capacity storm of simultaneous clients:
+
+* **shedding on** — ``max_concurrency=2, queue_depth=4``: at most six
+  requests ever share the interpreter; the rest get an immediate 429 with
+  ``Retry-After``.  The p99 of *accepted* requests stays near
+  ``(cap + queue) / cap × burn``.
+* **shedding off** — ``max_concurrency=0``: every request executes at once
+  and they all fight for the GIL, so everyone's latency grows with the whole
+  backlog.
+
+Writes ``benchmarks/results/resilience_shedding.txt`` and asserts the
+headline claim: under overload, shedding keeps the accepted-request p99
+strictly below the no-admission server's p99.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+
+from _util import emit
+from repro.experiments.datasets import build_taskrabbit_dataset
+from repro.service.faults import FaultInjector, FaultRule
+from repro.service.registry import SMALL_CITIES, DatasetRegistry, DatasetSpec
+from repro.service.server import make_server
+
+CLIENTS = 24
+BURN_SECONDS = 0.03  # thread-CPU burned per storm request
+DEADLINE = 10.0
+CAP, QUEUE = 2, 4
+
+_PAYLOAD = {"dataset": "taskrabbit", "dimension": "group", "k": 3}
+
+
+def _injector() -> FaultInjector:
+    # skip=1 exempts the warm-up request; every storm request burns CPU.
+    return FaultInjector(
+        [FaultRule(site="latency", match="/quantify", skip=1, busy=BURN_SECONDS)],
+        seed=1,
+    )
+
+
+def _post(base: str) -> tuple[float, int]:
+    request = urllib.request.Request(
+        base + "/quantify",
+        data=json.dumps(_PAYLOAD).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    started = perf_counter()
+    try:
+        with urllib.request.urlopen(request) as response:
+            status = response.status
+            response.read()
+    except urllib.error.HTTPError as error:
+        status = error.code
+        error.read()
+    return perf_counter() - started, status
+
+
+def _storm(base: str) -> tuple[list[float], list[int]]:
+    barrier = threading.Barrier(CLIENTS)
+
+    def one(_) -> tuple[float, int]:
+        barrier.wait()
+        return _post(base)
+
+    with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+        outcomes = list(pool.map(one, range(CLIENTS)))
+    return [d for d, _ in outcomes], [s for _, s in outcomes]
+
+
+def _p99(values: list[float]) -> float:
+    ranked = sorted(values)
+    return ranked[max(0, math.ceil(0.99 * len(ranked)) - 1)]
+
+
+def _run_server(dataset, max_concurrency: int):
+    registry = DatasetRegistry()
+    registry.register(
+        DatasetSpec(name="taskrabbit", site="taskrabbit", loader=lambda: dataset)
+    )
+    server = make_server(
+        registry=registry,
+        port=0,
+        request_timeout=DEADLINE,
+        max_concurrency=max_concurrency,
+        queue_depth=QUEUE,
+        faults=_injector(),
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def _measure(dataset, max_concurrency: int) -> dict:
+    server, thread = _run_server(dataset, max_concurrency)
+    try:
+        duration, status = _post(server.url)  # warm-up: build cube, fill cache
+        assert status == 200
+        durations, statuses = _storm(server.url)
+        accepted = [d for d, s in zip(durations, statuses) if s == 200]
+        return {
+            "accepted": len(accepted),
+            "shed": statuses.count(429),
+            "p99_accepted": _p99(accepted),
+            "max_latency": max(durations),
+            "statuses": sorted(set(statuses)),
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def test_resilience_shedding():
+    dataset = build_taskrabbit_dataset(seed=7, cities=SMALL_CITIES)
+
+    shedding = _measure(dataset, max_concurrency=CAP)
+    unbounded = _measure(dataset, max_concurrency=0)
+
+    lines = [
+        "Overload shedding under a 4x-capacity storm "
+        f"({CLIENTS} simultaneous clients, {BURN_SECONDS * 1000:.0f}ms "
+        "thread-CPU burned per request)",
+        "",
+        f"{'':24}{'shedding on':>14}{'shedding off':>14}",
+        f"{'concurrency cap':24}{CAP:>14}{'unbounded':>14}",
+        f"{'queue depth':24}{QUEUE:>14}{'—':>14}",
+        f"{'accepted (200)':24}{shedding['accepted']:>14}{unbounded['accepted']:>14}",
+        f"{'shed (429)':24}{shedding['shed']:>14}{unbounded['shed']:>14}",
+        f"{'p99 accepted (s)':24}{shedding['p99_accepted']:>14.4f}"
+        f"{unbounded['p99_accepted']:>14.4f}",
+        f"{'max latency (s)':24}{shedding['max_latency']:>14.4f}"
+        f"{unbounded['max_latency']:>14.4f}",
+        "",
+        "Shedding keeps the p99 of accepted requests bounded by "
+        "(cap + queue) / cap x burn; the unbounded server's latency grows "
+        "with the whole backlog.",
+    ]
+    emit("resilience_shedding", "\n".join(lines))
+
+    # The headline claims, asserted so a regression fails the bench run.
+    assert shedding["statuses"] == [200, 429] or shedding["statuses"] == [200]
+    assert unbounded["accepted"] == CLIENTS
+    assert shedding["shed"] >= CLIENTS // 2
+    assert shedding["max_latency"] < DEADLINE + 2.0
+    assert unbounded["max_latency"] < DEADLINE + 2.0
+    assert shedding["p99_accepted"] < unbounded["p99_accepted"]

@@ -1,7 +1,15 @@
 #!/usr/bin/env bash
-# Smoke test for the F-Box query service:
-#   boots `repro serve` on a free port, waits for /healthz, fires one
-#   /quantify request, and exits nonzero on any failure.
+# Smoke test for the F-Box query service, in three passes:
+#
+#   1. plain boot: /healthz, /readyz, /quantify, /batch, /metrics;
+#   2. chaos (breaker): boot with FBOX_FAULTS making the google loader crash
+#      twice — watch the circuit open (503 circuit_open), then recover
+#      through a half-open probe after the backoff;
+#   3. chaos (degraded): boot with an injected /quantify stall longer than
+#      the request deadline — a warm `allow_stale` request must round-trip
+#      a last-known-good answer marked `"degraded": true`.
+#
+# Exits nonzero on any failure.
 #
 # Usage: scripts/smoke_service.sh [timeout-seconds]
 set -u
@@ -10,23 +18,20 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 TIMEOUT="${1:-120}"
 export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
 
-PORT="$(python3 - <<'EOF'
+LOG="$(mktemp)"
+SERVER_PID=""
+
+pick_port() {
+    python3 - <<'EOF'
 import socket
 with socket.socket() as s:
     s.bind(("127.0.0.1", 0))
     print(s.getsockname()[1])
 EOF
-)" || { echo "smoke: could not pick a free port" >&2; exit 1; }
-
-BASE="http://127.0.0.1:${PORT}"
-LOG="$(mktemp)"
-
-python3 -m repro serve --port "$PORT" --scope small >"$LOG" 2>&1 &
-SERVER_PID=$!
+}
 
 cleanup() {
-    kill "$SERVER_PID" 2>/dev/null
-    wait "$SERVER_PID" 2>/dev/null
+    stop_server
     rm -f "$LOG"
 }
 trap cleanup EXIT
@@ -58,46 +63,146 @@ except Exception as error:
 EOF
 }
 
-# Wait for /healthz (the small-scope datasets load lazily, so boot is fast).
-DEADLINE=$((SECONDS + TIMEOUT))
-while true; do
-    kill -0 "$SERVER_PID" 2>/dev/null || fail "server process died during boot"
-    RESULT="$(http GET "$BASE/healthz")"
-    STATUS="${RESULT%% *}"
-    if [ "$STATUS" = "200" ]; then
-        break
-    fi
-    [ "$SECONDS" -lt "$DEADLINE" ] || fail "healthz did not answer 200 within ${TIMEOUT}s (last: $RESULT)"
-    sleep 0.5
-done
-echo "smoke: healthz ok"
+# boot_server <extra serve args...> — starts `repro serve` on a fresh port,
+# waits for /healthz, and sets BASE/SERVER_PID.  FBOX_FAULTS is inherited
+# from the caller's environment.
+boot_server() {
+    PORT="$(pick_port)" || fail "could not pick a free port"
+    BASE="http://127.0.0.1:${PORT}"
+    : >"$LOG"
+    python3 -m repro serve --port "$PORT" --scope small "$@" >"$LOG" 2>&1 &
+    SERVER_PID=$!
+    local deadline=$((SECONDS + TIMEOUT))
+    while true; do
+        kill -0 "$SERVER_PID" 2>/dev/null || fail "server process died during boot"
+        local result status
+        result="$(http GET "$BASE/healthz")"
+        status="${result%% *}"
+        if [ "$status" = "200" ]; then
+            break
+        fi
+        [ "$SECONDS" -lt "$deadline" ] || fail "healthz did not answer 200 within ${TIMEOUT}s (last: $result)"
+        sleep 0.5
+    done
+}
 
-RESULT="$(http POST "$BASE/quantify" '{"dataset": "taskrabbit", "dimension": "group", "k": 3}')"
-STATUS="${RESULT%% *}"
-[ "$STATUS" = "200" ] || fail "quantify answered $RESULT"
-case "$RESULT" in
+stop_server() {
+    if [ -n "$SERVER_PID" ]; then
+        kill "$SERVER_PID" 2>/dev/null
+        wait "$SERVER_PID" 2>/dev/null
+        SERVER_PID=""
+    fi
+}
+
+# expect <status> <label> <method> <url> [body] — one checked request;
+# prints the body on stdout for follow-up greps.
+expect() {
+    local want="$1" label="$2"
+    shift 2
+    local result status
+    result="$(http "$@")"
+    status="${result%% *}"
+    [ "$status" = "$want" ] || fail "$label answered $result (wanted $want)"
+    printf '%s\n' "${result#* }"
+}
+
+# ----------------------------------------------------------------------
+# Pass 1: plain service
+# ----------------------------------------------------------------------
+
+boot_server
+expect 200 "readyz" GET "$BASE/readyz" >/dev/null
+echo "smoke: healthz + readyz ok"
+
+BODY="$(expect 200 "quantify" POST "$BASE/quantify" '{"dataset": "taskrabbit", "dimension": "group", "k": 3}')"
+case "$BODY" in
     *'"unfairness"'*) ;;
-    *) fail "quantify body lacks unfairness values: $RESULT" ;;
+    *) fail "quantify body lacks unfairness values: $BODY" ;;
 esac
 echo "smoke: quantify ok"
 
-RESULT="$(http POST "$BASE/batch" '[{"op": "quantify", "dataset": "taskrabbit", "dimension": "group", "k": 2}, {"op": "quantify", "dataset": "taskrabbit", "dimension": "group", "k": 4}]')"
-STATUS="${RESULT%% *}"
-[ "$STATUS" = "200" ] || fail "batch answered $RESULT"
-case "$RESULT" in
+BODY="$(expect 200 "batch" POST "$BASE/batch" '[{"op": "quantify", "dataset": "taskrabbit", "dimension": "group", "k": 2}, {"op": "quantify", "dataset": "taskrabbit", "dimension": "group", "k": 4}]')"
+case "$BODY" in
     *'"sweep_groups": 1'*|*'"sweep_groups":1'*) ;;
-    *) fail "batch envelope lacks a shared sweep group: $RESULT" ;;
+    *) fail "batch envelope lacks a shared sweep group: $BODY" ;;
 esac
 echo "smoke: batch ok"
 
-RESULT="$(http GET "$BASE/metrics")"
-STATUS="${RESULT%% *}"
-[ "$STATUS" = "200" ] || fail "metrics answered $RESULT"
-case "$RESULT" in
+BODY="$(expect 200 "metrics" GET "$BASE/metrics")"
+case "$BODY" in
     *fbox_requests_total*) ;;
     *) fail "metrics exposition lacks fbox_requests_total" ;;
 esac
+case "$BODY" in
+    *fbox_breaker_state*) ;;
+    *) fail "metrics exposition lacks fbox_breaker_state" ;;
+esac
 echo "smoke: metrics ok"
+stop_server
+
+# ----------------------------------------------------------------------
+# Pass 2: circuit breaker opens on a crashing loader, then recovers
+# ----------------------------------------------------------------------
+
+GOOGLE='{"dataset": "google", "dimension": "location", "k": 2}'
+
+export FBOX_FAULTS='{"seed": 7, "rules": [{"site": "dataset_load", "match": "google", "times": 2}]}'
+boot_server --breaker-failures 2 --breaker-reset 1
+unset FBOX_FAULTS
+
+# Two injected load crashes surface as 500s and open the circuit ...
+expect 500 "chaos quantify #1" POST "$BASE/quantify" "$GOOGLE" >/dev/null
+expect 500 "chaos quantify #2" POST "$BASE/quantify" "$GOOGLE" >/dev/null
+# ... so the next request is rejected instantly with the breaker state ...
+BODY="$(expect 503 "quarantined quantify" POST "$BASE/quantify" "$GOOGLE")"
+case "$BODY" in
+    *circuit_open*) ;;
+    *) fail "quarantined response lacks circuit_open: $BODY" ;;
+esac
+BODY="$(expect 503 "readyz while quarantined" GET "$BASE/readyz")"
+case "$BODY" in
+    *'"unavailable"'*) ;;
+    *) fail "readyz should be unavailable while quarantined: $BODY" ;;
+esac
+echo "smoke: breaker opened ok"
+
+# ... and after the 1s backoff a half-open probe (fault budget spent) heals it.
+sleep 1.2
+BODY="$(expect 200 "recovered quantify" POST "$BASE/quantify" "$GOOGLE")"
+case "$BODY" in
+    *'"unfairness"'*) ;;
+    *) fail "recovered quantify lacks unfairness values: $BODY" ;;
+esac
+expect 200 "readyz after recovery" GET "$BASE/readyz" >/dev/null
+echo "smoke: breaker recovered ok"
+stop_server
+
+# ----------------------------------------------------------------------
+# Pass 3: degraded (stale) answers under an injected stall
+# ----------------------------------------------------------------------
+
+STALE='{"dataset": "taskrabbit", "dimension": "group", "k": 3, "allow_stale": true}'
+
+export FBOX_FAULTS='{"seed": 7, "rules": [{"site": "latency", "match": "/quantify", "skip": 1, "latency": 30.0}]}'
+boot_server --timeout 2
+unset FBOX_FAULTS
+
+# The first request is exempt (skip=1) and warms the last-known-good store.
+expect 200 "warming quantify" POST "$BASE/quantify" "$STALE" >/dev/null
+# The second stalls past the 2s deadline; allow_stale must round-trip the
+# stale answer, loudly marked.
+BODY="$(expect 200 "degraded quantify" POST "$BASE/quantify" "$STALE")"
+case "$BODY" in
+    *'"degraded": true'*|*'"degraded":true'*) ;;
+    *) fail "stalled quantify was not served degraded: $BODY" ;;
+esac
+BODY="$(expect 200 "metrics after degraded" GET "$BASE/metrics")"
+case "$BODY" in
+    *'fbox_degraded_responses_total 1'*) ;;
+    *) fail "metrics do not count the degraded response" ;;
+esac
+echo "smoke: degraded answer ok"
+stop_server
 
 echo "smoke: PASS"
 exit 0

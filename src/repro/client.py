@@ -1,0 +1,264 @@
+"""A small Python client for the F-Box query service.
+
+:class:`FBoxClient` wraps the HTTP JSON API with the retry discipline the
+resilience layer expects from well-behaved callers:
+
+* **capped exponential backoff with jitter** — attempt ``n`` waits
+  ``min(base_delay * 2**n, max_delay)`` plus a jittered fraction, so a
+  thundering herd of clients spreads out instead of re-stampeding;
+* **Retry-After is honored** — when a 429 (shed) or 503 (breaker open /
+  deadline) carries ``Retry-After``, the client never retries earlier than
+  the server asked, whatever the backoff schedule says;
+* **only retryable failures retry** — 429/503 and connection errors (the
+  service may still be booting); 4xx validation errors surface immediately.
+
+The jitter RNG is seedable and the sleeper injectable, so tests and
+benchmarks get deterministic retry schedules::
+
+    client = FBoxClient(base_url, retry=RetryPolicy(seed=7))
+    answer = client.quantify("taskrabbit", "group", k=5)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from random import Random
+
+from .exceptions import ReproError
+
+__all__ = ["RetryPolicy", "ClientError", "FBoxClient"]
+
+_RETRYABLE_STATUSES = (429, 503)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff tunables for :class:`FBoxClient`.
+
+    ``max_attempts`` counts the first try; ``jitter`` is the fraction of the
+    computed delay added at random (0.1 = up to +10%); ``seed`` fixes the
+    jitter sequence for reproducible tests.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.1
+    max_delay: float = 5.0
+    jitter: float = 0.1
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+
+
+class ClientError(ReproError):
+    """The request failed for good: retries exhausted or a non-retryable 4xx.
+
+    ``status`` is the last HTTP status (0 for connection failures) and
+    ``body`` the decoded JSON error body when one was readable.
+    """
+
+    def __init__(self, message: str, status: int = 0, body: dict | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = body
+
+
+class FBoxClient:
+    """Thin, retrying HTTP client for one F-Box service instance."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+        sleeper=time.sleep,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleeper = sleeper
+        self._rng = Random(self.retry.seed)
+        self.attempts = 0
+        self.retries = 0
+        self.sleeps: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Transport with backoff
+    # ------------------------------------------------------------------
+
+    def _backoff_delay(self, attempt: int, retry_after: float | None) -> float:
+        """Delay before retry ``attempt`` (0-based), honoring Retry-After."""
+        delay = min(self.retry.base_delay * (2**attempt), self.retry.max_delay)
+        if self.retry.jitter:
+            delay += delay * self.retry.jitter * self._rng.random()
+        if retry_after is not None:
+            # The server's floor wins: never retry earlier than asked.
+            delay = max(delay, retry_after)
+        return delay
+
+    def request(self, method: str, path: str, payload=None, retries: bool = True):
+        """One API call with retries; returns ``(status, decoded_body)``.
+
+        429/503 responses and connection errors are retried with backoff
+        (unless ``retries=False``); other 4xx/5xx raise :class:`ClientError`
+        immediately.
+        """
+        url = self.base_url + path
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if data is not None else {}
+        attempts = self.retry.max_attempts if retries else 1
+        last_error: ClientError | None = None
+        for attempt in range(attempts):
+            self.attempts += 1
+            if attempt:
+                self.retries += 1
+            retry_after: float | None = None
+            try:
+                request = urllib.request.Request(
+                    url, data=data, method=method, headers=headers
+                )
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return response.status, _decode(response.read())
+            except urllib.error.HTTPError as error:
+                body = _decode(error.read())
+                if error.code not in _RETRYABLE_STATUSES:
+                    raise ClientError(
+                        f"{method} {path} answered {error.code}: "
+                        f"{_error_message(body)}",
+                        status=error.code,
+                        body=body if isinstance(body, dict) else None,
+                    ) from None
+                retry_after = _retry_after_seconds(error, body)
+                last_error = ClientError(
+                    f"{method} {path} still answering {error.code} after "
+                    f"{attempt + 1} attempts: {_error_message(body)}",
+                    status=error.code,
+                    body=body if isinstance(body, dict) else None,
+                )
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as error:
+                last_error = ClientError(
+                    f"{method} {path} failed after {attempt + 1} attempts: {error}"
+                )
+            if attempt + 1 < attempts:
+                delay = self._backoff_delay(attempt, retry_after)
+                self.sleeps.append(delay)
+                if delay > 0:
+                    self._sleeper(delay)
+        assert last_error is not None
+        raise last_error
+
+    def post(self, path: str, payload: dict):
+        """POST returning the decoded body (status is always 200 here)."""
+        _, body = self.request("POST", path, payload)
+        return body
+
+    def get(self, path: str):
+        """GET returning ``(status, decoded_body)``."""
+        return self.request("GET", path)
+
+    # ------------------------------------------------------------------
+    # Endpoint sugar
+    # ------------------------------------------------------------------
+
+    def quantify(self, dataset: str, dimension: str, **params) -> dict:
+        """``POST /quantify`` — Problem 1 (top/bottom-k)."""
+        return self.post(
+            "/quantify", {"dataset": dataset, "dimension": dimension, **params}
+        )
+
+    def compare(
+        self, dataset: str, dimension: str, r1: str, r2: str, breakdown: str, **params
+    ) -> dict:
+        """``POST /compare`` — Problem 2 (reversal breakdown)."""
+        return self.post(
+            "/compare",
+            {
+                "dataset": dataset,
+                "dimension": dimension,
+                "r1": r1,
+                "r2": r2,
+                "breakdown": breakdown,
+                **params,
+            },
+        )
+
+    def explain(
+        self, dataset: str, group: str, query: str, location: str, **params
+    ) -> dict:
+        """``POST /explain`` — one cell's contribution breakdown."""
+        return self.post(
+            "/explain",
+            {
+                "dataset": dataset,
+                "group": group,
+                "query": query,
+                "location": location,
+                **params,
+            },
+        )
+
+    def batch(self, requests: list[dict]) -> dict:
+        """``POST /batch`` — many sub-requests, shared index sweeps."""
+        return self.post("/batch", {"requests": requests})
+
+    def datasets(self) -> dict:
+        return self.get("/datasets")[1]
+
+    def healthz(self) -> dict:
+        return self.get("/healthz")[1]
+
+    def readyz(self) -> tuple[int, dict]:
+        """Readiness status and body (503 is a *normal* answer here).
+
+        Unlike every other call this never retries a 503 — callers poll
+        readiness themselves and want the current truth, not a wait.
+        """
+        try:
+            return self.request("GET", "/readyz", retries=False)
+        except ClientError as error:
+            if error.status in _RETRYABLE_STATUSES and error.body is not None:
+                return error.status, error.body
+            raise
+
+    def metrics_text(self) -> str:
+        status, body = self.request("GET", "/metrics")
+        return body if isinstance(body, str) else json.dumps(body)
+
+
+def _decode(raw: bytes):
+    text = raw.decode("utf-8", "replace")
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _error_message(body) -> str:
+    if isinstance(body, dict):
+        error = body.get("error")
+        if isinstance(error, dict):
+            return str(error.get("message", error))
+    return str(body)[:200]
+
+
+def _retry_after_seconds(error: urllib.error.HTTPError, body) -> float | None:
+    header = error.headers.get("Retry-After") if error.headers else None
+    if header is not None:
+        try:
+            return float(header)
+        except ValueError:
+            pass
+    if isinstance(body, dict):
+        nested = body.get("error")
+        if isinstance(nested, dict) and isinstance(
+            nested.get("retry_after"), (int, float)
+        ):
+            return float(nested["retry_after"])
+    return None

@@ -10,7 +10,11 @@ the one-shot CLI into that component: a stdlib-only HTTP JSON API that
 * records per-endpoint latency histograms, in-flight gauges, and cumulative
   index-access counts (:mod:`repro.service.observability`), and
 * maps invalid inputs to structured 4xx JSON errors rather than stack traces
-  (:mod:`repro.service.handlers`, :mod:`repro.service.server`).
+  (:mod:`repro.service.handlers`, :mod:`repro.service.server`),
+* stays up under stress: bounded admission with fast 429 shedding, a
+  per-dataset circuit breaker around loads/builds, and opt-in degraded
+  (stale last-known-good) answers (:mod:`repro.service.resilience`), all
+  exercised by deterministic chaos via :mod:`repro.service.faults`.
 
 Start it with ``repro serve`` or programmatically::
 
@@ -29,8 +33,10 @@ from .encoding import (
     encode_topk,
     parse_member,
 )
+from .faults import FaultInjector, FaultRule, InjectedFault, faults_from_env
 from .observability import ServiceMetrics
 from .registry import DatasetRegistry, DatasetSpec, default_registry
+from .resilience import AdmissionController, BreakerConfig, CircuitBreaker
 from .server import FBoxServer, make_server, serve
 
 __all__ = [
@@ -47,4 +53,11 @@ __all__ = [
     "encode_comparison",
     "encode_explanation",
     "parse_member",
+    "AdmissionController",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "faults_from_env",
 ]

@@ -5,60 +5,104 @@ top-k and comparison queries arrive over and over — so a small LRU over
 canonicalized request parameters (:func:`repro.service.encoding.
 canonical_key`) absorbs most of the load once an F-Box is warm.  Counters
 feed the ``/metrics`` endpoint.
+
+Entries may carry a **TTL**: a cache-wide ``default_ttl`` and/or a per-entry
+``ttl`` passed to :meth:`LRUCache.put`.  An expired entry behaves exactly
+like an absent one — the lookup counts as a miss, the entry is dropped, and
+the drop feeds the eviction counter (plus a dedicated ``expirations``
+counter so operators can tell age-outs from capacity pressure).  Generation
+tags folded into keys by the handlers keep working unchanged: TTL bounds
+*staleness in time*, generations bound *staleness across re-registration*.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Hashable
 
 __all__ = ["LRUCache"]
 
 _MISSING = object()
+_UNSET = object()
 
 
 class LRUCache:
-    """Least-recently-used mapping with a fixed capacity.
+    """Least-recently-used mapping with a fixed capacity and optional TTLs.
 
     ``capacity <= 0`` disables caching entirely (every lookup misses and
     nothing is stored) — useful for benchmarking the cold path.
+    ``default_ttl`` is the max age in seconds applied to every entry unless
+    :meth:`put` overrides it (``None`` = live until evicted).  The clock is
+    injectable so tests can age entries deterministically.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(
+        self,
+        capacity: int = 256,
+        default_ttl: float | None = None,
+        clock=time.monotonic,
+    ) -> None:
         self.capacity = int(capacity)
-        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.default_ttl = default_ttl
+        self._clock = clock
+        self._entries: OrderedDict[Hashable, tuple[object, float | None]] = (
+            OrderedDict()
+        )
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.expirations = 0
 
     def get(self, key: Hashable, default=None):
-        """The cached value for ``key`` (refreshing recency), else ``default``."""
+        """The cached value for ``key`` (refreshing recency), else ``default``.
+
+        An entry past its TTL is dropped on sight: the lookup is a miss and
+        the drop counts as both an expiration and an eviction.
+        """
         with self._lock:
-            value = self._entries.get(key, _MISSING)
-            if value is _MISSING:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
                 self.misses += 1
+                return default
+            value, expires_at = entry
+            if expires_at is not None and self._clock() >= expires_at:
+                del self._entries[key]
+                self.misses += 1
+                self.expirations += 1
+                self.evictions += 1
                 return default
             self._entries.move_to_end(key)
             self.hits += 1
             return value
 
-    def put(self, key: Hashable, value) -> None:
-        """Store ``key → value``, evicting the least-recently-used overflow."""
+    def put(self, key: Hashable, value, ttl=_UNSET) -> None:
+        """Store ``key → value``, evicting the least-recently-used overflow.
+
+        ``ttl`` overrides the cache-wide ``default_ttl`` for this entry
+        (``None`` = never expires).
+        """
         if self.capacity <= 0:
             return
+        max_age = self.default_ttl if ttl is _UNSET else ttl
+        expires_at = None if max_age is None else self._clock() + max_age
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
-            self._entries[key] = value
+            self._entries[key] = (value, expires_at)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:
-            return key in self._entries
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                return False
+            _, expires_at = entry
+            return expires_at is None or self._clock() < expires_at
 
     def __len__(self) -> int:
         with self._lock:
@@ -78,4 +122,5 @@ class LRUCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "expirations": self.expirations,
             }

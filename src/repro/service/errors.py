@@ -4,13 +4,29 @@ Library errors (:class:`~repro.exceptions.ReproError` subclasses) say *what*
 went wrong; these say what the HTTP layer should do about it.  Handlers
 raise (or map into) one of these and the server renders a structured JSON
 error body — never a 500 with a traceback — for any invalid input.
+
+Two resilience errors carry extra machinery: :class:`TooManyRequests` and
+:class:`CircuitOpen` both advertise ``retry_after`` (rendered as a
+``Retry-After`` header so well-behaved clients back off) and may attach an
+``extra`` mapping that is folded into the JSON error object (breaker state,
+queue limits) so operators can see *why* from the response alone.
 """
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from ..exceptions import ReproError
 
-__all__ = ["ServiceError", "BadRequest", "NotFound", "Unprocessable", "RequestTimeout"]
+__all__ = [
+    "ServiceError",
+    "BadRequest",
+    "NotFound",
+    "Unprocessable",
+    "RequestTimeout",
+    "TooManyRequests",
+    "CircuitOpen",
+]
 
 
 class ServiceError(ReproError):
@@ -18,6 +34,11 @@ class ServiceError(ReproError):
 
     status = 500
     kind = "internal"
+    retry_after: float | None = None
+    """Seconds the client should wait before retrying (``Retry-After``)."""
+
+    extra: Mapping[str, object] | None = None
+    """Structured context merged into the JSON error object."""
 
 
 class BadRequest(ServiceError):
@@ -47,3 +68,38 @@ class RequestTimeout(ServiceError):
 
     status = 503
     kind = "timeout"
+
+
+class TooManyRequests(ServiceError):
+    """Admission control shed the request: pool and queue are both full."""
+
+    status = 429
+    kind = "overloaded"
+
+    def __init__(
+        self,
+        message: str,
+        retry_after: float = 1.0,
+        extra: Mapping[str, object] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.extra = extra
+
+
+class CircuitOpen(ServiceError):
+    """The dataset's circuit breaker is open: its load/build keeps failing,
+    so the expensive work is quarantined until a half-open probe succeeds."""
+
+    status = 503
+    kind = "circuit_open"
+
+    def __init__(
+        self,
+        message: str,
+        retry_after: float | None = None,
+        extra: Mapping[str, object] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.extra = extra

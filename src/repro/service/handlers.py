@@ -35,8 +35,10 @@ from .encoding import (
     parse_member,
 )
 from .errors import BadRequest, ServiceError, Unprocessable
+from .faults import FaultInjector
 from .observability import ServiceMetrics
 from .registry import DatasetRegistry
+from .resilience import AdmissionController
 
 __all__ = [
     "ServiceContext",
@@ -46,6 +48,8 @@ __all__ = [
     "handle_batch",
     "handle_datasets",
     "handle_healthz",
+    "handle_readyz",
+    "resolve_degraded",
 ]
 
 _DIMENSIONS = ("group", "query", "location")
@@ -61,11 +65,23 @@ request deadline, so unbounded batches would turn into guaranteed 503s)."""
 
 @dataclass
 class ServiceContext:
-    """Everything a handler needs: datasets, result cache, metrics."""
+    """Everything a handler needs: datasets, caches, metrics, resilience.
+
+    ``stale`` is the **last-known-good store**: one entry per logical query
+    keyed *without* the dataset generation, holding ``(document,
+    generation)``.  Unlike the result cache it survives re-registration on
+    purpose — it is what degraded mode serves (with an explicit
+    ``"degraded": true`` and ``"age_generations"``) when a deadline fires
+    or a breaker is open and the request opted in via ``allow_stale``.
+    """
 
     registry: DatasetRegistry
     cache: LRUCache = field(default_factory=LRUCache)
     metrics: ServiceMetrics = field(default_factory=ServiceMetrics)
+    stale: LRUCache = field(default_factory=lambda: LRUCache(256))
+    admission: AdmissionController | None = None
+    faults: FaultInjector | None = None
+    require_loaded: tuple[str, ...] = ()
 
 
 def _require_object(payload) -> Mapping:
@@ -91,6 +107,13 @@ def _int_field(payload: Mapping, name: str, default: int) -> int:
     value = payload.get(name, default)
     if isinstance(value, bool) or not isinstance(value, int):
         raise BadRequest(f"field {name!r} must be an integer")
+    return value
+
+
+def _bool_field(payload: Mapping, name: str, default: bool = False) -> bool:
+    value = payload.get(name, default)
+    if not isinstance(value, bool):
+        raise BadRequest(f"field {name!r} must be a boolean")
     return value
 
 
@@ -133,27 +156,53 @@ def _run_query(fn):
         raise Unprocessable(str(error)) from error
 
 
-def _cached(context: ServiceContext, key: str, compute):
-    """Cache-through: return ``(document, was_hit)``."""
-    hit = context.cache.get(key)
+def _answer(context: ServiceContext, request: "_ParsedRequest", compute):
+    """Cache-through with a last-known-good side copy: ``(document, was_hit)``.
+
+    A fresh computation lands in two places: the result cache (under the
+    generation-tagged key, so re-registration invalidates it) and the stale
+    store (under the generation-*free* key, tagged with the generation it
+    was computed against) so degraded mode can still find it later.
+    """
+    hit = context.cache.get(request.key)
     if hit is not None:
         return hit, True
     document = compute()
-    context.cache.put(key, document)
+    context.cache.put(request.key, document)
+    context.stale.put(request.stale_key, (document, request.generation))
     return document, False
 
 
 @dataclass(frozen=True)
-class _QuantifyRequest:
-    """One fully validated quantify sub-request plus its cache key."""
+class _ParsedRequest:
+    """A fully validated request: cache keys plus degraded-mode facts."""
 
     dataset: str
-    measure: str
-    dimension: str
-    k: int
-    order: str
-    algorithm: str
+    generation: int
     key: str
+    stale_key: str
+    allow_stale: bool = False
+
+
+def _request_keys(
+    context: ServiceContext, endpoint: str, dataset: str, params: Mapping
+) -> tuple[int, str, str]:
+    """The (generation, cache key, stale key) triple for one request."""
+    generation = context.registry.generation(dataset)
+    key = canonical_key(endpoint, {**params, "generation": generation})
+    stale_key = canonical_key(endpoint, dict(params))
+    return generation, key, stale_key
+
+
+@dataclass(frozen=True)
+class _QuantifyRequest(_ParsedRequest):
+    """One fully validated quantify sub-request plus its cache keys."""
+
+    measure: str = ""
+    dimension: str = ""
+    k: int = 0
+    order: str = ""
+    algorithm: str = ""
 
     @property
     def sweep_key(self) -> tuple[str, str, str, str]:
@@ -171,15 +220,17 @@ def _parse_quantify(context: ServiceContext, payload) -> _QuantifyRequest:
         raise Unprocessable(f"k must be positive, got {k}")
     order = _choice_field(payload, "order", _ORDERS, "most")
     algorithm = _choice_field(payload, "algorithm", _QUANTIFY_ALGORITHMS, "fagin")
+    allow_stale = _bool_field(payload, "allow_stale")
     measure = _string_field(payload, "measure", required=False)
     spec = context.registry.spec(dataset)  # 404 before any heavy work
     measure = (measure or spec.default_measure).lower()
 
-    key = canonical_key(
+    generation, key, stale_key = _request_keys(
+        context,
         "quantify",
+        dataset,
         {
             "dataset": dataset,
-            "generation": context.registry.generation(dataset),
             "measure": measure,
             "dimension": dimension,
             "k": k,
@@ -189,12 +240,15 @@ def _parse_quantify(context: ServiceContext, payload) -> _QuantifyRequest:
     )
     return _QuantifyRequest(
         dataset=dataset,
+        generation=generation,
+        key=key,
+        stale_key=stale_key,
+        allow_stale=allow_stale,
         measure=measure,
         dimension=dimension,
         k=k,
         order=order,
         algorithm=algorithm,
-        key=key,
     )
 
 
@@ -226,14 +280,25 @@ def _compute_quantify(context: ServiceContext, request: _QuantifyRequest) -> dic
 def handle_quantify(context: ServiceContext, payload) -> dict:
     """``POST /quantify`` — Problem 1: top/bottom-k of one dimension."""
     request = _parse_quantify(context, payload)
-    document, was_hit = _cached(
-        context, request.key, lambda: _compute_quantify(context, request)
+    document, was_hit = _answer(
+        context, request, lambda: _compute_quantify(context, request)
     )
     return {**document, "cached": was_hit}
 
 
-def handle_compare(context: ServiceContext, payload) -> dict:
-    """``POST /compare`` — Problem 2: reversal breakdown of r1 vs r2."""
+@dataclass(frozen=True)
+class _CompareRequest(_ParsedRequest):
+    """One fully validated compare request plus its cache keys."""
+
+    measure: str = ""
+    dimension: str = ""
+    breakdown: str = ""
+    r1: Hashable = None
+    r2: Hashable = None
+    algorithm: str = ""
+
+
+def _parse_compare(context: ServiceContext, payload) -> _CompareRequest:
     payload = _require_object(payload)
     dataset = _string_field(payload, "dataset")
     dimension = _choice_field(payload, "dimension", _DIMENSIONS)
@@ -241,17 +306,19 @@ def handle_compare(context: ServiceContext, payload) -> dict:
     r1_text = _string_field(payload, "r1")
     r2_text = _string_field(payload, "r2")
     algorithm = _choice_field(payload, "algorithm", _COMPARE_ALGORITHMS, "cube")
+    allow_stale = _bool_field(payload, "allow_stale")
     measure = _string_field(payload, "measure", required=False)
     spec = context.registry.spec(dataset)
     measure = (measure or spec.default_measure).lower()
     r1 = _parse_member_or_422(dimension, r1_text)
     r2 = _parse_member_or_422(dimension, r2_text)
 
-    key = canonical_key(
+    generation, key, stale_key = _request_keys(
+        context,
         "compare",
+        dataset,
         {
             "dataset": dataset,
-            "generation": context.registry.generation(dataset),
             "measure": measure,
             "dimension": dimension,
             "breakdown": breakdown,
@@ -260,28 +327,66 @@ def handle_compare(context: ServiceContext, payload) -> dict:
             "algorithm": algorithm,
         },
     )
+    return _CompareRequest(
+        dataset=dataset,
+        generation=generation,
+        key=key,
+        stale_key=stale_key,
+        allow_stale=allow_stale,
+        measure=measure,
+        dimension=dimension,
+        breakdown=breakdown,
+        r1=r1,
+        r2=r2,
+        algorithm=algorithm,
+    )
+
+
+def handle_compare(context: ServiceContext, payload) -> dict:
+    """``POST /compare`` — Problem 2: reversal breakdown of r1 vs r2."""
+    request = _parse_compare(context, payload)
 
     def compute() -> dict:
-        fbox = context.registry.fbox(dataset, measure)
+        fbox = context.registry.fbox(request.dataset, request.measure)
         report = _run_query(
-            lambda: fbox.compare(dimension, r1, r2, breakdown, algorithm=algorithm)
+            lambda: fbox.compare(
+                request.dimension,
+                request.r1,
+                request.r2,
+                request.breakdown,
+                algorithm=request.algorithm,
+            )
         )
         context.metrics.record_access_stats(report.stats)
         document = encode_comparison(report)
-        document.update(dataset=dataset, measure=measure, algorithm=algorithm)
+        document.update(
+            dataset=request.dataset,
+            measure=request.measure,
+            algorithm=request.algorithm,
+        )
         return document
 
-    document, was_hit = _cached(context, key, compute)
+    document, was_hit = _answer(context, request, compute)
     return {**document, "cached": was_hit}
 
 
-def handle_explain(context: ServiceContext, payload) -> dict:
-    """``POST /explain`` — decompose one ``d<g,q,l>`` cell."""
+@dataclass(frozen=True)
+class _ExplainRequest(_ParsedRequest):
+    """One fully validated explain request plus its cache keys."""
+
+    measure: str = ""
+    group: Hashable = None
+    query: str = ""
+    location: str = ""
+
+
+def _parse_explain(context: ServiceContext, payload) -> _ExplainRequest:
     payload = _require_object(payload)
     dataset = _string_field(payload, "dataset")
     group_text = _string_field(payload, "group")
     query = _string_field(payload, "query")
     location = _string_field(payload, "location")
+    allow_stale = _bool_field(payload, "allow_stale")
     measure = _string_field(payload, "measure", required=False)
     spec = context.registry.spec(dataset)
     measure = (measure or spec.default_measure).lower()
@@ -290,29 +395,93 @@ def handle_explain(context: ServiceContext, payload) -> dict:
     except ReproError as error:
         raise Unprocessable(str(error)) from error
 
-    key = canonical_key(
+    generation, key, stale_key = _request_keys(
+        context,
         "explain",
+        dataset,
         {
             "dataset": dataset,
-            "generation": context.registry.generation(dataset),
             "measure": measure,
             "group": str(group),
             "query": query,
             "location": location,
         },
     )
+    return _ExplainRequest(
+        dataset=dataset,
+        generation=generation,
+        key=key,
+        stale_key=stale_key,
+        allow_stale=allow_stale,
+        measure=measure,
+        group=group,
+        query=query,
+        location=location,
+    )
+
+
+def handle_explain(context: ServiceContext, payload) -> dict:
+    """``POST /explain`` — decompose one ``d<g,q,l>`` cell."""
+    request = _parse_explain(context, payload)
 
     def compute() -> dict:
-        fbox = context.registry.fbox(dataset, measure)
+        fbox = context.registry.fbox(request.dataset, request.measure)
         explanation = _run_query(
-            lambda: explain_cell(fbox.engine, group, query, location)
+            lambda: explain_cell(
+                fbox.engine, request.group, request.query, request.location
+            )
         )
         document = encode_explanation(explanation)
-        document.update(dataset=dataset, measure=measure)
+        document.update(dataset=request.dataset, measure=request.measure)
         return document
 
-    document, was_hit = _cached(context, key, compute)
+    document, was_hit = _answer(context, request, compute)
     return {**document, "cached": was_hit}
+
+
+_DEGRADED_PARSERS = {
+    "/quantify": _parse_quantify,
+    "/compare": _parse_compare,
+    "/explain": _parse_explain,
+}
+
+
+def resolve_degraded(
+    context: ServiceContext, endpoint: str, payload, reason: str
+) -> dict | None:
+    """The degraded-mode answer for a failed request, or ``None``.
+
+    Called by the HTTP layer when a request hit its deadline or an open
+    circuit breaker.  Serves the last-known-good document — possibly
+    computed against an older dataset generation — but only when the
+    request opted in with ``allow_stale: true``, and never silently: the
+    document carries ``"degraded": true``, the staleness in generations,
+    and the reason, and ``fbox_degraded_responses_total`` is incremented.
+    Returns ``None`` (caller re-raises the original error) when the
+    endpoint has no degraded mode, the request did not opt in, the payload
+    does not re-parse, or there is no last-known-good entry.
+    """
+    parser = _DEGRADED_PARSERS.get(endpoint)
+    if parser is None:
+        return None
+    try:
+        request = parser(context, payload)
+    except ServiceError:
+        return None
+    if not request.allow_stale:
+        return None
+    entry = context.stale.get(request.stale_key)
+    if entry is None:
+        return None
+    document, generation = entry
+    context.metrics.record_degraded()
+    return {
+        **document,
+        "cached": True,
+        "degraded": True,
+        "degraded_reason": reason,
+        "age_generations": max(0, request.generation - generation),
+    }
 
 
 def _batch_items(payload) -> list:
@@ -376,9 +545,9 @@ def handle_batch(context: ServiceContext, payload) -> dict:
                         (position, request)
                     )
                 else:
-                    document, was_hit = _cached(
+                    document, was_hit = _answer(
                         context,
-                        request.key,
+                        request,
                         lambda request=request: _compute_quantify(context, request),
                     )
                     results[position] = batch_item_ok(
@@ -407,6 +576,7 @@ def handle_batch(context: ServiceContext, payload) -> dict:
             for position, request in members:
                 document = _quantify_document(request, sweep[request.k])
                 context.cache.put(request.key, document)
+                context.stale.put(request.stale_key, (document, request.generation))
                 results[position] = batch_item_ok({**document, "cached": False})
         except ServiceError as error:
             for position, _ in members:
@@ -418,11 +588,46 @@ def handle_batch(context: ServiceContext, payload) -> dict:
     return encode_batch(results, sweep_groups=len(plans), shared_items=shared_items)
 
 
-def handle_datasets(context: ServiceContext, payload=None) -> dict:
+def handle_datasets(context: ServiceContext, payload=None) -> tuple[int, dict]:
     """``GET /datasets`` — the registry listing."""
-    return {"datasets": context.registry.describe()}
+    return 200, {"datasets": context.registry.describe()}
 
 
-def handle_healthz(context: ServiceContext, payload=None) -> dict:
-    """``GET /healthz`` — liveness."""
-    return {"status": "ok", "datasets": context.registry.names()}
+def handle_healthz(context: ServiceContext, payload=None) -> tuple[int, dict]:
+    """``GET /healthz`` — liveness only: the process is up and answering.
+
+    Deliberately trivial — orchestrators must not restart a pod because a
+    dataset is quarantined; that is readiness (``/readyz``), not liveness.
+    """
+    return 200, {"status": "ok", "datasets": context.registry.names()}
+
+
+def handle_readyz(context: ServiceContext, payload=None) -> tuple[int, dict]:
+    """``GET /readyz`` — readiness: can this instance serve real answers?
+
+    503 while any preloaded dataset is still building (or not yet loaded)
+    or any dataset's breaker is not closed; the body always carries the
+    per-dataset breaker state so a probe failure is self-explaining.
+    """
+    report = context.registry.health_report()
+    states = {entry["name"]: entry for entry in report}
+    blockers: list[str] = []
+    for name in context.require_loaded:
+        entry = states.get(name)
+        if entry is None:
+            blockers.append(f"dataset {name!r} is not registered")
+        elif entry["building"]:
+            blockers.append(f"dataset {name!r} is still building")
+        elif not entry["loaded"]:
+            blockers.append(f"dataset {name!r} is not loaded yet")
+    for entry in report:
+        if entry["breaker"] != "closed":
+            blockers.append(
+                f"dataset {entry['name']!r} breaker is {entry['breaker']}"
+            )
+    status = 200 if not blockers else 503
+    return status, {
+        "status": "ready" if not blockers else "unavailable",
+        "blockers": blockers,
+        "datasets": report,
+    }

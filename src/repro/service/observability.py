@@ -80,6 +80,7 @@ class ServiceMetrics:
         self.random_accesses = 0
         self.timeouts = 0
         self.abandoned_requests = 0
+        self.degraded_responses = 0
         self.batches = 0
         self.batch_items = 0
         self.batch_shared_items = 0
@@ -116,6 +117,11 @@ class ServiceMetrics:
         """Count one worker abandoned at its deadline (it may still finish)."""
         with self._lock:
             self.abandoned_requests += 1
+
+    def record_degraded(self) -> None:
+        """Count one stale last-known-good answer served in degraded mode."""
+        with self._lock:
+            self.degraded_responses += 1
 
     def record_batch(self, items: int, groups: int, shared_items: int) -> None:
         """Account one ``/batch`` call.
@@ -156,6 +162,7 @@ class ServiceMetrics:
             random_accesses = self.random_accesses
             timeouts = self.timeouts
             abandoned = self.abandoned_requests
+            degraded = self.degraded_responses
             batches = self.batches
             batch_items = self.batch_items
             batch_shared_items = self.batch_shared_items
@@ -168,6 +175,7 @@ class ServiceMetrics:
             "random_accesses": random_accesses,
             "timeouts": timeouts,
             "abandoned_requests": abandoned,
+            "degraded_responses": degraded,
             "batches": batches,
             "batch_items": batch_items,
             "batch_shared_items": batch_shared_items,
@@ -184,10 +192,24 @@ def _labels(pairs: Mapping[str, object]) -> str:
     return "{" + inner + "}" if inner else ""
 
 
+_BREAKER_STATE_VALUES = {"closed": 0, "half_open": 1, "open": 2}
+
+
 def render_metrics(
-    metrics: ServiceMetrics, cache_stats: Mapping[str, int], build_counts: Mapping[str, int]
+    metrics: ServiceMetrics,
+    cache_stats: Mapping[str, int],
+    build_counts: Mapping[str, int],
+    admission_stats: Mapping[str, object] | None = None,
+    breaker_states: Mapping[str, Mapping[str, object]] | None = None,
+    fault_stats: Iterable[Mapping[str, object]] | None = None,
 ) -> str:
-    """Render the full /metrics exposition text."""
+    """Render the full /metrics exposition text.
+
+    The resilience families (admission counters, queue depth, breaker
+    states, injected-fault counts) appear only when the corresponding
+    component is attached, so bare :class:`ServiceMetrics` users keep the
+    original exposition.
+    """
     snap = metrics.snapshot()
     lines: list[str] = []
 
@@ -238,6 +260,50 @@ def render_metrics(
     lines.append("# TYPE fbox_abandoned_requests_total counter")
     lines.append(f"fbox_abandoned_requests_total {snap['abandoned_requests']}")
 
+    lines.append("# TYPE fbox_degraded_responses_total counter")
+    lines.append(f"fbox_degraded_responses_total {snap['degraded_responses']}")
+
+    if admission_stats is not None:
+        lines.append("# TYPE fbox_admission_total counter")
+        for outcome in ("accepted", "shed"):
+            lines.append(
+                f"fbox_admission_total{_labels({'outcome': outcome})} "
+                f"{admission_stats[outcome]}"
+            )
+        lines.append("# TYPE fbox_queue_depth gauge")
+        lines.append(f"fbox_queue_depth {admission_stats['queue_depth']}")
+        lines.append("# TYPE fbox_admission_active gauge")
+        lines.append(f"fbox_admission_active {admission_stats['active']}")
+        lines.append("# TYPE fbox_concurrency_limit gauge")
+        lines.append(f"fbox_concurrency_limit {admission_stats['max_concurrency']}")
+        lines.append("# TYPE fbox_queue_limit gauge")
+        lines.append(f"fbox_queue_limit {admission_stats['max_queue']}")
+
+    if breaker_states is not None:
+        lines.append("# TYPE fbox_breaker_state gauge")
+        for dataset, state in sorted(breaker_states.items()):
+            value = _BREAKER_STATE_VALUES.get(str(state["state"]), -1)
+            lines.append(
+                f"fbox_breaker_state{_labels({'dataset': dataset})} {value}"
+            )
+        lines.append("# TYPE fbox_breaker_transitions_total counter")
+        for dataset, state in sorted(breaker_states.items()):
+            lines.append(
+                "fbox_breaker_transitions_total"
+                f"{_labels({'dataset': dataset})} {len(state['transitions'])}"
+            )
+
+    if fault_stats is not None:
+        lines.append("# TYPE fbox_injected_faults_total counter")
+        totals: dict[str, int] = {}
+        for rule in fault_stats:
+            site = str(rule["site"])
+            totals[site] = totals.get(site, 0) + int(rule["fired"])
+        for site in sorted(totals):
+            lines.append(
+                f"fbox_injected_faults_total{_labels({'site': site})} {totals[site]}"
+            )
+
     lines.append("# TYPE fbox_batches_total counter")
     lines.append(f"fbox_batches_total {snap['batches']}")
     lines.append("# TYPE fbox_batch_items_total counter")
@@ -252,9 +318,10 @@ def render_metrics(
     lines.append(f"fbox_batch_sweep_groups_total {snap['batch_groups']}")
 
     lines.append("# TYPE fbox_cache_events_total counter")
-    for event in ("hits", "misses", "evictions"):
+    for event in ("hits", "misses", "evictions", "expirations"):
         lines.append(
-            f"fbox_cache_events_total{_labels({'event': event})} {cache_stats[event]}"
+            f"fbox_cache_events_total{_labels({'event': event})} "
+            f"{cache_stats.get(event, 0)}"
         )
     lines.append("# TYPE fbox_cache_entries gauge")
     lines.append(f"fbox_cache_entries {cache_stats['size']}")

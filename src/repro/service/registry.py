@@ -7,11 +7,23 @@ materializes each dataset **once** and hands out one shared
 use double-checked locking, so under concurrent first-touch traffic every
 dataset is built by exactly one thread and every cube/index family exactly
 once (the FBox itself locks its lazy builds).
+
+Every dataset additionally sits behind a per-dataset
+:class:`~repro.service.resilience.CircuitBreaker`: a loader or F-Box build
+that keeps crashing quarantines the dataset (requests get an instant
+:class:`~repro.service.errors.CircuitOpen` instead of re-running the
+expensive failing work), and a half-open probe retries after a backoff.
+Validation failures (bad measure → 422) deliberately do **not** count
+against the breaker — only genuine load/build crashes do.  An optional
+:class:`~repro.service.faults.FaultInjector` is consulted right before the
+loader runs, which is how chaos tests script "fails twice then recovers"
+datasets deterministically.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -20,6 +32,8 @@ from ..core.fbox import FBox
 from ..data.io import load_marketplace_dataset, load_search_dataset
 from ..exceptions import ReproError
 from .errors import NotFound, ServiceError, Unprocessable
+from .faults import FaultInjector
+from .resilience import CLOSED, BreakerConfig, CircuitBreaker
 
 __all__ = ["DatasetSpec", "DatasetRegistry", "default_registry", "SMALL_CITIES"]
 
@@ -77,12 +91,25 @@ class DatasetSpec:
 class DatasetRegistry:
     """Thread-safe home of datasets and their shared F-Boxes."""
 
-    def __init__(self, schema=None) -> None:
+    def __init__(
+        self,
+        schema=None,
+        breaker_config: BreakerConfig | None = None,
+        faults: FaultInjector | None = None,
+        clock=time.monotonic,
+    ) -> None:
         self.schema = schema if schema is not None else default_schema()
+        self.breaker_config = (
+            breaker_config if breaker_config is not None else BreakerConfig()
+        )
+        self.faults = faults
+        self._clock = clock
         self._specs: dict[str, DatasetSpec] = {}
         self._datasets: dict[str, object] = {}
         self._fboxes: dict[tuple[str, str], FBox] = {}
         self._generations: dict[str, int] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._building: set[str] = set()
         self._lock = threading.RLock()
 
     def register(self, spec: DatasetSpec) -> None:
@@ -99,6 +126,8 @@ class DatasetRegistry:
             for key in [k for k in self._fboxes if k[0] == spec.name]:
                 del self._fboxes[key]
             self._generations[spec.name] = self._generations.get(spec.name, 0) + 1
+            # A fresh spec deserves a fresh health record.
+            self._breakers.pop(spec.name, None)
 
     def generation(self, name: str) -> int:
         """How many times ``name`` has been registered (0 when never)."""
@@ -119,15 +148,44 @@ class DatasetRegistry:
             raise NotFound(f"unknown dataset {name!r} (registered: {known})")
         return spec
 
+    def breaker(self, name: str) -> CircuitBreaker:
+        """The circuit breaker guarding ``name`` (created on first use)."""
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = self._breakers[name] = CircuitBreaker(
+                    name, self.breaker_config, clock=self._clock
+                )
+            return breaker
+
     def dataset(self, name: str):
-        """The materialized dataset (loaded exactly once, double-checked)."""
+        """The materialized dataset (loaded exactly once, double-checked).
+
+        The load runs under the dataset's circuit breaker: a crashing
+        loader counts toward opening the circuit, and an open circuit
+        answers :class:`~repro.service.errors.CircuitOpen` *without*
+        calling the loader at all.
+        """
         spec = self.spec(name)
         loaded = self._datasets.get(name)
         if loaded is None:
             with self._lock:
                 loaded = self._datasets.get(name)
                 if loaded is None:
-                    loaded = spec.loader()
+                    breaker = self.breaker(name)
+                    breaker.allow()
+                    self._building.add(name)
+                    try:
+                        if self.faults is not None:
+                            self.faults.fail("dataset_load", name)
+                        loaded = spec.loader()
+                    except BaseException:
+                        breaker.record_failure()
+                        raise
+                    else:
+                        breaker.record_success()
+                    finally:
+                        self._building.discard(name)
                     self._datasets[name] = loaded
         return loaded
 
@@ -156,6 +214,9 @@ class DatasetRegistry:
             with self._lock:
                 fbox = self._fboxes.get(key)
                 if fbox is None:
+                    breaker = self.breaker(name)
+                    breaker.allow()
+                    self._building.add(name)
                     try:
                         if spec.site == "taskrabbit":
                             fbox = FBox.for_marketplace(
@@ -166,12 +227,24 @@ class DatasetRegistry:
                                 dataset, self.schema, measure=measure
                             )
                     except ServiceError:
+                        breaker.record_bypass()
                         raise
                     except ReproError as error:
+                        # A semantic problem with *this request* (e.g. an
+                        # unknown measure), not evidence the dataset is
+                        # sick — never feeds the breaker.
+                        breaker.record_bypass()
                         raise Unprocessable(
                             f"cannot build an F-Box for dataset {name!r} with "
                             f"measure {measure!r}: {error}"
                         ) from error
+                    except BaseException:
+                        breaker.record_failure()
+                        raise
+                    else:
+                        breaker.record_success()
+                    finally:
+                        self._building.discard(name)
                     self._fboxes[key] = fbox
         return fbox
 
@@ -179,6 +252,40 @@ class DatasetRegistry:
         """Materialize every dataset and its default-measure FBox eagerly."""
         for name in self.names():
             self.fbox(name)
+
+    def is_building(self, name: str) -> bool:
+        """True while a thread is materializing ``name`` (load or build)."""
+        with self._lock:
+            return name in self._building
+
+    def breaker_states(self) -> dict[str, dict]:
+        """Breaker snapshot per registered dataset (closed when untouched)."""
+        states = {}
+        for name in self.names():
+            states[name] = self.breaker(name).snapshot()
+        return states
+
+    def health_report(self) -> list[dict]:
+        """Per-dataset readiness facts for ``/readyz``."""
+        report = []
+        for name in self.names():
+            breaker = self.breaker(name)
+            report.append(
+                {
+                    "name": name,
+                    "loaded": self.is_loaded(name),
+                    "building": self.is_building(name),
+                    "breaker": breaker.state,
+                    "retry_in": breaker.retry_in(),
+                }
+            )
+        return report
+
+    def quarantined(self) -> list[str]:
+        """Datasets whose breaker is not closed (open or probing)."""
+        return [
+            name for name in self.names() if self.breaker(name).state != CLOSED
+        ]
 
     def build_counts(self) -> dict[str, int]:
         """Cumulative cube and index-family builds across all live F-Boxes."""
@@ -217,6 +324,8 @@ def default_registry(
     scope: str = "small",
     taskrabbit_path: str | None = None,
     google_path: str | None = None,
+    breaker_config: BreakerConfig | None = None,
+    faults: FaultInjector | None = None,
 ) -> DatasetRegistry:
     """The registry ``repro serve`` boots with: one TaskRabbit, one Google.
 
@@ -249,7 +358,7 @@ def default_registry(
         google_loader = lambda: build_google_dataset(seed=seed, design=design)
         google_description = f"simulated study (seed={seed}, design={design})"
 
-    registry = DatasetRegistry()
+    registry = DatasetRegistry(breaker_config=breaker_config, faults=faults)
     registry.register(
         DatasetSpec(
             name="taskrabbit",

@@ -22,7 +22,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
 
 from .cache import LRUCache
-from .errors import BadRequest, NotFound, RequestTimeout, ServiceError
+from .errors import (
+    BadRequest,
+    CircuitOpen,
+    NotFound,
+    RequestTimeout,
+    ServiceError,
+)
+from .faults import FaultInjector, faults_from_env
 from .handlers import (
     ServiceContext,
     handle_batch,
@@ -31,9 +38,12 @@ from .handlers import (
     handle_explain,
     handle_healthz,
     handle_quantify,
+    handle_readyz,
+    resolve_degraded,
 )
 from .observability import ServiceMetrics, render_metrics
 from .registry import DatasetRegistry, default_registry
+from .resilience import AdmissionController, BreakerConfig
 
 __all__ = ["FBoxServer", "make_server", "run_with_deadline", "serve"]
 
@@ -48,6 +58,7 @@ _POST_ROUTES = {
 _GET_ROUTES = {
     "/datasets": handle_datasets,
     "/healthz": handle_healthz,
+    "/readyz": handle_readyz,
 }
 
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB is plenty for query parameters
@@ -58,6 +69,10 @@ class FBoxServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the shared service context."""
 
     daemon_threads = True
+    # A deep listen backlog: overload policy belongs to the admission
+    # controller (fast, explicit 429s), not to kernel SYN-queue drops that
+    # surface as opaque connection resets under a burst of clients.
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -93,22 +108,44 @@ class _RequestHandler(BaseHTTPRequestHandler):
         if handler is None:
             self._send_error_response(NotFound(f"no such endpoint: GET {self.path}"))
             return
-        self._tracked(
-            self.path, lambda: (200, handler(self.server.context))
-        )
+        # Health, readiness, and listings are never admission-controlled:
+        # a saturated pool must still answer its probes.
+        self._tracked(self.path, lambda: handler(self.server.context))
 
     def do_POST(self) -> None:  # noqa: N802
         handler = _POST_ROUTES.get(self.path)
         if handler is None:
             self._send_error_response(NotFound(f"no such endpoint: POST {self.path}"))
             return
+        context = self.server.context
 
         def run() -> tuple[int, dict]:
             payload = self._read_json_body()
-            document = self._with_deadline(
-                lambda: handler(self.server.context, payload)
-            )
-            return 200, document
+
+            def execute():
+                if context.faults is not None:
+                    context.faults.fail("handler", self.path)
+                    context.faults.delay(self.path)
+                return handler(context, payload)
+
+            def admitted():
+                if context.admission is None:
+                    return self._with_deadline(execute)
+                with context.admission.admit():
+                    return self._with_deadline(execute)
+
+            try:
+                return 200, admitted()
+            except (RequestTimeout, CircuitOpen) as error:
+                # Graceful degradation: requests that opted in with
+                # ``allow_stale`` get the last-known-good answer, loudly
+                # marked, instead of the error.
+                degraded = resolve_degraded(
+                    context, self.path, payload, reason=error.kind
+                )
+                if degraded is None:
+                    raise
+                return 200, degraded
 
         self._tracked(self.path, run)
 
@@ -122,36 +159,33 @@ class _RequestHandler(BaseHTTPRequestHandler):
         metrics.request_started(endpoint)
         started = perf_counter()
         status = 500
+        content_type = "application/json"
+        retry_after: float | None = None
         try:
-            try:
-                status, document = run()
-                body = (
-                    document
-                    if isinstance(document, bytes)
-                    else _json_bytes(document)
-                )
-                content_type = (
-                    "text/plain; version=0.0.4; charset=utf-8"
-                    if endpoint == "/metrics"
-                    else "application/json"
-                )
-                self._write(status, body, content_type)
-            except ServiceError as error:
-                status = error.status
-                if isinstance(error, RequestTimeout):
-                    metrics.record_timeout()
-                self._send_error_response(error)
-            except Exception as error:  # pragma: no cover - defensive
-                status = 500
-                self._write(
-                    500,
-                    _json_bytes(
-                        {"error": {"kind": "internal", "message": str(error)}}
-                    ),
-                    "application/json",
-                )
-        finally:
-            metrics.request_finished(endpoint, status, perf_counter() - started)
+            status, document = run()
+            body = (
+                document
+                if isinstance(document, bytes)
+                else _json_bytes(document)
+            )
+            if endpoint == "/metrics":
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+        except ServiceError as error:
+            status = error.status
+            retry_after = error.retry_after
+            if isinstance(error, RequestTimeout):
+                metrics.record_timeout()
+            body = _error_body(error)
+        except Exception as error:  # pragma: no cover - defensive
+            status = 500
+            body = _json_bytes(
+                {"error": {"kind": "internal", "message": str(error)}}
+            )
+        # Count the request before its bytes reach the socket: a client that
+        # reads its response and immediately scrapes /metrics must find the
+        # request already recorded.
+        metrics.request_finished(endpoint, status, perf_counter() - started)
+        self._write(status, body, content_type, retry_after=retry_after)
 
     def _metrics_response(self) -> tuple[int, bytes]:
         context = self.server.context
@@ -159,6 +193,15 @@ class _RequestHandler(BaseHTTPRequestHandler):
             context.metrics,
             context.cache.stats(),
             context.registry.build_counts(),
+            admission_stats=(
+                context.admission.snapshot()
+                if context.admission is not None
+                else None
+            ),
+            breaker_states=context.registry.breaker_states(),
+            fault_stats=(
+                context.faults.snapshot() if context.faults is not None else None
+            ),
         )
         return 200, text.encode("utf-8")
 
@@ -211,15 +254,26 @@ class _RequestHandler(BaseHTTPRequestHandler):
         return True
 
     def _send_error_response(self, error: ServiceError) -> None:
-        body = _json_bytes(
-            {"error": {"kind": error.kind, "message": str(error)}}
+        self._write(
+            error.status,
+            _error_body(error),
+            "application/json",
+            retry_after=error.retry_after,
         )
-        self._write(error.status, body, "application/json")
 
-    def _write(self, status: int, body: bytes, content_type: str) -> None:
+    def _write(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        retry_after: float | None = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # HTTP wants integral seconds; round up so clients never retry early.
+            self.send_header("Retry-After", str(max(1, int(-(-retry_after // 1)))))
         if self.close_connection:
             # Tell the client explicitly; HTTP/1.1 defaults to keep-alive.
             self.send_header("Connection", "close")
@@ -233,6 +287,15 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
 def _json_bytes(document: dict) -> bytes:
     return json.dumps(document, sort_keys=True).encode("utf-8")
+
+
+def _error_body(error: ServiceError) -> bytes:
+    payload: dict = {"kind": error.kind, "message": str(error)}
+    if error.extra:
+        payload.update(error.extra)
+    if error.retry_after is not None:
+        payload["retry_after"] = error.retry_after
+    return _json_bytes({"error": payload})
 
 
 def run_with_deadline(fn, timeout: float | None, metrics: ServiceMetrics | None = None):
@@ -299,14 +362,48 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8080,
     cache_size: int = 256,
+    cache_ttl: float | None = None,
     request_timeout: float | None = 30.0,
+    max_concurrency: int = 8,
+    queue_depth: int = 16,
+    faults: FaultInjector | None = None,
     quiet: bool = True,
 ) -> FBoxServer:
-    """Build a ready-to-serve F-Box server (``port=0`` picks an ephemeral one)."""
+    """Build a ready-to-serve F-Box server (``port=0`` picks an ephemeral one).
+
+    ``max_concurrency``/``queue_depth`` size the admission controller (0
+    concurrency disables shedding).  ``faults`` defaults to whatever the
+    ``FBOX_FAULTS`` environment variable configures (usually nothing); when
+    an injector is attached it is also shared with the registry so
+    ``dataset_load`` rules reach the loaders.
+    """
+    if registry is None:
+        if faults is None:
+            faults = faults_from_env()
+        registry = default_registry(faults=faults)
+    else:
+        # One injector end-to-end: reuse the registry's if it has one, else
+        # share ours (or the env's) with it so dataset_load rules land.
+        if faults is None:
+            faults = (
+                registry.faults if registry.faults is not None else faults_from_env()
+            )
+        if registry.faults is None:
+            registry.faults = faults
+    admission = None
+    if max_concurrency > 0:
+        admission = AdmissionController(
+            max_concurrency=max_concurrency,
+            max_queue=queue_depth,
+            queue_timeout=request_timeout,
+        )
     context = ServiceContext(
-        registry=registry if registry is not None else default_registry(),
-        cache=LRUCache(cache_size),
+        registry=registry,
+        cache=LRUCache(cache_size, default_ttl=cache_ttl),
         metrics=ServiceMetrics(),
+        stale=LRUCache(max(cache_size, 1)),
+        admission=admission,
+        faults=faults,
     )
     return FBoxServer((host, port), context, request_timeout=request_timeout, quiet=quiet)
 
@@ -316,25 +413,43 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8080,
     cache_size: int = 256,
+    cache_ttl: float | None = None,
     request_timeout: float | None = 30.0,
+    max_concurrency: int = 8,
+    queue_depth: int = 16,
     preload: bool = False,
     quiet: bool = False,
 ) -> int:
     """Run the service until SIGTERM/SIGINT; returns a process exit code.
 
     Must be called from the main thread (signal handlers are installed).
+    With ``preload`` the server starts listening immediately and
+    materializes datasets on a background thread; ``/readyz`` answers 503
+    until every preloaded dataset is built (``/healthz`` is 200 throughout).
     """
     server = make_server(
         registry=registry,
         host=host,
         port=port,
         cache_size=cache_size,
+        cache_ttl=cache_ttl,
         request_timeout=request_timeout,
+        max_concurrency=max_concurrency,
+        queue_depth=queue_depth,
         quiet=quiet,
     )
     if preload:
-        print("preloading datasets ...", flush=True)
-        server.context.registry.preload()
+        context = server.context
+        context.require_loaded = tuple(context.registry.names())
+        print("preloading datasets in the background ...", flush=True)
+
+        def _preload() -> None:
+            try:
+                context.registry.preload()
+            except Exception as error:  # breaker has already counted it
+                _logger.error("dataset preload failed: %s", error, exc_info=error)
+
+        threading.Thread(target=_preload, daemon=True, name="fbox-preload").start()
 
     def _shutdown(signum, frame) -> None:
         # shutdown() must not run on the serve_forever thread; hand it off.

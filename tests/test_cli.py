@@ -170,3 +170,73 @@ class TestWithSavedDatasets:
             ]
         )
         assert code == 0
+
+
+class TestBatchCommand:
+    """Exit-code policy: 1 only when *every* sub-request failed.
+
+    Partial failures are data — the envelope carries per-item errors and the
+    failure count goes to stderr — so audit pipelines keep the answers they
+    did get.
+    """
+
+    def _requests_file(self, tmp_path, items) -> str:
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(items), encoding="utf-8")
+        return str(path)
+
+    def test_all_failed_batch_exits_1_with_stderr_count(self, tmp_path, capsys):
+        # Unknown datasets fail during validation, before any dataset loads.
+        path = self._requests_file(
+            tmp_path,
+            [
+                {"op": "quantify", "dataset": "nope", "dimension": "group"},
+                {"op": "quantify", "dataset": "missing", "dimension": "group"},
+            ],
+        )
+        code = main(["batch", path])
+        captured = capsys.readouterr()
+        assert code == 1
+        document = json.loads(captured.out)
+        assert document["count"] == 2
+        assert document["failed"] == 2
+        assert all(item["status"] == 404 for item in document["results"])
+        assert "2 of 2 sub-requests failed" in captured.err
+
+    def test_partial_failure_exits_0_but_still_reports(
+        self, small_marketplace_dataset, tmp_path, capsys
+    ):
+        data = tmp_path / "tr.jsonl"
+        save_marketplace_dataset(small_marketplace_dataset, data)
+        path = self._requests_file(
+            tmp_path,
+            [
+                {"op": "quantify", "dataset": "taskrabbit", "dimension": "group", "k": 2},
+                {"op": "quantify", "dataset": "atlantis", "dimension": "group"},
+            ],
+        )
+        code = main(["batch", path, "--taskrabbit-data", str(data)])
+        captured = capsys.readouterr()
+        assert code == 0
+        document = json.loads(captured.out)
+        assert document["count"] == 2
+        assert document["failed"] == 1
+        assert document["results"][0]["status"] == 200
+        assert document["results"][0]["body"]["entries"]
+        assert document["results"][1]["status"] == 404
+        assert "1 of 2 sub-requests failed" in captured.err
+
+    def test_fully_successful_batch_is_quiet_on_stderr(
+        self, small_marketplace_dataset, tmp_path, capsys
+    ):
+        data = tmp_path / "tr.jsonl"
+        save_marketplace_dataset(small_marketplace_dataset, data)
+        path = self._requests_file(
+            tmp_path,
+            [{"op": "quantify", "dataset": "taskrabbit", "dimension": "group", "k": 2}],
+        )
+        code = main(["batch", path, "--taskrabbit-data", str(data)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert json.loads(captured.out)["failed"] == 0
+        assert captured.err == ""

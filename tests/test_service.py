@@ -243,6 +243,7 @@ class TestCaching:
         assert cache.get("b") is None
         assert cache.stats() == {
             "size": 2, "capacity": 2, "hits": 1, "misses": 1, "evictions": 1,
+            "expirations": 0,
         }
 
     def test_zero_capacity_disables_caching(self):

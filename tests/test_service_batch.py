@@ -108,6 +108,47 @@ class TestMultiTopK:
         for k in (2, 5):
             assert many[k].entries == fbox.quantify("group", k=k).entries
 
+    def test_k_zero_rejected_like_top_k(self):
+        from repro.exceptions import AlgorithmError
+
+        cube = make_cube()
+        with pytest.raises(AlgorithmError, match="positive"):
+            multi_top_k(cube, "group", [0, 3])
+        with pytest.raises(AlgorithmError, match="positive"):
+            top_k(cube, "group", 0)
+
+    def test_k_beyond_the_dimension_universe_clamps_like_top_k(self):
+        cube = make_cube(n_groups=4)
+        results = multi_top_k(cube, "group", [2, 50])
+        assert len(results[50].entries) == 4  # clamped to the whole domain
+        for k in (2, 50):
+            assert results[k].entries == top_k(cube, "group", k).entries
+
+    def test_member_filtered_in_every_cell_matches_sequential_algorithms(self):
+        import numpy as np
+
+        from repro.core.cube import UnfairnessCube
+        from repro.core.fagin import naive_top_k
+
+        cube = make_cube()
+        values = cube.values.copy()
+        values[1, :, :] = np.nan  # this group defines no cell anywhere
+        holed = UnfairnessCube(cube.groups, cube.queries, cube.locations, values)
+        universe = len(holed.groups)
+        for k in (2, universe):
+            swept = multi_top_k(holed, "group", [k])[k]
+            assert swept.entries == top_k(holed, "group", k).entries
+            # naive aggregates in a different summation order, so the
+            # ranking must agree exactly but values only to float precision.
+            naive = naive_top_k(holed, "group", k)
+            assert swept.keys() == naive.keys()
+            assert swept.values() == pytest.approx(naive.values())
+        # The fully filtered member never ranks, even when k covers the
+        # whole universe.
+        full = multi_top_k(holed, "group", [universe])[universe]
+        assert holed.groups[1] not in full.keys()
+        assert len(full.entries) == universe - 1
+
 
 # ----------------------------------------------------------------------
 # Envelope validation (whole-batch 400s)
