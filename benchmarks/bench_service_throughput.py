@@ -1,18 +1,25 @@
 """Service throughput: warm-cache vs cold-cache requests/sec, p50/p95.
 
 Boots a real F-Box server on an ephemeral port (small six-city datasets),
-then measures three request populations over HTTP:
+then measures three request populations over HTTP, on **both transport
+backends** (``threads`` and ``asyncio``):
 
 * **build** — the very first request, which materializes the cube;
 * **cold cache** — distinct parameterizations (every one a cache miss that
   runs a real top-k / comparison on the shared, already-built F-Box);
 * **warm cache** — one hot request repeated (every one an LRU hit).
 
-Writes ``benchmarks/results/service_throughput.txt``.
+Run under pytest it writes ``benchmarks/results/service_throughput.txt``.
+It is also a script, for CI smoke runs that should *not* overwrite the
+committed results::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py \
+        --quick --backend asyncio
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import statistics
 import threading
@@ -23,10 +30,12 @@ from _util import emit
 from repro.core.attributes import default_schema  # noqa: F401  (import check)
 from repro.experiments.datasets import build_taskrabbit_dataset
 from repro.service.registry import SMALL_CITIES, DatasetRegistry, DatasetSpec
-from repro.service.server import make_server
+from repro.service.server import BACKENDS, make_server
 
 COLD_REQUESTS = 60
 WARM_REQUESTS = 300
+QUICK_COLD_REQUESTS = 15
+QUICK_WARM_REQUESTS = 60
 
 
 def _post(base: str, path: str, payload: dict) -> float:
@@ -50,7 +59,7 @@ def _percentiles(latencies: list[float]) -> tuple[float, float]:
     return p50, p95
 
 
-def _cold_population() -> list[dict]:
+def _cold_population(count: int) -> list[dict]:
     """Distinct request parameterizations — every one a cache miss."""
     population = []
     for dimension in ("group", "query", "location"):
@@ -64,16 +73,18 @@ def _cold_population() -> list[dict]:
                         "k": k,
                     }
                 )
-    return population[:COLD_REQUESTS]
+    return population[:count]
 
 
-def test_service_throughput():
-    dataset = build_taskrabbit_dataset(seed=7, cities=SMALL_CITIES)
+def _run_backend(dataset, backend: str, cold: int, warm: int) -> dict:
+    """Boot one server on ``backend`` and measure the three populations."""
     registry = DatasetRegistry()
     registry.register(
         DatasetSpec(name="taskrabbit", site="taskrabbit", loader=lambda: dataset)
     )
-    server = make_server(registry=registry, port=0, request_timeout=300.0)
+    server = make_server(
+        registry=registry, port=0, request_timeout=300.0, backend=backend
+    )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     base = server.url
@@ -81,16 +92,15 @@ def test_service_throughput():
         build_seconds = _post(
             base, "/quantify", {"dataset": "taskrabbit", "dimension": "group", "k": 11}
         )
-
         cold_latencies = [
-            _post(base, "/quantify", payload) for payload in _cold_population()
+            _post(base, "/quantify", payload) for payload in _cold_population(cold)
         ]
         hot = {"dataset": "taskrabbit", "dimension": "group", "k": 11}
-        warm_latencies = [_post(base, "/quantify", hot) for _ in range(WARM_REQUESTS)]
+        warm_latencies = [_post(base, "/quantify", hot) for _ in range(warm)]
     finally:
         server.shutdown()
+        thread.join(timeout=10)
         server.server_close()
-        thread.join(timeout=5)
 
     rows = []
     for label, latencies in (("cold cache", cold_latencies), ("warm cache", warm_latencies)):
@@ -104,18 +114,68 @@ def test_service_throughput():
                 p95 * 1000.0,
             )
         )
+    return {"build_seconds": build_seconds, "rows": rows}
+
+
+def _report(results: dict[str, dict]) -> str:
     lines = [
         "Service throughput — F-Box query server (six-city TaskRabbit crawl)",
         "=" * 66,
-        f"first request (cube + index build): {build_seconds * 1000.0:.1f} ms",
-        "",
-        f"{'population':<12} {'requests':>8} {'req/s':>10} {'p50 ms':>9} {'p95 ms':>9}",
-        f"{'-' * 12} {'-' * 8} {'-' * 10} {'-' * 9} {'-' * 9}",
     ]
-    for label, count, rps, p50, p95 in rows:
-        lines.append(f"{label:<12} {count:>8} {rps:>10.1f} {p50:>9.3f} {p95:>9.3f}")
-    emit("service_throughput", "\n".join(lines))
+    for backend, result in results.items():
+        lines += [
+            "",
+            f"backend: {backend}",
+            f"first request (cube + index build): "
+            f"{result['build_seconds'] * 1000.0:.1f} ms",
+            f"{'population':<12} {'requests':>8} {'req/s':>10} {'p50 ms':>9} {'p95 ms':>9}",
+            f"{'-' * 12} {'-' * 8} {'-' * 10} {'-' * 9} {'-' * 9}",
+        ]
+        for label, count, rps, p50, p95 in result["rows"]:
+            lines.append(f"{label:<12} {count:>8} {rps:>10.1f} {p50:>9.3f} {p95:>9.3f}")
+    return "\n".join(lines)
 
-    cold_rps = rows[0][2]
-    warm_rps = rows[1][2]
-    assert warm_rps > cold_rps  # the cache must actually pay for itself
+
+def _measure(backends: tuple[str, ...], cold: int, warm: int) -> dict[str, dict]:
+    dataset = build_taskrabbit_dataset(seed=7, cities=SMALL_CITIES)
+    results = {
+        backend: _run_backend(dataset, backend, cold, warm) for backend in backends
+    }
+    for result in results.values():
+        cold_rps = result["rows"][0][2]
+        warm_rps = result["rows"][1][2]
+        assert warm_rps > cold_rps  # the cache must actually pay for itself
+    return results
+
+
+def test_service_throughput():
+    results = _measure(BACKENDS, COLD_REQUESTS, WARM_REQUESTS)
+    emit("service_throughput", _report(results))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS + ("both",),
+        default="both",
+        help="transport backend to measure (default: both)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke sizing; prints the table without touching results/",
+    )
+    args = parser.parse_args()
+    backends = BACKENDS if args.backend == "both" else (args.backend,)
+    cold = QUICK_COLD_REQUESTS if args.quick else COLD_REQUESTS
+    warm = QUICK_WARM_REQUESTS if args.quick else WARM_REQUESTS
+    results = _measure(backends, cold, warm)
+    if args.quick:
+        print(_report(results))
+    else:
+        emit("service_throughput", _report(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,10 @@
 #      the request deadline — a warm `allow_stale` request must round-trip
 #      a last-known-good answer marked `"degraded": true`.
 #
+# All three passes run once per transport backend (`--backend threads`,
+# then `--backend asyncio`) — the two fronts share one application layer,
+# so every pass must behave identically on both.
+#
 # Exits nonzero on any failure.
 #
 # Usage: scripts/smoke_service.sh [timeout-seconds]
@@ -37,7 +41,7 @@ cleanup() {
 trap cleanup EXIT
 
 fail() {
-    echo "smoke: $1" >&2
+    echo "smoke[${BACKEND:-}]: $1" >&2
     echo "--- server log ---" >&2
     cat "$LOG" >&2
     exit 1
@@ -63,14 +67,15 @@ except Exception as error:
 EOF
 }
 
-# boot_server <extra serve args...> — starts `repro serve` on a fresh port,
-# waits for /healthz, and sets BASE/SERVER_PID.  FBOX_FAULTS is inherited
-# from the caller's environment.
+# boot_server <extra serve args...> — starts `repro serve` on a fresh port
+# with the current $BACKEND transport, waits for /healthz, and sets
+# BASE/SERVER_PID.  FBOX_FAULTS is inherited from the caller's environment.
 boot_server() {
     PORT="$(pick_port)" || fail "could not pick a free port"
     BASE="http://127.0.0.1:${PORT}"
     : >"$LOG"
-    python3 -m repro serve --port "$PORT" --scope small "$@" >"$LOG" 2>&1 &
+    python3 -m repro serve --port "$PORT" --scope small \
+        --backend "$BACKEND" "$@" >"$LOG" 2>&1 &
     SERVER_PID=$!
     local deadline=$((SECONDS + TIMEOUT))
     while true; do
@@ -105,6 +110,8 @@ expect() {
     [ "$status" = "$want" ] || fail "$label answered $result (wanted $want)"
     printf '%s\n' "${result#* }"
 }
+
+run_passes() {
 
 # ----------------------------------------------------------------------
 # Pass 1: plain service
@@ -203,6 +210,14 @@ case "$BODY" in
 esac
 echo "smoke: degraded answer ok"
 stop_server
+
+}
+
+for BACKEND in threads asyncio; do
+    echo "smoke: === backend $BACKEND ==="
+    run_passes
+    echo "smoke: backend $BACKEND PASS"
+done
 
 echo "smoke: PASS"
 exit 0

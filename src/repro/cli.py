@@ -181,6 +181,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="materialize datasets in the background; /readyz answers 503 "
         "until every one is built",
     )
+    serve.add_argument(
+        "--backend", choices=["threads", "asyncio"], default="threads",
+        help="transport: threads = one OS thread per connection; asyncio = "
+        "one event loop, CPU work on a bounded executor",
+    )
+    serve.add_argument(
+        "--executor-workers", type=int, default=0,
+        help="asyncio backend: threads in the CPU executor "
+        "(0 = match --max-concurrency)",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=10.0,
+        help="seconds SIGTERM waits for admitted/queued requests to finish "
+        "before the listener stops",
+    )
     return parser
 
 
@@ -433,6 +448,9 @@ def _command_serve(args) -> int:
         max_concurrency=args.max_concurrency,
         queue_depth=args.queue_depth,
         preload=args.preload,
+        backend=args.backend,
+        executor_workers=args.executor_workers or None,
+        drain_grace=args.drain_grace,
     )
 
 

@@ -10,7 +10,12 @@ resilience layer expects from well-behaved callers:
   deadline) carries ``Retry-After``, the client never retries earlier than
   the server asked, whatever the backoff schedule says;
 * **only retryable failures retry** — 429/503 and connection errors (the
-  service may still be booting); 4xx validation errors surface immediately.
+  service may still be booting); 4xx validation errors surface immediately;
+* **one keep-alive connection** — requests reuse a single HTTP/1.1
+  connection instead of paying a TCP handshake per call.  A send that dies
+  on a stale reused connection (the server idled it out between requests)
+  is replayed once on a fresh connection without consuming a retry
+  attempt; real connection failures still go through the backoff policy.
 
 The jitter RNG is seedable and the sleeper injectable, so tests and
 benchmarks get deterministic retry schedules::
@@ -21,10 +26,11 @@ benchmarks get deterministic retry schedules::
 
 from __future__ import annotations
 
+import http.client
 import json
+import threading
 import time
-import urllib.error
-import urllib.request
+import urllib.parse
 from dataclasses import dataclass
 from random import Random
 
@@ -33,6 +39,16 @@ from .exceptions import ReproError
 __all__ = ["RetryPolicy", "ClientError", "FBoxClient"]
 
 _RETRYABLE_STATUSES = (429, 503)
+
+# A reused keep-alive connection that the server has quietly closed fails
+# with one of these the moment we touch it; that is the one failure worth
+# replaying immediately on a fresh connection.  (RemoteDisconnected is a
+# subclass of both BadStatusLine and ConnectionResetError.)
+_STALE_CONNECTION_ERRORS = (
+    http.client.BadStatusLine,
+    ConnectionResetError,
+    BrokenPipeError,
+)
 
 
 @dataclass(frozen=True)
@@ -81,13 +97,32 @@ class FBoxClient:
         sleeper=time.sleep,
     ) -> None:
         self.base_url = base_url.rstrip("/")
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ValueError(f"base_url must be http://host[:port], got {base_url!r}")
+        self._host = parsed.hostname
+        self._port = parsed.port if parsed.port is not None else 80
         self.timeout = timeout
         self.retry = retry if retry is not None else RetryPolicy()
         self._sleeper = sleeper
         self._rng = Random(self.retry.seed)
+        self._connection: http.client.HTTPConnection | None = None
+        self._connection_lock = threading.Lock()
         self.attempts = 0
         self.retries = 0
+        self.connections_opened = 0
         self.sleeps: list[float] = []
+
+    def close(self) -> None:
+        """Drop the keep-alive connection (the next request reopens one)."""
+        with self._connection_lock:
+            self._drop_connection()
+
+    def __enter__(self) -> FBoxClient:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Transport with backoff
@@ -103,6 +138,57 @@ class FBoxClient:
             delay = max(delay, retry_after)
         return delay
 
+    def _ensure_connection(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout
+            )
+            self.connections_opened += 1
+        return self._connection
+
+    def _drop_connection(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except OSError:  # pragma: no cover - close never matters
+                pass
+            self._connection = None
+
+    def _send(
+        self, method: str, path: str, data: bytes | None, headers: dict
+    ) -> tuple[int, str | None, bytes]:
+        """One HTTP exchange on the shared keep-alive connection.
+
+        A send that dies because the *reused* connection went stale is
+        replayed once on a fresh connection, invisibly to the retry policy;
+        failures on a fresh connection propagate to it.
+        """
+        reused = self._connection is not None
+        try:
+            return self._exchange(method, path, data, headers)
+        except _STALE_CONNECTION_ERRORS:
+            if not reused:
+                raise
+        return self._exchange(method, path, data, headers)
+
+    def _exchange(
+        self, method: str, path: str, data: bytes | None, headers: dict
+    ) -> tuple[int, str | None, bytes]:
+        connection = self._ensure_connection()
+        try:
+            connection.request(method, path, body=data, headers=headers)
+            response = connection.getresponse()
+            status = response.status
+            retry_after = response.getheader("Retry-After")
+            body = response.read()
+        except BaseException:
+            # Whatever happened, the connection's framing state is suspect.
+            self._drop_connection()
+            raise
+        if response.will_close:
+            self._drop_connection()
+        return status, retry_after, body
+
     def request(self, method: str, path: str, payload=None, retries: bool = True):
         """One API call with retries; returns ``(status, decoded_body)``.
 
@@ -110,7 +196,6 @@ class FBoxClient:
         (unless ``retries=False``); other 4xx/5xx raise :class:`ClientError`
         immediately.
         """
-        url = self.base_url + path
         data = None if payload is None else json.dumps(payload).encode("utf-8")
         headers = {"Content-Type": "application/json"} if data is not None else {}
         attempts = self.retry.max_attempts if retries else 1
@@ -121,28 +206,26 @@ class FBoxClient:
                 self.retries += 1
             retry_after: float | None = None
             try:
-                request = urllib.request.Request(
-                    url, data=data, method=method, headers=headers
-                )
-                with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                    return response.status, _decode(response.read())
-            except urllib.error.HTTPError as error:
-                body = _decode(error.read())
-                if error.code not in _RETRYABLE_STATUSES:
+                with self._connection_lock:
+                    status, header, raw = self._send(method, path, data, headers)
+                body = _decode(raw)
+                if status < 400:
+                    return status, body
+                if status not in _RETRYABLE_STATUSES:
                     raise ClientError(
-                        f"{method} {path} answered {error.code}: "
+                        f"{method} {path} answered {status}: "
                         f"{_error_message(body)}",
-                        status=error.code,
+                        status=status,
                         body=body if isinstance(body, dict) else None,
                     ) from None
-                retry_after = _retry_after_seconds(error, body)
+                retry_after = _retry_after_seconds(header, body)
                 last_error = ClientError(
-                    f"{method} {path} still answering {error.code} after "
+                    f"{method} {path} still answering {status} after "
                     f"{attempt + 1} attempts: {_error_message(body)}",
-                    status=error.code,
+                    status=status,
                     body=body if isinstance(body, dict) else None,
                 )
-            except (urllib.error.URLError, ConnectionError, TimeoutError) as error:
+            except (OSError, http.client.HTTPException) as error:
                 last_error = ClientError(
                     f"{method} {path} failed after {attempt + 1} attempts: {error}"
                 )
@@ -248,8 +331,7 @@ def _error_message(body) -> str:
     return str(body)[:200]
 
 
-def _retry_after_seconds(error: urllib.error.HTTPError, body) -> float | None:
-    header = error.headers.get("Retry-After") if error.headers else None
+def _retry_after_seconds(header: str | None, body) -> float | None:
     if header is not None:
         try:
             return float(header)

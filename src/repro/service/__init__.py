@@ -25,6 +25,7 @@ Start it with ``repro serve`` or programmatically::
 
 from __future__ import annotations
 
+from .app import FBoxApp, Request, Response, make_app
 from .cache import LRUCache
 from .encoding import (
     canonical_key,
@@ -37,15 +38,34 @@ from .faults import FaultInjector, FaultRule, InjectedFault, faults_from_env
 from .observability import ServiceMetrics
 from .registry import DatasetRegistry, DatasetSpec, default_registry
 from .resilience import AdmissionController, BreakerConfig, CircuitBreaker
-from .server import FBoxServer, make_server, serve
+
+# The transport stack (repro.service.server and repro.service.transports)
+# is resolved lazily: importing the application layer — or any module it
+# depends on — must never pull in http.server or asyncio streams.  The
+# layering test asserts exactly that.
+_SERVER_EXPORTS = ("AioFBoxServer", "FBoxServer", "make_server", "serve")
+
+
+def __getattr__(name: str):
+    if name in _SERVER_EXPORTS:
+        from . import server
+
+        return getattr(server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "FBoxApp",
+    "Request",
+    "Response",
+    "make_app",
     "LRUCache",
     "ServiceMetrics",
     "DatasetRegistry",
     "DatasetSpec",
     "default_registry",
     "FBoxServer",
+    "AioFBoxServer",
     "make_server",
     "serve",
     "canonical_key",

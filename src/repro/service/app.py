@@ -1,0 +1,721 @@
+"""The application layer: a transport-agnostic ``Request -> Response`` surface.
+
+:class:`FBoxApp` owns everything about answering a fairness query that is
+*not* socket handling: the routing table, body-framing policy, request
+validation, admission control, the per-request deadline, the result cache
+and last-known-good store, degraded answers, and metrics.  Transports
+(:mod:`repro.service.transports`) are thin adapters that parse HTTP off a
+socket, build a :class:`Request`, and write the returned :class:`Response`
+back — nothing in this module imports :mod:`http.server` or asyncio's
+streams, which is what lets one application instance sit behind both the
+threaded and the asyncio front-ends with byte-identical behavior.
+
+The app also owns the **execution layer**: a bounded
+:class:`~concurrent.futures.ThreadPoolExecutor` sized by
+``executor_workers``.  The asyncio transport runs every CPU-bound F-Box
+call (dataset loads, cube/index builds, TA sweeps) on this pool via
+:meth:`FBoxApp.handle_async`, so the event loop never blocks and thread
+count is a capacity knob.  The threaded transport keeps the legacy
+guard-thread model (:func:`run_with_deadline`) it always had — one worker
+thread per admitted request — which is exactly the unbounded behavior the
+asyncio front replaces.
+
+Two flows through the POST pipeline:
+
+* **fast path** — when no fault injector is attached, a request whose
+  answer is already cached is parsed, peeked, and answered inline without
+  touching admission control or the executor.  This is what keeps cheap
+  repeated queries out of the queue behind expensive builds.
+* **slow path** — parse, admission (sync or async acquire, same counters),
+  deadline-bounded execution, and on timeout/open-breaker an opt-in
+  degraded answer from the last-known-good store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import logging
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from .cache import LRUCache
+from .errors import (
+    BadRequest,
+    CircuitOpen,
+    NotFound,
+    RequestTimeout,
+    ServiceError,
+    ShuttingDown,
+)
+from .faults import FaultInjector, faults_from_env
+from .handlers import (
+    REQUEST_PARSERS,
+    ServiceContext,
+    handle_batch,
+    handle_compare,
+    handle_datasets,
+    handle_explain,
+    handle_healthz,
+    handle_quantify,
+    handle_readyz,
+    resolve_degraded,
+)
+from .observability import ServiceMetrics, render_metrics
+from .registry import DatasetRegistry, default_registry
+from .resilience import AdmissionController
+
+__all__ = [
+    "BodyPlan",
+    "FBoxApp",
+    "Request",
+    "Response",
+    "format_retry_after",
+    "make_app",
+    "run_with_deadline",
+]
+
+_logger = logging.getLogger("repro.service")
+
+POST_ROUTES = {
+    "/quantify": handle_quantify,
+    "/compare": handle_compare,
+    "/explain": handle_explain,
+    "/batch": handle_batch,
+}
+GET_ROUTES = {
+    "/datasets": handle_datasets,
+    "/healthz": handle_healthz,
+    "/readyz": handle_readyz,
+}
+
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+# ----------------------------------------------------------------------
+# The transport-facing value types
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request, as the transport hands it to the app.
+
+    ``framing_error`` carries a body-framing rejection (bad Content-Length,
+    oversized body) decided by :meth:`FBoxApp.plan_body`; the app raises it
+    *inside* the tracked section so framing 400s hit the same metrics as
+    any other endpoint error.  ``close`` records that the transport already
+    marked the connection for close (unparseable or undrainable framing).
+    """
+
+    method: str
+    path: str
+    body: bytes = b""
+    framing_error: ServiceError | None = None
+    close: bool = False
+
+
+@dataclass
+class Response:
+    """What the transport must write back: status, body, framing hints."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    retry_after: float | None = None
+    close: bool = False
+
+
+@dataclass(frozen=True)
+class BodyPlan:
+    """The app's body-framing decision for one POST request.
+
+    The transport executes it mechanically: read ``read`` bytes as the
+    body, or — on a rejection — discard ``drain`` bytes (marking the
+    connection for close if the drain fails), set ``close`` when the
+    framing is beyond repair, and deliver ``error`` via
+    ``Request.framing_error``.  Keeping the decision here means both
+    transports resync keep-alive connections identically.
+    """
+
+    read: int = 0
+    drain: int = 0
+    close: bool = False
+    error: ServiceError | None = None
+
+
+def format_retry_after(retry_after: float) -> str:
+    """``Retry-After`` wants integral seconds; round up so clients never retry early."""
+    return str(max(1, int(-(-retry_after // 1))))
+
+
+def _json_bytes(document: dict) -> bytes:
+    return json.dumps(document, sort_keys=True).encode("utf-8")
+
+
+def _error_body(error: ServiceError) -> bytes:
+    payload: dict = {"kind": error.kind, "message": str(error)}
+    if error.extra:
+        payload.update(error.extra)
+    if error.retry_after is not None:
+        payload["retry_after"] = error.retry_after
+    return _json_bytes({"error": payload})
+
+
+# ----------------------------------------------------------------------
+# Deadline execution (legacy guard-thread model, used by the threaded
+# transport; the asyncio transport uses the app's bounded executor)
+# ----------------------------------------------------------------------
+
+
+def run_with_deadline(fn, timeout: float | None, metrics: ServiceMetrics | None = None):
+    """Run ``fn`` on a guard thread, raising 503 after ``timeout`` seconds.
+
+    When the deadline fires, the worker thread is *abandoned*, not killed:
+    it keeps running (a successful late result still warms caches), the
+    ``abandoned_requests`` counter is bumped, and — the part that used to be
+    silently discarded — any exception the abandoned worker eventually
+    raises is logged under ``repro.service``.  The abandoned flag is flipped
+    under a lock shared with the worker's error path so a failure racing the
+    deadline is reported on exactly one side, never dropped.
+    """
+    if not timeout or timeout <= 0:
+        return fn()
+    outcome: dict = {}
+    done = threading.Event()
+    lock = threading.Lock()
+    state = {"abandoned": False}
+
+    def worker() -> None:
+        try:
+            value = fn()
+            with lock:
+                outcome["value"] = value
+        except BaseException as error:  # propagated to the request thread
+            with lock:
+                outcome["error"] = error
+                if state["abandoned"]:
+                    _log_abandoned_failure(error)
+        finally:
+            done.set()
+
+    threading.Thread(target=worker, daemon=True).start()
+    if done.wait(timeout):
+        if "error" in outcome:
+            raise outcome["error"]
+        return outcome["value"]
+    with lock:
+        state["abandoned"] = True
+        late_error = outcome.get("error")
+    if metrics is not None:
+        metrics.record_abandoned()
+    if late_error is not None:
+        # The worker failed in the instant between the wait expiring and the
+        # abandon flag being set; report it here instead.
+        _log_abandoned_failure(late_error)
+    raise _deadline_error(timeout)
+
+
+def _deadline_error(timeout: float) -> RequestTimeout:
+    return RequestTimeout(
+        f"request exceeded the {timeout:g}s deadline; retry once the "
+        "F-Box is warm"
+    )
+
+
+def _log_abandoned_failure(error: BaseException) -> None:
+    _logger.error(
+        "abandoned request worker failed after its deadline: %s",
+        error,
+        exc_info=error,
+    )
+
+
+# ----------------------------------------------------------------------
+# The application
+# ----------------------------------------------------------------------
+
+
+class FBoxApp:
+    """The transport-agnostic F-Box service: routing, policy, execution.
+
+    One instance is shared by every connection of whichever transport
+    fronts it; all state (context, executor, drain flag) is internally
+    synchronized.  ``max_body_bytes`` / ``max_drain_bytes`` are instance
+    attributes so tests can tighten framing limits per-app instead of
+    monkeypatching module globals.
+    """
+
+    def __init__(
+        self,
+        context: ServiceContext,
+        request_timeout: float | None = 30.0,
+        executor_workers: int | None = None,
+    ) -> None:
+        self.context = context
+        self.request_timeout = request_timeout
+        self.executor_workers = executor_workers
+        self.max_body_bytes = 1 << 20  # 1 MiB is plenty for query parameters
+        self.max_drain_bytes = 8 << 20  # past this, closing beats draining
+        self.post_routes = dict(POST_ROUTES)
+        self.get_routes = dict(GET_ROUTES)
+        self._executor: concurrent.futures.ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_shutdown(self) -> None:
+        """Stop admitting new requests; in-flight and queued ones complete.
+
+        New arrivals — on either transport — get a 503 ``shutting_down``
+        with ``Connection: close``; the transport's ``drain()`` then waits
+        for the in-flight gauge to reach zero before stopping the listener.
+        """
+        self._draining = True
+
+    def close(self) -> None:
+        """Release the execution pool (idempotent)."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)
+
+    def _ensure_executor(self) -> concurrent.futures.ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                workers = self.executor_workers
+                if workers is None or workers <= 0:
+                    admission = self.context.admission
+                    workers = (
+                        admission.max_concurrency
+                        if admission is not None and admission.enabled
+                        else 8
+                    )
+                self._executor = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="fbox-exec"
+                )
+            return self._executor
+
+    # ------------------------------------------------------------------
+    # Body framing policy (shared by both transports)
+    # ------------------------------------------------------------------
+
+    def plan_body(self, length_header: str | None) -> BodyPlan:
+        """Decide how the transport should handle one POST body.
+
+        Keep-alive framing rules: any early 4xx MUST NOT leave unread body
+        bytes on the socket — they would be parsed as the next pipelined
+        request's start line.  Rejection plans therefore either drain the
+        declared body first (bounded by ``max_drain_bytes``) or mark the
+        connection for close so the client gets an unambiguous
+        ``Connection: close`` response.
+        """
+        try:
+            length = int(length_header or 0)
+        except ValueError:
+            # Unknown body length: we cannot resync, so drop the connection.
+            return BodyPlan(
+                close=True, error=BadRequest("invalid Content-Length header")
+            )
+        if length <= 0:
+            # Nothing was sent, so nothing is left unread; keep-alive is
+            # safe and the "body is required" 400 comes from parsing.
+            return BodyPlan(read=0)
+        if length > self.max_body_bytes:
+            error = BadRequest(f"request body exceeds {self.max_body_bytes} bytes")
+            if length > self.max_drain_bytes:
+                return BodyPlan(close=True, error=error)
+            return BodyPlan(drain=length, error=error)
+        return BodyPlan(read=length)
+
+    # ------------------------------------------------------------------
+    # The sync surface (threaded transport)
+    # ------------------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Answer one request synchronously (threaded transport).
+
+        CPU-bound work runs under the legacy guard-thread deadline
+        (:func:`run_with_deadline`) on the calling thread's behalf.
+        """
+        route = self._route(request)
+        if isinstance(route, Response):
+            return self._finish(request, route)
+        endpoint, run = route
+        if run is None:
+            run = lambda: self.run_post(request)  # noqa: E731
+        return self._finish(request, self._tracked(endpoint, run))
+
+    def _route(self, request: Request):
+        """Shared routing: a ready :class:`Response`, or ``(endpoint, run)``.
+
+        ``run`` is a zero-argument callable returning ``(status, document)``
+        for everything except the POST query pipeline, which the sync and
+        async surfaces execute differently (guard thread vs executor) —
+        those return ``(endpoint, None)`` and are dispatched by the caller.
+        """
+        if self._draining:
+            return self._shutdown_response()
+        if request.method == "GET":
+            if request.path == "/metrics":
+                return "/metrics", self._metrics_response
+            handler = self.get_routes.get(request.path)
+            if handler is None:
+                return self._error_response(
+                    NotFound(f"no such endpoint: GET {request.path}")
+                )
+            # Health, readiness, and listings are never admission-controlled:
+            # a saturated pool must still answer its probes.
+            return request.path, lambda: handler(self.context)
+        if request.method == "POST":
+            if request.path not in self.post_routes:
+                return self._error_response(
+                    NotFound(f"no such endpoint: POST {request.path}")
+                )
+            return request.path, None
+        return self._error_response(
+            NotFound(f"no such endpoint: {request.method} {request.path}")
+        )
+
+    def handle_async(self, request: Request):
+        """Answer one request on the event loop (asyncio transport).
+
+        Returns an awaitable.  GET endpoints and the cached fast path run
+        inline (they only touch synchronized in-memory state); POST query
+        work is admitted via the controller's async path and executed on
+        the bounded thread pool under an ``asyncio.wait_for`` deadline.
+        """
+        return self._handle_async(request)
+
+    async def _handle_async(self, request: Request) -> Response:
+        route = self._route(request)
+        if isinstance(route, Response):
+            return self._finish(request, route)
+        endpoint, run = route
+        if run is not None:
+            return self._finish(request, self._tracked(endpoint, run))
+        response = await self._tracked_async(
+            endpoint, lambda: self._run_post_async(request)
+        )
+        return self._finish(request, response)
+
+    def _finish(self, request: Request, response: Response) -> Response:
+        if request.close:
+            response.close = True
+        return response
+
+    def _shutdown_response(self) -> Response:
+        response = self._error_response(
+            ShuttingDown(
+                "service is shutting down; retry against another instance"
+            )
+        )
+        response.close = True
+        return response
+
+    def _error_response(self, error: ServiceError) -> Response:
+        return Response(
+            error.status,
+            _error_body(error),
+            retry_after=error.retry_after,
+        )
+
+    # ------------------------------------------------------------------
+    # The tracked section (metrics parity for both surfaces)
+    # ------------------------------------------------------------------
+
+    def _tracked(self, endpoint: str, run) -> Response:
+        """Run one request with metrics: in-flight, latency, status counts."""
+        metrics = self.context.metrics
+        metrics.request_started(endpoint)
+        started = perf_counter()
+        status = 500
+        content_type = "application/json"
+        retry_after: float | None = None
+        try:
+            status, document = run()
+            body = (
+                document if isinstance(document, bytes) else _json_bytes(document)
+            )
+            if endpoint == "/metrics":
+                content_type = _METRICS_CONTENT_TYPE
+        except ServiceError as error:
+            status = error.status
+            retry_after = error.retry_after
+            if isinstance(error, RequestTimeout):
+                metrics.record_timeout()
+            body = _error_body(error)
+        except Exception as error:  # pragma: no cover - defensive
+            status = 500
+            body = _json_bytes(
+                {"error": {"kind": "internal", "message": str(error)}}
+            )
+        # Count the request before its bytes reach the socket: a client that
+        # reads its response and immediately scrapes /metrics must find the
+        # request already recorded.
+        metrics.request_finished(endpoint, status, perf_counter() - started)
+        return Response(status, body, content_type, retry_after=retry_after)
+
+    async def _tracked_async(self, endpoint: str, run) -> Response:
+        """The :meth:`_tracked` twin for the asyncio surface."""
+        metrics = self.context.metrics
+        metrics.request_started(endpoint)
+        started = perf_counter()
+        status = 500
+        content_type = "application/json"
+        retry_after: float | None = None
+        try:
+            status, document = await run()
+            body = (
+                document if isinstance(document, bytes) else _json_bytes(document)
+            )
+            if endpoint == "/metrics":
+                content_type = _METRICS_CONTENT_TYPE
+        except ServiceError as error:
+            status = error.status
+            retry_after = error.retry_after
+            if isinstance(error, RequestTimeout):
+                metrics.record_timeout()
+            body = _error_body(error)
+        except Exception as error:  # pragma: no cover - defensive
+            status = 500
+            body = _json_bytes(
+                {"error": {"kind": "internal", "message": str(error)}}
+            )
+        metrics.request_finished(endpoint, status, perf_counter() - started)
+        return Response(status, body, content_type, retry_after=retry_after)
+
+    # ------------------------------------------------------------------
+    # The POST query pipeline
+    # ------------------------------------------------------------------
+
+    def _parse_payload(self, request: Request):
+        """Raise the framing rejection (if any) and decode the JSON body."""
+        if request.framing_error is not None:
+            raise request.framing_error
+        if not request.body:
+            raise BadRequest("request body is required")
+        try:
+            return json.loads(request.body)
+        except json.JSONDecodeError as error:
+            raise BadRequest(f"request body is not valid JSON: {error}") from None
+
+    def _fast_path(self, path: str, payload) -> dict | None:
+        """A cached answer served without admission or execution, or None.
+
+        Only taken when no fault injector is attached: chaos runs must push
+        every request through the full pipeline so scripted latency and
+        handler faults fire deterministically.  A parse failure falls
+        through silently — the slow path re-raises it with seed-identical
+        admission accounting.
+        """
+        context = self.context
+        if context.faults is not None:
+            return None
+        parser = REQUEST_PARSERS.get(path)
+        if parser is None:
+            return None
+        try:
+            parsed = parser(context, payload)
+        except ServiceError:
+            return None
+        hit = context.cache.peek(parsed.key)
+        if hit is None:
+            return None
+        return {**hit, "cached": True}
+
+    def _execute_fn(self, path: str, payload):
+        """The CPU-bound part of one POST: faults, then the handler."""
+        context = self.context
+        handler = self.post_routes[path]
+
+        def execute():
+            if context.faults is not None:
+                context.faults.fail("handler", path)
+                context.faults.delay(path)
+            return handler(context, payload)
+
+        return execute
+
+    def run_post(self, request: Request) -> tuple[int, dict]:
+        """The sync pipeline body; raises :class:`ServiceError` on rejection."""
+        context = self.context
+        path = request.path
+        payload = self._parse_payload(request)
+        fast = self._fast_path(path, payload)
+        if fast is not None:
+            return 200, fast
+        execute = self._execute_fn(path, payload)
+
+        def admitted():
+            if context.admission is None:
+                return run_with_deadline(
+                    execute, self.request_timeout, context.metrics
+                )
+            with context.admission.admit():
+                return run_with_deadline(
+                    execute, self.request_timeout, context.metrics
+                )
+
+        try:
+            return 200, admitted()
+        except (RequestTimeout, CircuitOpen) as error:
+            # Graceful degradation: requests that opted in with
+            # ``allow_stale`` get the last-known-good answer, loudly
+            # marked, instead of the error.
+            degraded = resolve_degraded(context, path, payload, reason=error.kind)
+            if degraded is None:
+                raise
+            return 200, degraded
+
+    async def _run_post_async(self, request: Request) -> tuple[int, dict]:
+        """The async pipeline body: same decisions, executor-bound work."""
+        context = self.context
+        path = request.path
+        payload = self._parse_payload(request)
+        fast = self._fast_path(path, payload)
+        if fast is not None:
+            return 200, fast
+        execute = self._execute_fn(path, payload)
+        try:
+            if context.admission is None:
+                return 200, await self._execute_async(execute)
+            await context.admission.acquire_async()
+            try:
+                return 200, await self._execute_async(execute)
+            finally:
+                context.admission.release()
+        except (RequestTimeout, CircuitOpen) as error:
+            degraded = resolve_degraded(context, path, payload, reason=error.kind)
+            if degraded is None:
+                raise
+            return 200, degraded
+
+    async def _execute_async(self, execute):
+        """Run ``execute`` on the bounded pool under the request deadline.
+
+        On timeout the pool task is *abandoned*, exactly like the guard
+        thread: it keeps running (a late success still warms caches), the
+        abandoned counter is bumped, and a late failure is logged once via
+        a done-callback (which fires immediately if the failure already
+        happened — the same race the guard-thread lock protocol closes).
+        """
+        timeout = self.request_timeout
+        future = self._ensure_executor().submit(execute)
+        wrapped = asyncio.wrap_future(future)
+        if not timeout or timeout <= 0:
+            return await wrapped
+        try:
+            return await asyncio.wait_for(asyncio.shield(wrapped), timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            self._abandon(future, wrapped)
+            raise _deadline_error(timeout) from None
+
+    def _abandon(
+        self,
+        future: concurrent.futures.Future,
+        wrapped: asyncio.Future,
+    ) -> None:
+        metrics = self.context.metrics
+        if metrics is not None:
+            metrics.record_abandoned()
+        # Retrieve the asyncio mirror's eventual exception so the loop never
+        # warns about it; the authoritative log comes from the pool future.
+        wrapped.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+
+        def _report(done: concurrent.futures.Future) -> None:
+            if done.cancelled():
+                return
+            error = done.exception()
+            if error is not None:
+                _log_abandoned_failure(error)
+
+        future.add_done_callback(_report)
+
+    # ------------------------------------------------------------------
+    # /metrics
+    # ------------------------------------------------------------------
+
+    def _metrics_response(self) -> tuple[int, bytes]:
+        context = self.context
+        text = render_metrics(
+            context.metrics,
+            context.cache.stats(),
+            context.registry.build_counts(),
+            admission_stats=(
+                context.admission.snapshot()
+                if context.admission is not None
+                else None
+            ),
+            breaker_states=context.registry.breaker_states(),
+            fault_stats=(
+                context.faults.snapshot() if context.faults is not None else None
+            ),
+        )
+        return 200, text.encode("utf-8")
+
+
+def make_app(
+    registry: DatasetRegistry | None = None,
+    cache_size: int = 256,
+    cache_ttl: float | None = None,
+    request_timeout: float | None = 30.0,
+    max_concurrency: int = 8,
+    queue_depth: int = 16,
+    faults: FaultInjector | None = None,
+    executor_workers: int | None = None,
+) -> FBoxApp:
+    """Build a ready-to-serve application (no sockets involved).
+
+    ``max_concurrency``/``queue_depth`` size the admission controller (0
+    concurrency disables shedding).  ``faults`` defaults to whatever the
+    ``FBOX_FAULTS`` environment variable configures (usually nothing); when
+    an injector is attached it is also shared with the registry so
+    ``dataset_load`` rules reach the loaders.  ``executor_workers`` sizes
+    the bounded execution pool used by the asyncio transport (default: the
+    admission concurrency cap).
+    """
+    if registry is None:
+        if faults is None:
+            faults = faults_from_env()
+        registry = default_registry(faults=faults)
+    else:
+        # One injector end-to-end: reuse the registry's if it has one, else
+        # share ours (or the env's) with it so dataset_load rules land.
+        if faults is None:
+            faults = (
+                registry.faults if registry.faults is not None else faults_from_env()
+            )
+        if registry.faults is None:
+            registry.faults = faults
+    admission = None
+    if max_concurrency > 0:
+        admission = AdmissionController(
+            max_concurrency=max_concurrency,
+            max_queue=queue_depth,
+            queue_timeout=request_timeout,
+        )
+    context = ServiceContext(
+        registry=registry,
+        cache=LRUCache(cache_size, default_ttl=cache_ttl),
+        metrics=ServiceMetrics(),
+        stale=LRUCache(max(cache_size, 1)),
+        admission=admission,
+        faults=faults,
+    )
+    return FBoxApp(
+        context,
+        request_timeout=request_timeout,
+        executor_workers=executor_workers,
+    )

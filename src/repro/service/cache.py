@@ -78,6 +78,31 @@ class LRUCache:
             self.hits += 1
             return value
 
+    def peek(self, key: Hashable, default=None):
+        """Like :meth:`get`, but an *absent* entry is not counted as a miss.
+
+        This is the fast-path lookup: the application layer peeks before
+        dispatching to the execution pool, and on a miss the handler will
+        consult the cache again on the slow path — which is where the one
+        true miss is recorded.  A present entry behaves exactly like
+        :meth:`get` (hit counted, recency refreshed, TTL enforced); an
+        expired one is dropped and counted as expiration + eviction but
+        not as a miss.
+        """
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                return default
+            value, expires_at = entry
+            if expires_at is not None and self._clock() >= expires_at:
+                del self._entries[key]
+                self.expirations += 1
+                self.evictions += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
     def put(self, key: Hashable, value, ttl=_UNSET) -> None:
         """Store ``key → value``, evicting the least-recently-used overflow.
 

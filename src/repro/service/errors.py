@@ -26,6 +26,7 @@ __all__ = [
     "RequestTimeout",
     "TooManyRequests",
     "CircuitOpen",
+    "ShuttingDown",
 ]
 
 
@@ -85,6 +86,18 @@ class TooManyRequests(ServiceError):
         super().__init__(message)
         self.retry_after = retry_after
         self.extra = extra
+
+
+class ShuttingDown(ServiceError):
+    """The service received SIGTERM and is draining: requests already
+    admitted (or queued) complete, but new arrivals are turned away so the
+    process can exit.  Rendered with ``Connection: close`` so keep-alive
+    clients re-resolve to a healthy replica instead of re-using a socket
+    into a dying process."""
+
+    status = 503
+    kind = "shutting_down"
+    retry_after = 1.0
 
 
 class CircuitOpen(ServiceError):

@@ -41,6 +41,7 @@ from .registry import DatasetRegistry
 from .resilience import AdmissionController
 
 __all__ = [
+    "REQUEST_PARSERS",
     "ServiceContext",
     "handle_quantify",
     "handle_compare",
@@ -444,6 +445,10 @@ _DEGRADED_PARSERS = {
     "/compare": _parse_compare,
     "/explain": _parse_explain,
 }
+
+REQUEST_PARSERS = _DEGRADED_PARSERS
+"""Endpoint → cheap payload parser, for callers that need a request's cache
+keys without running it (the application layer's cached fast path)."""
 
 
 def resolve_degraded(

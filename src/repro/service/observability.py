@@ -78,6 +78,7 @@ class ServiceMetrics:
         self._requests: dict[tuple[str, int], int] = {}
         self.sorted_accesses = 0
         self.random_accesses = 0
+        self.connections = 0
         self.timeouts = 0
         self.abandoned_requests = 0
         self.degraded_responses = 0
@@ -108,6 +109,25 @@ class ServiceMetrics:
             key = (endpoint, status)
             self._requests[key] = self._requests.get(key, 0) + 1
         self.histogram(endpoint).observe(seconds)
+
+    def record_connection(self) -> None:
+        """Count one accepted transport connection (not one request).
+
+        Incremented by the transport layer when a client connection is
+        established, so keep-alive reuse is observable: N requests over one
+        connection move ``fbox_requests_total`` by N but this by 1.
+        """
+        with self._lock:
+            self.connections += 1
+
+    def total_in_flight(self) -> int:
+        """Requests currently being handled, across every endpoint.
+
+        The drain step of graceful shutdown polls this: zero means every
+        admitted or queued request has answered and the process may exit.
+        """
+        with self._lock:
+            return sum(self._in_flight.values())
 
     def record_timeout(self) -> None:
         with self._lock:
@@ -160,6 +180,7 @@ class ServiceMetrics:
             requests = dict(self._requests)
             sorted_accesses = self.sorted_accesses
             random_accesses = self.random_accesses
+            connections = self.connections
             timeouts = self.timeouts
             abandoned = self.abandoned_requests
             degraded = self.degraded_responses
@@ -173,6 +194,7 @@ class ServiceMetrics:
             "requests": requests,
             "sorted_accesses": sorted_accesses,
             "random_accesses": random_accesses,
+            "connections": connections,
             "timeouts": timeouts,
             "abandoned_requests": abandoned,
             "degraded_responses": degraded,
@@ -253,6 +275,9 @@ def render_metrics(
     lines.append(
         f"fbox_index_accesses_total{_labels({'mode': 'random'})} {snap['random_accesses']}"
     )
+
+    lines.append("# TYPE fbox_connections_total counter")
+    lines.append(f"fbox_connections_total {snap['connections']}")
 
     lines.append("# TYPE fbox_request_timeouts_total counter")
     lines.append(f"fbox_request_timeouts_total {snap['timeouts']}")

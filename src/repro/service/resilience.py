@@ -27,10 +27,12 @@ fake clock and assert the exact state sequence byte-for-byte.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import monotonic
 
 from .errors import CircuitOpen, TooManyRequests
@@ -50,6 +52,30 @@ __all__ = [
 # ----------------------------------------------------------------------
 
 
+@dataclass
+class _AsyncWaiter:
+    """One queued async acquirer: its loop, its wake-up future, grant state.
+
+    ``granted`` is protected by the controller's lock.  The future is only
+    ever *resolved* on its own event loop (via ``call_soon_threadsafe``), so
+    a ``release()`` from a worker thread never touches asyncio state
+    directly.  The authoritative fact is ``granted``: if a queue-timeout
+    races the grant, the waiter sees ``granted=True`` under the lock and
+    hands the slot straight back.
+    """
+
+    loop: asyncio.AbstractEventLoop
+    future: asyncio.Future
+    granted: bool = field(default=False)
+
+    def wake(self) -> None:
+        def _resolve(future: asyncio.Future = self.future) -> None:
+            if not future.done():
+                future.set_result(None)
+
+        self.loop.call_soon_threadsafe(_resolve)
+
+
 class AdmissionController:
     """Concurrency cap + bounded wait queue with fast 429 shedding.
 
@@ -59,6 +85,14 @@ class AdmissionController:
     the context-managed form).  ``max_concurrency <= 0`` disables admission
     entirely (every request is accepted without accounting), matching the
     cache's "0 disables" convention.
+
+    :meth:`acquire_async` is the event-loop twin used by the asyncio
+    transport: same counters, same queue bound, same shed policy, but a
+    queued request parks an ``asyncio.Future`` instead of blocking an OS
+    thread.  Sync and async callers share one accounting state, so a mixed
+    deployment still sheds against one global picture (freed slots are
+    handed to async waiters first; thread waiters take whatever the
+    condition variable wakes).
     """
 
     def __init__(
@@ -74,6 +108,7 @@ class AdmissionController:
         self.retry_after = retry_after
         self._lock = threading.Lock()
         self._slot_free = threading.Condition(self._lock)
+        self._async_waiters: deque[_AsyncWaiter] = deque()
         self._active = 0
         self._waiting = 0
         self.accepted = 0
@@ -120,13 +155,66 @@ class AdmissionController:
             self._active += 1
             self.accepted += 1
 
+    async def acquire_async(self) -> None:
+        """Take an execution slot without blocking the event loop.
+
+        Mirrors :meth:`acquire` decision-for-decision: immediate admission
+        below the cap, a bounded wait (here an awaited future rather than a
+        condition variable) up to ``max_queue`` deep, and an immediate 429
+        beyond that or once ``queue_timeout`` expires.
+        """
+        if not self.enabled:
+            return
+        loop = asyncio.get_running_loop()
+        with self._lock:
+            if self._active < self.max_concurrency:
+                self._active += 1
+                self.accepted += 1
+                return
+            if self._waiting >= self.max_queue:
+                self.shed += 1
+                raise self._overloaded("the request queue is full")
+            waiter = _AsyncWaiter(loop=loop, future=loop.create_future())
+            self._async_waiters.append(waiter)
+            self._waiting += 1
+        try:
+            if self.queue_timeout is None:
+                await waiter.future
+            else:
+                await asyncio.wait_for(waiter.future, self.queue_timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            with self._lock:
+                if waiter.granted:
+                    # release() granted the slot in the same instant the
+                    # timeout fired; we are abandoning, so pass it on.
+                    self._release_locked()
+                else:
+                    self._async_waiters.remove(waiter)
+                    self._waiting -= 1
+                self.shed += 1
+            raise self._overloaded(
+                f"queued longer than {self.queue_timeout:g}s"
+            ) from None
+
     def release(self) -> None:
         """Give the slot back and wake one queued request."""
         if not self.enabled:
             return
         with self._slot_free:
-            self._active = max(0, self._active - 1)
-            self._slot_free.notify()
+            self._release_locked()
+
+    def _release_locked(self) -> None:
+        """Free one slot and hand it to a waiter (caller holds the lock)."""
+        self._active = max(0, self._active - 1)
+        while self._async_waiters and self._active < self.max_concurrency:
+            waiter = self._async_waiters.popleft()
+            self._waiting -= 1
+            self._active += 1
+            self.accepted += 1
+            waiter.granted = True
+            waiter.wake()
+            return
+        self._slot_free.notify()
 
     @contextmanager
     def admit(self):

@@ -1,360 +1,46 @@
-"""The HTTP layer: routing, timeouts, graceful shutdown.
+"""Service wiring: build an app, pick a transport, run it until SIGTERM.
 
-A :class:`~http.server.ThreadingHTTPServer` gives each request its own
-thread; shared state (registry, cache, metrics) lives on the server object
-and is internally synchronized.  POST queries run under a per-request
-deadline — a guard thread executes the handler and the request thread waits
-``timeout`` seconds before answering 503 (the stray computation finishes in
-the background and still warms the cache).
+The heavy lifting moved out of this module: request policy lives in
+:mod:`repro.service.app` (the transport-agnostic application layer) and the
+HTTP fronts live in :mod:`repro.service.transports` — ``threaded`` (the
+original thread-per-connection server) and ``aio`` (the asyncio front).
+What remains here is the composition root: :func:`make_server` builds an
+:class:`~repro.service.app.FBoxApp` and wraps it in the requested backend;
+:func:`serve` is the blocking entry point behind ``repro serve`` that
+installs SIGTERM/SIGINT handlers which *drain* — new arrivals get 503 +
+``Connection: close`` while admitted and queued requests finish — before
+the listener stops.
 
-``serve`` is the blocking entry point behind ``repro serve``: it installs
-SIGTERM/SIGINT handlers that trigger a clean ``shutdown()`` so in-flight
-requests drain before the process exits.
+``FBoxServer``, ``make_app``, and ``run_with_deadline`` are re-exported
+for compatibility with existing imports.
 """
 
 from __future__ import annotations
 
-import json
 import logging
 import signal
 import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from time import perf_counter
 
-from .cache import LRUCache
-from .errors import (
-    BadRequest,
-    CircuitOpen,
-    NotFound,
-    RequestTimeout,
-    ServiceError,
-)
-from .faults import FaultInjector, faults_from_env
-from .handlers import (
-    ServiceContext,
-    handle_batch,
-    handle_compare,
-    handle_datasets,
-    handle_explain,
-    handle_healthz,
-    handle_quantify,
-    handle_readyz,
-    resolve_degraded,
-)
-from .observability import ServiceMetrics, render_metrics
-from .registry import DatasetRegistry, default_registry
-from .resilience import AdmissionController, BreakerConfig
+from .app import FBoxApp, make_app, run_with_deadline
+from .faults import FaultInjector
+from .registry import DatasetRegistry
+from .transports.aio import AioFBoxServer
+from .transports.threaded import FBoxServer
 
-__all__ = ["FBoxServer", "make_server", "run_with_deadline", "serve"]
+__all__ = [
+    "AioFBoxServer",
+    "BACKENDS",
+    "FBoxServer",
+    "make_app",
+    "make_server",
+    "run_with_deadline",
+    "serve",
+]
 
 _logger = logging.getLogger("repro.service")
 
-_POST_ROUTES = {
-    "/quantify": handle_quantify,
-    "/compare": handle_compare,
-    "/explain": handle_explain,
-    "/batch": handle_batch,
-}
-_GET_ROUTES = {
-    "/datasets": handle_datasets,
-    "/healthz": handle_healthz,
-    "/readyz": handle_readyz,
-}
-
-_MAX_BODY_BYTES = 1 << 20  # 1 MiB is plenty for query parameters
-_MAX_DRAIN_BYTES = 8 << 20  # past this, closing beats reading an attacker's body
-
-
-class FBoxServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying the shared service context."""
-
-    daemon_threads = True
-    # A deep listen backlog: overload policy belongs to the admission
-    # controller (fast, explicit 429s), not to kernel SYN-queue drops that
-    # surface as opaque connection resets under a burst of clients.
-    request_queue_size = 128
-
-    def __init__(
-        self,
-        address: tuple[str, int],
-        context: ServiceContext,
-        request_timeout: float | None = 30.0,
-        quiet: bool = True,
-    ) -> None:
-        super().__init__(address, _RequestHandler)
-        self.context = context
-        self.request_timeout = request_timeout
-        self.quiet = quiet
-
-    @property
-    def url(self) -> str:
-        host, port = self.server_address[:2]
-        return f"http://{host}:{port}"
-
-
-class _RequestHandler(BaseHTTPRequestHandler):
-    server: FBoxServer  # narrowed for readability
-    protocol_version = "HTTP/1.1"
-
-    # ------------------------------------------------------------------
-    # Verbs
-    # ------------------------------------------------------------------
-
-    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
-        if self.path == "/metrics":
-            self._tracked("/metrics", self._metrics_response)
-            return
-        handler = _GET_ROUTES.get(self.path)
-        if handler is None:
-            self._send_error_response(NotFound(f"no such endpoint: GET {self.path}"))
-            return
-        # Health, readiness, and listings are never admission-controlled:
-        # a saturated pool must still answer its probes.
-        self._tracked(self.path, lambda: handler(self.server.context))
-
-    def do_POST(self) -> None:  # noqa: N802
-        handler = _POST_ROUTES.get(self.path)
-        if handler is None:
-            self._send_error_response(NotFound(f"no such endpoint: POST {self.path}"))
-            return
-        context = self.server.context
-
-        def run() -> tuple[int, dict]:
-            payload = self._read_json_body()
-
-            def execute():
-                if context.faults is not None:
-                    context.faults.fail("handler", self.path)
-                    context.faults.delay(self.path)
-                return handler(context, payload)
-
-            def admitted():
-                if context.admission is None:
-                    return self._with_deadline(execute)
-                with context.admission.admit():
-                    return self._with_deadline(execute)
-
-            try:
-                return 200, admitted()
-            except (RequestTimeout, CircuitOpen) as error:
-                # Graceful degradation: requests that opted in with
-                # ``allow_stale`` get the last-known-good answer, loudly
-                # marked, instead of the error.
-                degraded = resolve_degraded(
-                    context, self.path, payload, reason=error.kind
-                )
-                if degraded is None:
-                    raise
-                return 200, degraded
-
-        self._tracked(self.path, run)
-
-    # ------------------------------------------------------------------
-    # Plumbing
-    # ------------------------------------------------------------------
-
-    def _tracked(self, endpoint: str, run) -> None:
-        """Run one request with metrics: in-flight, latency, status counts."""
-        metrics = self.server.context.metrics
-        metrics.request_started(endpoint)
-        started = perf_counter()
-        status = 500
-        content_type = "application/json"
-        retry_after: float | None = None
-        try:
-            status, document = run()
-            body = (
-                document
-                if isinstance(document, bytes)
-                else _json_bytes(document)
-            )
-            if endpoint == "/metrics":
-                content_type = "text/plain; version=0.0.4; charset=utf-8"
-        except ServiceError as error:
-            status = error.status
-            retry_after = error.retry_after
-            if isinstance(error, RequestTimeout):
-                metrics.record_timeout()
-            body = _error_body(error)
-        except Exception as error:  # pragma: no cover - defensive
-            status = 500
-            body = _json_bytes(
-                {"error": {"kind": "internal", "message": str(error)}}
-            )
-        # Count the request before its bytes reach the socket: a client that
-        # reads its response and immediately scrapes /metrics must find the
-        # request already recorded.
-        metrics.request_finished(endpoint, status, perf_counter() - started)
-        self._write(status, body, content_type, retry_after=retry_after)
-
-    def _metrics_response(self) -> tuple[int, bytes]:
-        context = self.server.context
-        text = render_metrics(
-            context.metrics,
-            context.cache.stats(),
-            context.registry.build_counts(),
-            admission_stats=(
-                context.admission.snapshot()
-                if context.admission is not None
-                else None
-            ),
-            breaker_states=context.registry.breaker_states(),
-            fault_stats=(
-                context.faults.snapshot() if context.faults is not None else None
-            ),
-        )
-        return 200, text.encode("utf-8")
-
-    def _with_deadline(self, fn):
-        """Run ``fn`` under the server's per-request timeout."""
-        return run_with_deadline(
-            fn, self.server.request_timeout, self.server.context.metrics
-        )
-
-    def _read_json_body(self):
-        """Parse the request body, keeping the connection framing coherent.
-
-        This handler speaks HTTP/1.1 keep-alive, so any early 4xx MUST NOT
-        leave unread body bytes on the socket — they would be parsed as the
-        next pipelined request's start line.  Rejection paths therefore
-        either drain the declared body first (bounded by
-        ``_MAX_DRAIN_BYTES``) or mark the connection for close so the
-        client gets an unambiguous ``Connection: close`` response.
-        """
-        length_header = self.headers.get("Content-Length")
-        try:
-            length = int(length_header or 0)
-        except ValueError:
-            # Unknown body length: we cannot resync, so drop the connection.
-            self.close_connection = True
-            raise BadRequest("invalid Content-Length header") from None
-        if length <= 0:
-            # Nothing was sent, so nothing is left unread; keep-alive is safe.
-            raise BadRequest("request body is required")
-        if length > _MAX_BODY_BYTES:
-            if not self._drain_body(length):
-                self.close_connection = True
-            raise BadRequest(f"request body exceeds {_MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length)
-        try:
-            return json.loads(raw)
-        except json.JSONDecodeError as error:
-            raise BadRequest(f"request body is not valid JSON: {error}") from None
-
-    def _drain_body(self, length: int) -> bool:
-        """Discard ``length`` unread body bytes; False when too big to drain."""
-        if length > _MAX_DRAIN_BYTES:
-            return False
-        remaining = length
-        while remaining > 0:
-            chunk = self.rfile.read(min(remaining, 1 << 16))
-            if not chunk:
-                return False
-            remaining -= len(chunk)
-        return True
-
-    def _send_error_response(self, error: ServiceError) -> None:
-        self._write(
-            error.status,
-            _error_body(error),
-            "application/json",
-            retry_after=error.retry_after,
-        )
-
-    def _write(
-        self,
-        status: int,
-        body: bytes,
-        content_type: str,
-        retry_after: float | None = None,
-    ) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        if retry_after is not None:
-            # HTTP wants integral seconds; round up so clients never retry early.
-            self.send_header("Retry-After", str(max(1, int(-(-retry_after // 1)))))
-        if self.close_connection:
-            # Tell the client explicitly; HTTP/1.1 defaults to keep-alive.
-            self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(body)
-
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
-        if not self.server.quiet:
-            super().log_message(format, *args)
-
-
-def _json_bytes(document: dict) -> bytes:
-    return json.dumps(document, sort_keys=True).encode("utf-8")
-
-
-def _error_body(error: ServiceError) -> bytes:
-    payload: dict = {"kind": error.kind, "message": str(error)}
-    if error.extra:
-        payload.update(error.extra)
-    if error.retry_after is not None:
-        payload["retry_after"] = error.retry_after
-    return _json_bytes({"error": payload})
-
-
-def run_with_deadline(fn, timeout: float | None, metrics: ServiceMetrics | None = None):
-    """Run ``fn`` on a guard thread, raising 503 after ``timeout`` seconds.
-
-    When the deadline fires, the worker thread is *abandoned*, not killed:
-    it keeps running (a successful late result still warms caches), the
-    ``abandoned_requests`` counter is bumped, and — the part that used to be
-    silently discarded — any exception the abandoned worker eventually
-    raises is logged under ``repro.service``.  The abandoned flag is flipped
-    under a lock shared with the worker's error path so a failure racing the
-    deadline is reported on exactly one side, never dropped.
-    """
-    if not timeout or timeout <= 0:
-        return fn()
-    outcome: dict = {}
-    done = threading.Event()
-    lock = threading.Lock()
-    state = {"abandoned": False}
-
-    def worker() -> None:
-        try:
-            value = fn()
-            with lock:
-                outcome["value"] = value
-        except BaseException as error:  # propagated to the request thread
-            with lock:
-                outcome["error"] = error
-                if state["abandoned"]:
-                    _log_abandoned_failure(error)
-        finally:
-            done.set()
-
-    threading.Thread(target=worker, daemon=True).start()
-    if done.wait(timeout):
-        if "error" in outcome:
-            raise outcome["error"]
-        return outcome["value"]
-    with lock:
-        state["abandoned"] = True
-        late_error = outcome.get("error")
-    if metrics is not None:
-        metrics.record_abandoned()
-    if late_error is not None:
-        # The worker failed in the instant between the wait expiring and the
-        # abandon flag being set; report it here instead.
-        _log_abandoned_failure(late_error)
-    raise RequestTimeout(
-        f"request exceeded the {timeout:g}s deadline; retry once the "
-        "F-Box is warm"
-    )
-
-
-def _log_abandoned_failure(error: BaseException) -> None:
-    _logger.error(
-        "abandoned request worker failed after its deadline: %s",
-        error,
-        exc_info=error,
-    )
+BACKENDS = ("threads", "asyncio")
+"""Transport choices for ``make_server``/``serve``/``repro serve --backend``."""
 
 
 def make_server(
@@ -368,44 +54,33 @@ def make_server(
     queue_depth: int = 16,
     faults: FaultInjector | None = None,
     quiet: bool = True,
-) -> FBoxServer:
+    backend: str = "threads",
+    executor_workers: int | None = None,
+) -> FBoxServer | AioFBoxServer:
     """Build a ready-to-serve F-Box server (``port=0`` picks an ephemeral one).
 
-    ``max_concurrency``/``queue_depth`` size the admission controller (0
-    concurrency disables shedding).  ``faults`` defaults to whatever the
-    ``FBOX_FAULTS`` environment variable configures (usually nothing); when
-    an injector is attached it is also shared with the registry so
-    ``dataset_load`` rules reach the loaders.
+    ``backend`` selects the transport: ``"threads"`` (one OS thread per
+    connection, the legacy model) or ``"asyncio"`` (one event loop, CPU
+    work on the app's bounded executor sized by ``executor_workers``).
+    Both fronts share the same application, so every endpoint, error path,
+    and resilience behavior is identical.  See :func:`repro.service.app.
+    make_app` for the remaining knobs.
     """
-    if registry is None:
-        if faults is None:
-            faults = faults_from_env()
-        registry = default_registry(faults=faults)
-    else:
-        # One injector end-to-end: reuse the registry's if it has one, else
-        # share ours (or the env's) with it so dataset_load rules land.
-        if faults is None:
-            faults = (
-                registry.faults if registry.faults is not None else faults_from_env()
-            )
-        if registry.faults is None:
-            registry.faults = faults
-    admission = None
-    if max_concurrency > 0:
-        admission = AdmissionController(
-            max_concurrency=max_concurrency,
-            max_queue=queue_depth,
-            queue_timeout=request_timeout,
-        )
-    context = ServiceContext(
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    app = make_app(
         registry=registry,
-        cache=LRUCache(cache_size, default_ttl=cache_ttl),
-        metrics=ServiceMetrics(),
-        stale=LRUCache(max(cache_size, 1)),
-        admission=admission,
+        cache_size=cache_size,
+        cache_ttl=cache_ttl,
+        request_timeout=request_timeout,
+        max_concurrency=max_concurrency,
+        queue_depth=queue_depth,
         faults=faults,
+        executor_workers=executor_workers,
     )
-    return FBoxServer((host, port), context, request_timeout=request_timeout, quiet=quiet)
+    if backend == "asyncio":
+        return AioFBoxServer((host, port), app, quiet=quiet)
+    return FBoxServer((host, port), app, quiet=quiet)
 
 
 def serve(
@@ -419,13 +94,20 @@ def serve(
     queue_depth: int = 16,
     preload: bool = False,
     quiet: bool = False,
+    backend: str = "threads",
+    executor_workers: int | None = None,
+    drain_grace: float = 10.0,
 ) -> int:
     """Run the service until SIGTERM/SIGINT; returns a process exit code.
 
     Must be called from the main thread (signal handlers are installed).
-    With ``preload`` the server starts listening immediately and
-    materializes datasets on a background thread; ``/readyz`` answers 503
-    until every preloaded dataset is built (``/healthz`` is 200 throughout).
+    A signal triggers a *drain*: the app stops admitting (new requests get
+    503 ``shutting_down`` + ``Connection: close``), requests already
+    executing or waiting in the admission queue complete, and after at most
+    ``drain_grace`` seconds the listener stops.  With ``preload`` the
+    server starts listening immediately and materializes datasets on a
+    background thread; ``/readyz`` answers 503 until every preloaded
+    dataset is built (``/healthz`` is 200 throughout).
     """
     server = make_server(
         registry=registry,
@@ -437,6 +119,8 @@ def serve(
         max_concurrency=max_concurrency,
         queue_depth=queue_depth,
         quiet=quiet,
+        backend=backend,
+        executor_workers=executor_workers,
     )
     if preload:
         context = server.context
@@ -452,14 +136,20 @@ def serve(
         threading.Thread(target=_preload, daemon=True, name="fbox-preload").start()
 
     def _shutdown(signum, frame) -> None:
-        # shutdown() must not run on the serve_forever thread; hand it off.
-        threading.Thread(target=server.shutdown, daemon=True).start()
+        # drain() must not run on the serve_forever thread; hand it off.
+        threading.Thread(
+            target=server.drain, args=(drain_grace,), daemon=True
+        ).start()
 
     previous = {
         sig: signal.signal(sig, _shutdown) for sig in (signal.SIGTERM, signal.SIGINT)
     }
     datasets = ", ".join(server.context.registry.names()) or "none"
-    print(f"F-Box service listening on {server.url} (datasets: {datasets})", flush=True)
+    print(
+        f"F-Box service listening on {server.url} "
+        f"(backend: {backend}, datasets: {datasets})",
+        flush=True,
+    )
     try:
         server.serve_forever()
     finally:

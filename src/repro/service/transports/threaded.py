@@ -1,0 +1,157 @@
+"""The threaded transport: ``ThreadingHTTPServer`` fronting the app.
+
+One OS thread per connection, exactly as the service always worked; the
+handler's only jobs now are HTTP framing (read the body per the app's
+:meth:`~repro.service.app.FBoxApp.plan_body` decision, write the returned
+:class:`~repro.service.app.Response`) and connection accounting.  All
+routing, validation, admission, deadlines, and metrics live in the app.
+"""
+
+from __future__ import annotations
+
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import monotonic
+
+from ..app import FBoxApp, Request, format_retry_after
+
+__all__ = ["FBoxServer"]
+
+
+class FBoxServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer adapter carrying the shared application."""
+
+    daemon_threads = True
+    # A deep listen backlog: overload policy belongs to the admission
+    # controller (fast, explicit 429s), not to kernel SYN-queue drops that
+    # surface as opaque connection resets under a burst of clients.
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        app: FBoxApp,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, _RequestHandler)
+        self.app = app
+        self.quiet = quiet
+
+    @property
+    def context(self):
+        """The shared service context (registry, cache, metrics, ...)."""
+        return self.app.context
+
+    @property
+    def request_timeout(self) -> float | None:
+        return self.app.request_timeout
+
+    @request_timeout.setter
+    def request_timeout(self, value: float | None) -> None:
+        self.app.request_timeout = value
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def drain(self, grace: float = 10.0) -> None:
+        """Graceful shutdown: refuse new work, let in-flight work finish.
+
+        New arrivals (including queued-behind-admission ones that had not
+        yet started) get 503 + ``Connection: close``; requests already
+        inside the tracked section — executing or waiting in the admission
+        queue — complete normally.  After ``grace`` seconds stragglers are
+        abandoned to the normal ``shutdown()`` path.
+        """
+        self.app.begin_shutdown()
+        deadline = monotonic() + grace
+        metrics = self.app.context.metrics
+        while monotonic() < deadline and metrics.total_in_flight() > 0:
+            time.sleep(0.02)
+        self.shutdown()
+
+    def server_close(self) -> None:
+        super().server_close()
+        self.app.close()
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    server: FBoxServer  # narrowed for readability
+    protocol_version = "HTTP/1.1"
+    # The response goes out as two writes (header block, then body); without
+    # TCP_NODELAY, Nagle holds the small body segment until the client's
+    # delayed ACK (~40ms) acknowledges the headers — a 44ms floor on every
+    # keep-alive request.
+    disable_nagle_algorithm = True
+
+    def handle(self) -> None:
+        # One handler instance per connection: count it so tests (and the
+        # keep-alive client) can assert connection reuse from /metrics.
+        self.server.app.context.metrics.record_connection()
+        super().handle()
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._respond(self.server.app.handle(Request(method="GET", path=self.path)))
+
+    def do_POST(self) -> None:  # noqa: N802
+        app = self.server.app
+        body = b""
+        framing_error = None
+        close = False
+        if self.path in app.post_routes:
+            plan = app.plan_body(self.headers.get("Content-Length"))
+            if plan.error is not None:
+                framing_error = plan.error
+                close = plan.close
+                if plan.drain and not self._drain_body(plan.drain):
+                    close = True
+            elif plan.read:
+                body = self.rfile.read(plan.read)
+        self._respond(
+            app.handle(
+                Request(
+                    method="POST",
+                    path=self.path,
+                    body=body,
+                    framing_error=framing_error,
+                    close=close,
+                )
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Framing plumbing
+    # ------------------------------------------------------------------
+
+    def _drain_body(self, length: int) -> bool:
+        """Discard ``length`` unread body bytes; False when the read fails."""
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 1 << 16))
+            if not chunk:
+                return False
+            remaining -= len(chunk)
+        return True
+
+    def _respond(self, response) -> None:
+        if response.close:
+            self.close_connection = True
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        if response.retry_after is not None:
+            self.send_header("Retry-After", format_retry_after(response.retry_after))
+        if self.close_connection:
+            # Tell the client explicitly; HTTP/1.1 defaults to keep-alive.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)

@@ -7,6 +7,8 @@ module reuses the result.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -79,3 +81,40 @@ from tests.helpers import make_cube
 @pytest.fixture
 def cube():
     return make_cube()
+
+
+# ----------------------------------------------------------------------
+# Service backends
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(params=["threads", "asyncio"])
+def backend(request):
+    """Every service test runs once per transport: both fronts share one
+    application layer, so the whole HTTP surface must be byte-compatible."""
+    return request.param
+
+
+@pytest.fixture
+def start_service(backend):
+    """A factory booting a live server on the parameterized backend.
+
+    Returns the server (ephemeral port, ``server.url`` ready); every server
+    started through the factory is shut down and closed at teardown.
+    """
+    from repro.service.server import make_server
+
+    running: list = []
+
+    def _start(registry=None, **kwargs):
+        server = make_server(registry=registry, port=0, backend=backend, **kwargs)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        running.append((server, thread))
+        return server
+
+    yield _start
+    for server, thread in running:
+        server.shutdown()
+        thread.join(timeout=5)
+        server.server_close()

@@ -5,6 +5,11 @@ session-cached fixtures, so boots are cheap) and exercised over HTTP with
 urllib — all six endpoints, the error paths, cache-hit behavior verified via
 ``/metrics``, the per-request timeout guard, and a concurrency test proving
 that 16 parallel first-touch requests build the cube exactly once.
+
+Every server-backed test is parameterized over ``backend in {threads,
+asyncio}`` (the ``backend``/``start_service`` conftest fixtures): the two
+transports share one application layer and must be byte-compatible on every
+endpoint and error path.
 """
 
 from __future__ import annotations
@@ -28,8 +33,7 @@ from repro.service.errors import RequestTimeout
 from repro.service.handlers import ServiceContext, handle_quantify
 from repro.service.observability import ServiceMetrics
 from repro.service.registry import DatasetRegistry, DatasetSpec
-from repro.service.server import make_server, run_with_deadline
-from repro.service import server as server_mod
+from repro.service.server import run_with_deadline
 
 
 # ----------------------------------------------------------------------
@@ -97,15 +101,9 @@ def _registry(small_marketplace_dataset, small_search_dataset) -> DatasetRegistr
 
 
 @pytest.fixture
-def service(small_marketplace_dataset, small_search_dataset):
+def service(start_service, small_marketplace_dataset, small_search_dataset):
     registry = _registry(small_marketplace_dataset, small_search_dataset)
-    server = make_server(registry=registry, port=0, request_timeout=60.0)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    yield ServiceHarness(server)
-    server.shutdown()
-    server.server_close()
-    thread.join(timeout=5)
+    return ServiceHarness(start_service(registry=registry, request_timeout=60.0))
 
 
 # ----------------------------------------------------------------------
@@ -385,23 +383,17 @@ class TestMetrics:
 
 class TestConcurrency:
     def test_parallel_first_touch_builds_one_cube(
-        self, small_marketplace_dataset, small_search_dataset
+        self, start_service, small_marketplace_dataset, small_search_dataset
     ):
         registry = _registry(small_marketplace_dataset, small_search_dataset)
-        server = make_server(registry=registry, port=0, request_timeout=120.0)
-        thread = threading.Thread(target=server.serve_forever, daemon=True)
-        thread.start()
-        harness = ServiceHarness(server)
+        harness = ServiceHarness(
+            start_service(registry=registry, request_timeout=120.0)
+        )
         request = {"dataset": "taskrabbit", "dimension": "group", "k": 5}
-        try:
-            with ThreadPoolExecutor(max_workers=16) as pool:
-                outcomes = list(
-                    pool.map(lambda _: harness.post("/quantify", request), range(16))
-                )
-        finally:
-            server.shutdown()
-            server.server_close()
-            thread.join(timeout=5)
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            outcomes = list(
+                pool.map(lambda _: harness.post("/quantify", request), range(16))
+            )
 
         assert [status for status, _ in outcomes] == [200] * 16
         entries = [
@@ -425,21 +417,15 @@ class TestConcurrency:
         assert registry.build_counts()["fboxes"] == 2
 
     def test_request_timeout_returns_503(
-        self, small_marketplace_dataset, small_search_dataset
+        self, start_service, small_marketplace_dataset, small_search_dataset
     ):
         registry = _registry(small_marketplace_dataset, small_search_dataset)
-        server = make_server(registry=registry, port=0, request_timeout=1e-4)
-        thread = threading.Thread(target=server.serve_forever, daemon=True)
-        thread.start()
-        harness = ServiceHarness(server)
-        try:
-            status, body = harness.post(
-                "/quantify", {"dataset": "taskrabbit", "dimension": "group"}
-            )
-        finally:
-            server.shutdown()
-            server.server_close()
-            thread.join(timeout=5)
+        harness = ServiceHarness(
+            start_service(registry=registry, request_timeout=1e-4)
+        )
+        status, body = harness.post(
+            "/quantify", {"dataset": "taskrabbit", "dimension": "group"}
+        )
         assert status == 503
         assert body["error"]["kind"] == "timeout"
 
@@ -468,7 +454,7 @@ def _read_http_response(reader) -> tuple[int, dict, bytes]:
 class TestKeepAliveFraming:
     def test_pipelined_rejected_then_valid_request(self, service, monkeypatch):
         """An oversized body is drained, not left to masquerade as request 2."""
-        monkeypatch.setattr(server_mod, "_MAX_BODY_BYTES", 64)
+        monkeypatch.setattr(service.server.app, "max_body_bytes", 64)
         oversized = b"x" * 200
         first = (
             b"POST /quantify HTTP/1.1\r\n"
@@ -522,8 +508,8 @@ class TestKeepAliveFraming:
     def test_undrainably_large_body_closes_the_connection(
         self, service, monkeypatch
     ):
-        monkeypatch.setattr(server_mod, "_MAX_BODY_BYTES", 64)
-        monkeypatch.setattr(server_mod, "_MAX_DRAIN_BYTES", 128)
+        monkeypatch.setattr(service.server.app, "max_body_bytes", 64)
+        monkeypatch.setattr(service.server.app, "max_drain_bytes", 128)
         request = (
             b"POST /quantify HTTP/1.1\r\n"
             b"Host: t\r\n"
@@ -581,23 +567,17 @@ class TestAbandonedWorkers:
         assert "late boom" in str(record.exc_info[1])
 
     def test_abandoned_counter_reaches_the_exposition(
-        self, small_marketplace_dataset, small_search_dataset
+        self, start_service, small_marketplace_dataset, small_search_dataset
     ):
         registry = _registry(small_marketplace_dataset, small_search_dataset)
-        server = make_server(registry=registry, port=0, request_timeout=1e-4)
-        thread = threading.Thread(target=server.serve_forever, daemon=True)
-        thread.start()
-        harness = ServiceHarness(server)
-        try:
-            status, _ = harness.post(
-                "/quantify", {"dataset": "taskrabbit", "dimension": "group"}
-            )
-            assert status == 503
-            _, text = harness.get("/metrics")
-        finally:
-            server.shutdown()
-            server.server_close()
-            thread.join(timeout=5)
+        harness = ServiceHarness(
+            start_service(registry=registry, request_timeout=1e-4)
+        )
+        status, _ = harness.post(
+            "/quantify", {"dataset": "taskrabbit", "dimension": "group"}
+        )
+        assert status == 503
+        _, text = harness.get("/metrics")
         assert "fbox_abandoned_requests_total 1" in text
         assert "fbox_request_timeouts_total 1" in text
 

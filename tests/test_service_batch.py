@@ -11,7 +11,6 @@ POSTs (asserted via ``/metrics``).
 
 from __future__ import annotations
 
-import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -20,22 +19,15 @@ from repro.core.batch import multi_top_k, plan_groups, slice_top_k
 from repro.core.fagin import top_k
 from repro.core.fbox import FBox
 from repro.service import handlers as handlers_mod
-from repro.service.server import make_server
 
 from tests.helpers import make_cube
 from tests.test_service import ServiceHarness, _registry
 
 
 @pytest.fixture
-def service(small_marketplace_dataset, small_search_dataset):
+def service(start_service, small_marketplace_dataset, small_search_dataset):
     registry = _registry(small_marketplace_dataset, small_search_dataset)
-    server = make_server(registry=registry, port=0, request_timeout=120.0)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    yield ServiceHarness(server)
-    server.shutdown()
-    server.server_close()
-    thread.join(timeout=5)
+    return ServiceHarness(start_service(registry=registry, request_timeout=120.0))
 
 
 def _quantify_item(k: int, **overrides) -> dict:
@@ -272,41 +264,30 @@ class TestSharedSweep:
         assert body["shared_items"] == 2  # only the (group,most) pair shares
 
     def test_cold_homogeneous_batch_builds_one_family_with_fewer_accesses(
-        self, small_marketplace_dataset, small_search_dataset
+        self, start_service, small_marketplace_dataset, small_search_dataset
     ):
         """The acceptance criterion: 16 grid points ≈ 1 build + 1 sweep."""
         requests = [_quantify_item(k) for k in range(1, 17)]
 
         def boot():
             registry = _registry(small_marketplace_dataset, small_search_dataset)
-            server = make_server(registry=registry, port=0, request_timeout=120.0)
-            thread = threading.Thread(target=server.serve_forever, daemon=True)
-            thread.start()
-            return ServiceHarness(server), server, thread
+            return ServiceHarness(
+                start_service(registry=registry, request_timeout=120.0)
+            )
 
-        batched, server, thread = boot()
-        try:
-            status, body = batched.post("/batch", requests)
+        batched = boot()
+        status, body = batched.post("/batch", requests)
+        assert status == 200
+        assert all(result["status"] == 200 for result in body["results"])
+        _, batched_metrics = batched.get("/metrics")
+
+        sequential = boot()
+        for item in requests:
+            payload = {key: value for key, value in item.items() if key != "op"}
+            status, document = sequential.post("/quantify", payload)
             assert status == 200
-            assert all(result["status"] == 200 for result in body["results"])
-            _, batched_metrics = batched.get("/metrics")
-        finally:
-            server.shutdown()
-            server.server_close()
-            thread.join(timeout=5)
-
-        sequential, server, thread = boot()
-        try:
-            for item in requests:
-                payload = {key: value for key, value in item.items() if key != "op"}
-                status, document = sequential.post("/quantify", payload)
-                assert status == 200
-                assert document["cached"] is False
-            _, sequential_metrics = sequential.get("/metrics")
-        finally:
-            server.shutdown()
-            server.server_close()
-            thread.join(timeout=5)
+            assert document["cached"] is False
+        _, sequential_metrics = sequential.get("/metrics")
 
         assert _metric_value(batched_metrics, "fbox_index_family_builds_total") == 1
         assert _metric_value(batched_metrics, "fbox_cube_builds_total") == 1
@@ -364,23 +345,17 @@ class TestBatchCaching:
 
 class TestBatchConcurrency:
     def test_parallel_batches_build_one_cube(
-        self, small_marketplace_dataset, small_search_dataset
+        self, start_service, small_marketplace_dataset, small_search_dataset
     ):
         registry = _registry(small_marketplace_dataset, small_search_dataset)
-        server = make_server(registry=registry, port=0, request_timeout=120.0)
-        thread = threading.Thread(target=server.serve_forever, daemon=True)
-        thread.start()
-        harness = ServiceHarness(server)
+        harness = ServiceHarness(
+            start_service(registry=registry, request_timeout=120.0)
+        )
         batch = [_quantify_item(k) for k in range(1, 9)]
-        try:
-            with ThreadPoolExecutor(max_workers=8) as pool:
-                outcomes = list(
-                    pool.map(lambda _: harness.post("/batch", batch), range(8))
-                )
-        finally:
-            server.shutdown()
-            server.server_close()
-            thread.join(timeout=5)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = list(
+                pool.map(lambda _: harness.post("/batch", batch), range(8))
+            )
 
         assert [status for status, _ in outcomes] == [200] * 8
         answers = {

@@ -65,18 +65,24 @@ class FakeClock:
         self.now += seconds
 
 
-@contextmanager
-def live_server(**kwargs):
-    """Boot a real server on an ephemeral port, always torn down."""
-    server = make_server(port=0, **kwargs)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    try:
-        yield ServiceHarness(server)
-    finally:
-        server.shutdown()
-        server.server_close()
-        thread.join(timeout=5)
+@pytest.fixture
+def live_server(backend):
+    """A contextmanager factory booting a real server on the parameterized
+    backend (ephemeral port, always torn down)."""
+
+    @contextmanager
+    def _live(**kwargs):
+        server = make_server(port=0, backend=backend, **kwargs)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield ServiceHarness(server)
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+            server.server_close()
+
+    return _live
 
 
 # ----------------------------------------------------------------------
@@ -468,7 +474,7 @@ def _boom_loader():
 
 class TestDegradedAnswers:
     def test_open_breaker_serves_marked_stale_answer(
-        self, small_marketplace_dataset, small_search_dataset
+        self, live_server, small_marketplace_dataset, small_search_dataset
     ):
         registry = _registry(small_marketplace_dataset, small_search_dataset)
         registry.breaker_config = BreakerConfig(
@@ -517,7 +523,7 @@ class TestDegradedAnswers:
             assert 'fbox_breaker_state{dataset="taskrabbit"} 2' in metrics
 
     def test_deadline_serves_stale_within_the_deadline(
-        self, small_marketplace_dataset, small_search_dataset
+        self, live_server, small_marketplace_dataset, small_search_dataset
     ):
         registry = _registry(small_marketplace_dataset, small_search_dataset)
         faults = FaultInjector(
@@ -585,7 +591,7 @@ class TestReadiness:
         assert any("breaker is open" in blocker for blocker in body["blockers"])
 
     def test_healthz_stays_alive_while_readyz_says_unavailable(
-        self, small_marketplace_dataset, small_search_dataset
+        self, live_server, small_marketplace_dataset, small_search_dataset
     ):
         registry = _registry(small_marketplace_dataset, small_search_dataset)
         with live_server(registry=registry) as service:
@@ -692,7 +698,7 @@ class TestClient:
             RetryPolicy(base_delay=-1.0)
 
     def test_client_retries_a_shed_request_after_retry_after(
-        self, small_marketplace_dataset, small_search_dataset
+        self, live_server, small_marketplace_dataset, small_search_dataset
     ):
         registry = _registry(small_marketplace_dataset, small_search_dataset)
         faults = FaultInjector(
@@ -734,7 +740,7 @@ class TestClient:
             assert min(client.sleeps) >= 1.0
 
     def test_non_retryable_errors_surface_immediately(
-        self, small_marketplace_dataset, small_search_dataset
+        self, live_server, small_marketplace_dataset, small_search_dataset
     ):
         registry = _registry(small_marketplace_dataset, small_search_dataset)
         with live_server(registry=registry) as service:
@@ -760,7 +766,7 @@ class TestClient:
         assert len(client.sleeps) == 2
 
     def test_readyz_reports_503_as_an_answer_not_an_error(
-        self, small_marketplace_dataset, small_search_dataset
+        self, live_server, small_marketplace_dataset, small_search_dataset
     ):
         registry = _registry(small_marketplace_dataset, small_search_dataset)
         with live_server(registry=registry) as service:
@@ -817,7 +823,7 @@ class TestOverloadShedding:
         )
 
     def test_shedding_bounds_p99_of_accepted_requests(
-        self, small_marketplace_dataset, small_search_dataset
+        self, live_server, small_marketplace_dataset, small_search_dataset
     ):
         warm_up = {"dataset": "taskrabbit", "dimension": "group", "k": 3}
 
@@ -871,7 +877,7 @@ class TestOverloadShedding:
 
 class TestResilienceMetrics:
     def test_breaker_queue_and_fault_series_are_exposed(
-        self, small_marketplace_dataset, small_search_dataset
+        self, live_server, small_marketplace_dataset, small_search_dataset
     ):
         registry = _registry(small_marketplace_dataset, small_search_dataset)
         faults = FaultInjector(
