@@ -7,9 +7,13 @@
 #      through a half-open probe after the backoff;
 #   3. chaos (degraded): boot with an injected /quantify stall longer than
 #      the request deadline — a warm `allow_stale` request must round-trip
-#      a last-known-good answer marked `"degraded": true`.
+#      a last-known-good answer marked `"degraded": true`;
+#   4. sharded: boot with `--shards 2` and drive the versioned /v1 API —
+#      queries answered by both worker processes, a cross-shard /batch,
+#      worker build counts merged into /metrics, and the deprecation
+#      headers on legacy unversioned paths.
 #
-# All three passes run once per transport backend (`--backend threads`,
+# All four passes run once per transport backend (`--backend threads`,
 # then `--backend asyncio`) — the two fronts share one application layer,
 # so every pass must behave identically on both.
 #
@@ -64,6 +68,21 @@ except urllib.error.HTTPError as error:
     print(error.code, error.read().decode())
 except Exception as error:
     print(0, error)
+EOF
+}
+
+# http_header <url> <header-name> -> prints the header value ("" if absent)
+http_header() {
+    python3 - "$@" <<'EOF'
+import sys, urllib.error, urllib.request
+url, name = sys.argv[1], sys.argv[2]
+try:
+    with urllib.request.urlopen(url, timeout=30) as response:
+        print(response.headers.get(name, ""))
+except urllib.error.HTTPError as error:
+    print(error.headers.get(name, ""))
+except Exception:
+    print("")
 EOF
 }
 
@@ -209,6 +228,50 @@ case "$BODY" in
     *) fail "metrics do not count the degraded response" ;;
 esac
 echo "smoke: degraded answer ok"
+stop_server
+
+# ----------------------------------------------------------------------
+# Pass 4: sharded execution (--shards 2) behind the versioned /v1 API
+# ----------------------------------------------------------------------
+
+boot_server --shards 2
+expect 200 "sharded readyz" GET "$BASE/v1/readyz" >/dev/null
+
+BODY="$(expect 200 "sharded quantify (taskrabbit)" POST "$BASE/v1/quantify" '{"dataset": "taskrabbit", "dimension": "group", "k": 3}')"
+case "$BODY" in
+    *'"unfairness"'*) ;;
+    *) fail "sharded quantify body lacks unfairness values: $BODY" ;;
+esac
+expect 200 "sharded quantify (google)" POST "$BASE/v1/quantify" '{"dataset": "google", "dimension": "location", "k": 2}' >/dev/null
+echo "smoke: sharded quantify ok (both workers answering)"
+
+BODY="$(expect 200 "cross-shard batch" POST "$BASE/v1/batch" '[{"op": "quantify", "dataset": "taskrabbit", "dimension": "group", "k": 2}, {"op": "quantify", "dataset": "google", "dimension": "location", "k": 2}]')"
+case "$BODY" in
+    *'"succeeded": 2'*|*'"succeeded":2'*) ;;
+    *) fail "cross-shard batch did not succeed on both items: $BODY" ;;
+esac
+echo "smoke: cross-shard batch ok"
+
+BODY="$(expect 200 "sharded metrics" GET "$BASE/v1/metrics")"
+case "$BODY" in
+    *'fbox_cube_builds_total 2'*) ;;
+    *) fail "sharded metrics do not merge worker build counts: $BODY" ;;
+esac
+echo "smoke: sharded metrics merge ok"
+
+# Legacy unversioned paths still answer, flagged deprecated; /v1 is clean.
+DEPRECATION="$(http_header "$BASE/healthz" Deprecation)"
+[ "$DEPRECATION" = "true" ] || fail "legacy path lacks Deprecation: true header"
+DEPRECATION="$(http_header "$BASE/v1/healthz" Deprecation)"
+[ -z "$DEPRECATION" ] || fail "/v1 path unexpectedly carries a Deprecation header"
+echo "smoke: deprecation headers ok"
+
+BODY="$(expect 200 "schema" GET "$BASE/v1/schema")"
+case "$BODY" in
+    *'"shard_unavailable"'*) ;;
+    *) fail "schema lacks the shard_unavailable error code: $BODY" ;;
+esac
+echo "smoke: sharded /v1 pass ok"
 stop_server
 
 }

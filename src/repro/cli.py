@@ -196,6 +196,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds SIGTERM waits for admitted/queued requests to finish "
         "before the listener stops",
     )
+    serve.add_argument(
+        "--shards", type=int, default=0,
+        help="worker processes owning dataset shards (0 = execute in-process); "
+        "each dataset is pinned to one shard by consistent hashing",
+    )
     return parser
 
 
@@ -451,6 +456,7 @@ def _command_serve(args) -> int:
         backend=args.backend,
         executor_workers=args.executor_workers or None,
         drain_grace=args.drain_grace,
+        shards=args.shards,
     )
 
 

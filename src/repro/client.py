@@ -87,7 +87,15 @@ class ClientError(ReproError):
 
 
 class FBoxClient:
-    """Thin, retrying HTTP client for one F-Box service instance."""
+    """Thin, retrying HTTP client for one F-Box service instance.
+
+    Endpoint sugar (``quantify``, ``datasets``, ...) speaks the versioned
+    ``/v1`` API; the raw :meth:`request`/:meth:`post`/:meth:`get` methods
+    use whatever path the caller passes, so legacy unversioned paths stay
+    reachable for compatibility testing.
+    """
+
+    api_prefix = "/v1"
 
     def __init__(
         self,
@@ -247,21 +255,25 @@ class FBoxClient:
         return self.request("GET", path)
 
     # ------------------------------------------------------------------
-    # Endpoint sugar
+    # Endpoint sugar (versioned /v1 API)
     # ------------------------------------------------------------------
 
+    def _api(self, path: str) -> str:
+        return self.api_prefix + path
+
     def quantify(self, dataset: str, dimension: str, **params) -> dict:
-        """``POST /quantify`` — Problem 1 (top/bottom-k)."""
+        """``POST /v1/quantify`` — Problem 1 (top/bottom-k)."""
         return self.post(
-            "/quantify", {"dataset": dataset, "dimension": dimension, **params}
+            self._api("/quantify"),
+            {"dataset": dataset, "dimension": dimension, **params},
         )
 
     def compare(
         self, dataset: str, dimension: str, r1: str, r2: str, breakdown: str, **params
     ) -> dict:
-        """``POST /compare`` — Problem 2 (reversal breakdown)."""
+        """``POST /v1/compare`` — Problem 2 (reversal breakdown)."""
         return self.post(
-            "/compare",
+            self._api("/compare"),
             {
                 "dataset": dataset,
                 "dimension": dimension,
@@ -275,9 +287,9 @@ class FBoxClient:
     def explain(
         self, dataset: str, group: str, query: str, location: str, **params
     ) -> dict:
-        """``POST /explain`` — one cell's contribution breakdown."""
+        """``POST /v1/explain`` — one cell's contribution breakdown."""
         return self.post(
-            "/explain",
+            self._api("/explain"),
             {
                 "dataset": dataset,
                 "group": group,
@@ -288,14 +300,18 @@ class FBoxClient:
         )
 
     def batch(self, requests: list[dict]) -> dict:
-        """``POST /batch`` — many sub-requests, shared index sweeps."""
-        return self.post("/batch", {"requests": requests})
+        """``POST /v1/batch`` — many sub-requests, shared index sweeps."""
+        return self.post(self._api("/batch"), {"requests": requests})
 
     def datasets(self) -> dict:
-        return self.get("/datasets")[1]
+        return self.get(self._api("/datasets"))[1]
+
+    def schema(self) -> dict:
+        """``GET /v1/schema`` — the machine-readable API description."""
+        return self.get(self._api("/schema"))[1]
 
     def healthz(self) -> dict:
-        return self.get("/healthz")[1]
+        return self.get(self._api("/healthz"))[1]
 
     def readyz(self) -> tuple[int, dict]:
         """Readiness status and body (503 is a *normal* answer here).
@@ -304,14 +320,14 @@ class FBoxClient:
         readiness themselves and want the current truth, not a wait.
         """
         try:
-            return self.request("GET", "/readyz", retries=False)
+            return self.request("GET", self._api("/readyz"), retries=False)
         except ClientError as error:
             if error.status in _RETRYABLE_STATUSES and error.body is not None:
                 return error.status, error.body
             raise
 
     def metrics_text(self) -> str:
-        status, body = self.request("GET", "/metrics")
+        status, body = self.request("GET", self._api("/metrics"))
         return body if isinstance(body, str) else json.dumps(body)
 
 

@@ -52,6 +52,8 @@ from .errors import (
 )
 from .faults import FaultInjector, faults_from_env
 from .handlers import (
+    API_PREFIX,
+    LEGACY_SUNSET,
     REQUEST_PARSERS,
     ServiceContext,
     handle_batch,
@@ -61,6 +63,7 @@ from .handlers import (
     handle_healthz,
     handle_quantify,
     handle_readyz,
+    handle_schema,
     resolve_degraded,
 )
 from .observability import ServiceMetrics, render_metrics
@@ -89,6 +92,7 @@ GET_ROUTES = {
     "/datasets": handle_datasets,
     "/healthz": handle_healthz,
     "/readyz": handle_readyz,
+    "/schema": handle_schema,
 }
 
 _METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -119,13 +123,19 @@ class Request:
 
 @dataclass
 class Response:
-    """What the transport must write back: status, body, framing hints."""
+    """What the transport must write back: status, body, framing hints.
+
+    ``headers`` carries extra response headers the app decided on (today:
+    the ``Deprecation``/``Sunset`` pair on legacy unversioned paths); the
+    transport writes them mechanically after its own framing headers.
+    """
 
     status: int
     body: bytes
     content_type: str = "application/json"
     retry_after: float | None = None
     close: bool = False
+    headers: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -156,12 +166,34 @@ def _json_bytes(document: dict) -> bytes:
 
 
 def _error_body(error: ServiceError) -> bytes:
-    payload: dict = {"kind": error.kind, "message": str(error)}
+    """The unified error envelope: machine ``code``, human ``message``, the
+    retry contract (``retryable`` / ``retry_after``), and any structured
+    context.  ``kind`` is kept as a deprecated alias of ``code`` so pre-/v1
+    clients keep decoding."""
+    payload: dict = {
+        "code": error.code,
+        "kind": error.kind,
+        "message": str(error),
+        "retryable": error.retryable,
+    }
     if error.extra:
         payload.update(error.extra)
     if error.retry_after is not None:
         payload["retry_after"] = error.retry_after
     return _json_bytes({"error": payload})
+
+
+def _internal_error_body(error: BaseException) -> bytes:
+    return _json_bytes(
+        {
+            "error": {
+                "code": "internal",
+                "kind": "internal",
+                "message": str(error),
+                "retryable": False,
+            }
+        }
+    )
 
 
 # ----------------------------------------------------------------------
@@ -283,11 +315,14 @@ class FBoxApp:
         self._draining = True
 
     def close(self) -> None:
-        """Release the execution pool (idempotent)."""
+        """Release the execution pool and any shard pool (idempotent)."""
         with self._executor_lock:
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=False)
+        router = self.context.router
+        if router is not None:
+            router.close()
 
     def _ensure_executor(self) -> concurrent.futures.ThreadPoolExecutor:
         with self._executor_lock:
@@ -341,19 +376,39 @@ class FBoxApp:
     # The sync surface (threaded transport)
     # ------------------------------------------------------------------
 
+    def canonical_path(self, path: str) -> tuple[str, bool]:
+        """Strip the ``/v1`` mount point: ``(unversioned path, is_legacy)``.
+
+        Routing, handlers, and metrics labels all work on the canonical
+        unversioned path, so ``/v1/quantify`` and ``/quantify`` share one
+        route entry, one cache, and one ``endpoint`` label — the version
+        prefix only decides whether deprecation headers are attached.
+        """
+        if path == API_PREFIX:
+            return "/", False
+        if path.startswith(API_PREFIX + "/"):
+            return path[len(API_PREFIX):], False
+        return path, True
+
+    def is_post_route(self, path: str) -> bool:
+        """Whether a raw (possibly versioned) path maps to a POST endpoint
+        — the transports' body-read gate."""
+        return self.canonical_path(path)[0] in self.post_routes
+
     def handle(self, request: Request) -> Response:
         """Answer one request synchronously (threaded transport).
 
         CPU-bound work runs under the legacy guard-thread deadline
         (:func:`run_with_deadline`) on the calling thread's behalf.
         """
+        request.path, legacy = self.canonical_path(request.path)
         route = self._route(request)
         if isinstance(route, Response):
-            return self._finish(request, route)
+            return self._finish(request, route, legacy)
         endpoint, run = route
         if run is None:
             run = lambda: self.run_post(request)  # noqa: E731
-        return self._finish(request, self._tracked(endpoint, run))
+        return self._finish(request, self._tracked(endpoint, run), legacy)
 
     def _route(self, request: Request):
         """Shared routing: a ready :class:`Response`, or ``(endpoint, run)``.
@@ -397,20 +452,28 @@ class FBoxApp:
         return self._handle_async(request)
 
     async def _handle_async(self, request: Request) -> Response:
+        request.path, legacy = self.canonical_path(request.path)
         route = self._route(request)
         if isinstance(route, Response):
-            return self._finish(request, route)
+            return self._finish(request, route, legacy)
         endpoint, run = route
         if run is not None:
-            return self._finish(request, self._tracked(endpoint, run))
+            return self._finish(request, self._tracked(endpoint, run), legacy)
         response = await self._tracked_async(
             endpoint, lambda: self._run_post_async(request)
         )
-        return self._finish(request, response)
+        return self._finish(request, response, legacy)
 
-    def _finish(self, request: Request, response: Response) -> Response:
+    def _finish(
+        self, request: Request, response: Response, legacy: bool = False
+    ) -> Response:
         if request.close:
             response.close = True
+        if legacy:
+            # RFC 8594-style deprecation signalling on unversioned paths;
+            # the response itself stays byte-identical to /v1.
+            response.headers.setdefault("Deprecation", "true")
+            response.headers.setdefault("Sunset", LEGACY_SUNSET)
         return response
 
     def _shutdown_response(self) -> Response:
@@ -456,9 +519,7 @@ class FBoxApp:
             body = _error_body(error)
         except Exception as error:  # pragma: no cover - defensive
             status = 500
-            body = _json_bytes(
-                {"error": {"kind": "internal", "message": str(error)}}
-            )
+            body = _internal_error_body(error)
         # Count the request before its bytes reach the socket: a client that
         # reads its response and immediately scrapes /metrics must find the
         # request already recorded.
@@ -488,9 +549,7 @@ class FBoxApp:
             body = _error_body(error)
         except Exception as error:  # pragma: no cover - defensive
             status = 500
-            body = _json_bytes(
-                {"error": {"kind": "internal", "message": str(error)}}
-            )
+            body = _internal_error_body(error)
         metrics.request_finished(endpoint, status, perf_counter() - started)
         return Response(status, body, content_type, retry_after=retry_after)
 
@@ -546,6 +605,32 @@ class FBoxApp:
 
         return execute
 
+    def _execute_routed(self, path: str, payload) -> dict:
+        """One POST answered by the shard pool instead of in-process.
+
+        Handler/latency faults and the request deadline are the owning
+        worker's job (firing them here too would double-count chaos and
+        timeouts); the front only routes, then mirrors the fresh answer
+        into its own last-known-good store so degraded ``allow_stale``
+        answers survive the owning worker dying.
+        """
+        document = self.context.router.execute(path, payload, self.request_timeout)
+        self._warm_stale(path, payload, document)
+        return document
+
+    def _warm_stale(self, path: str, payload, document) -> None:
+        if not isinstance(document, dict) or document.get("degraded"):
+            return
+        parser = REQUEST_PARSERS.get(path)
+        if parser is None:
+            return
+        try:
+            parsed = parser(self.context, payload)
+        except ServiceError:
+            return
+        stored = {key: value for key, value in document.items() if key != "cached"}
+        self.context.stale.put(parsed.stale_key, (stored, parsed.generation))
+
     def run_post(self, request: Request) -> tuple[int, dict]:
         """The sync pipeline body; raises :class:`ServiceError` on rejection."""
         context = self.context
@@ -554,17 +639,22 @@ class FBoxApp:
         fast = self._fast_path(path, payload)
         if fast is not None:
             return 200, fast
-        execute = self._execute_fn(path, payload)
+        if context.router is not None:
+            # The worker enforces the deadline (and raises the timeout the
+            # router relays back); wrapping the roundtrip in another guard
+            # thread would count every slow request twice.
+            run = lambda: self._execute_routed(path, payload)  # noqa: E731
+        else:
+            execute = self._execute_fn(path, payload)
+            run = lambda: run_with_deadline(  # noqa: E731
+                execute, self.request_timeout, context.metrics
+            )
 
         def admitted():
             if context.admission is None:
-                return run_with_deadline(
-                    execute, self.request_timeout, context.metrics
-                )
+                return run()
             with context.admission.admit():
-                return run_with_deadline(
-                    execute, self.request_timeout, context.metrics
-                )
+                return run()
 
         try:
             return 200, admitted()
@@ -585,13 +675,23 @@ class FBoxApp:
         fast = self._fast_path(path, payload)
         if fast is not None:
             return 200, fast
-        execute = self._execute_fn(path, payload)
+        if context.router is not None:
+            # Routed calls block on a worker socket, not the CPU: run them
+            # on the pool to keep the loop free, but with no wait_for —
+            # the worker owns the deadline (see run_post).
+            routed = lambda: self._execute_routed(path, payload)  # noqa: E731
+            execute_async = lambda: asyncio.wrap_future(  # noqa: E731
+                self._ensure_executor().submit(routed)
+            )
+        else:
+            execute = self._execute_fn(path, payload)
+            execute_async = lambda: self._execute_async(execute)  # noqa: E731
         try:
             if context.admission is None:
-                return 200, await self._execute_async(execute)
+                return 200, await execute_async()
             await context.admission.acquire_async()
             try:
-                return 200, await self._execute_async(execute)
+                return 200, await execute_async()
             finally:
                 context.admission.release()
         except (RequestTimeout, CircuitOpen) as error:
@@ -649,19 +749,52 @@ class FBoxApp:
 
     def _metrics_response(self) -> tuple[int, bytes]:
         context = self.context
+        cache_stats = dict(context.cache.stats())
+        build_counts = dict(context.registry.build_counts())
+        breaker_states = context.registry.breaker_states()
+        fault_stats = (
+            context.faults.snapshot() if context.faults is not None else None
+        )
+        extra_counters = None
+        if context.router is not None:
+            # Under sharding the truth for caches, builds, index accesses,
+            # abandonment/degradation, dataset breakers, and fired faults
+            # lives in the workers; fold their snapshots into the front's
+            # exposition so one scrape covers the whole logical service.
+            merged = context.router.merged_observability()
+            for stats in merged["cache"]:
+                for key in (
+                    "hits", "misses", "evictions", "expirations",
+                    "size", "capacity",
+                ):
+                    cache_stats[key] = cache_stats.get(key, 0) + stats.get(key, 0)
+            for builds in merged["builds"]:
+                for key in ("cube_builds", "family_builds", "fboxes"):
+                    build_counts[key] = build_counts.get(key, 0) + builds.get(key, 0)
+            breaker_states = merged["breakers"]
+            if fault_stats is not None or merged["faults"]:
+                fault_stats = list(fault_stats or ()) + list(merged["faults"])
+            extra_counters = {
+                "sorted_accesses": 0,
+                "random_accesses": 0,
+                "abandoned_requests": 0,
+                "degraded_responses": 0,
+            }
+            for counters in merged["counters"]:
+                for key in extra_counters:
+                    extra_counters[key] += int(counters.get(key, 0))
         text = render_metrics(
             context.metrics,
-            context.cache.stats(),
-            context.registry.build_counts(),
+            cache_stats,
+            build_counts,
             admission_stats=(
                 context.admission.snapshot()
                 if context.admission is not None
                 else None
             ),
-            breaker_states=context.registry.breaker_states(),
-            fault_stats=(
-                context.faults.snapshot() if context.faults is not None else None
-            ),
+            breaker_states=breaker_states,
+            fault_stats=fault_stats,
+            extra_counters=extra_counters,
         )
         return 200, text.encode("utf-8")
 
@@ -675,6 +808,7 @@ def make_app(
     queue_depth: int = 16,
     faults: FaultInjector | None = None,
     executor_workers: int | None = None,
+    shards: int = 0,
 ) -> FBoxApp:
     """Build a ready-to-serve application (no sockets involved).
 
@@ -684,7 +818,11 @@ def make_app(
     an injector is attached it is also shared with the registry so
     ``dataset_load`` rules reach the loaders.  ``executor_workers`` sizes
     the bounded execution pool used by the asyncio transport (default: the
-    admission concurrency cap).
+    admission concurrency cap).  ``shards > 0`` puts a
+    :class:`~repro.service.sharding.ShardRouter` in front of that many
+    worker processes — each owns the cubes for a deterministic subset of
+    datasets — while ``0`` keeps the in-process execution path; responses
+    are byte-identical either way.
     """
     if registry is None:
         if faults is None:
@@ -699,6 +837,18 @@ def make_app(
             )
         if registry.faults is None:
             registry.faults = faults
+    router = None
+    if shards > 0:
+        from .sharding import ShardRouter
+
+        router = ShardRouter(
+            registry,
+            shards=shards,
+            request_timeout=request_timeout,
+            cache_size=cache_size,
+            cache_ttl=cache_ttl,
+            faults=faults,
+        )
     admission = None
     if max_concurrency > 0:
         admission = AdmissionController(
@@ -713,7 +863,10 @@ def make_app(
         stale=LRUCache(max(cache_size, 1)),
         admission=admission,
         faults=faults,
+        router=router,
     )
+    if router is not None:
+        router.metrics = context.metrics
     return FBoxApp(
         context,
         request_timeout=request_timeout,

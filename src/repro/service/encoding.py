@@ -154,7 +154,12 @@ def batch_item_error(error: ServiceError) -> dict:
     """
     return {
         "status": error.status,
-        "error": {"kind": error.kind, "message": str(error)},
+        "error": {
+            "code": error.code,
+            "kind": error.kind,
+            "message": str(error),
+            "retryable": error.retryable,
+        },
     }
 
 

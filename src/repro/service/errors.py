@@ -10,6 +10,13 @@ Two resilience errors carry extra machinery: :class:`TooManyRequests` and
 ``Retry-After`` header so well-behaved clients back off) and may attach an
 ``extra`` mapping that is folded into the JSON error object (breaker state,
 queue limits) so operators can see *why* from the response alone.
+
+Every error carries a stable machine ``code`` (the class attribute ``kind``;
+``code`` is the name the ``/v1`` envelope uses, ``kind`` survives as a
+deprecated alias in rendered bodies) and a ``retryable`` flag that encodes
+the retry contract: 429/503 conditions are transient and worth retrying,
+validation errors (400/404/422) never are.  :func:`error_catalog` exposes
+the full code table for ``GET /v1/schema`` and the README.
 """
 
 from __future__ import annotations
@@ -26,7 +33,9 @@ __all__ = [
     "RequestTimeout",
     "TooManyRequests",
     "CircuitOpen",
+    "ShardUnavailable",
     "ShuttingDown",
+    "error_catalog",
 ]
 
 
@@ -35,11 +44,19 @@ class ServiceError(ReproError):
 
     status = 500
     kind = "internal"
+    retryable = False
+    """Whether a client may expect a later identical retry to succeed."""
+
     retry_after: float | None = None
     """Seconds the client should wait before retrying (``Retry-After``)."""
 
     extra: Mapping[str, object] | None = None
     """Structured context merged into the JSON error object."""
+
+    @property
+    def code(self) -> str:
+        """The machine code of this error (alias of ``kind``)."""
+        return self.kind
 
 
 class BadRequest(ServiceError):
@@ -69,6 +86,7 @@ class RequestTimeout(ServiceError):
 
     status = 503
     kind = "timeout"
+    retryable = True
 
 
 class TooManyRequests(ServiceError):
@@ -76,6 +94,7 @@ class TooManyRequests(ServiceError):
 
     status = 429
     kind = "overloaded"
+    retryable = True
 
     def __init__(
         self,
@@ -97,6 +116,7 @@ class ShuttingDown(ServiceError):
 
     status = 503
     kind = "shutting_down"
+    retryable = True
     retry_after = 1.0
 
 
@@ -106,6 +126,7 @@ class CircuitOpen(ServiceError):
 
     status = 503
     kind = "circuit_open"
+    retryable = True
 
     def __init__(
         self,
@@ -116,3 +137,46 @@ class CircuitOpen(ServiceError):
         super().__init__(message)
         self.retry_after = retry_after
         self.extra = extra
+
+
+class ShardUnavailable(CircuitOpen):
+    """The worker process owning this dataset's shard is down.
+
+    A :class:`CircuitOpen` subclass on purpose: the degraded-answer path and
+    quarantine reporting treat a dead shard exactly like an open dataset
+    breaker — the dataset is temporarily unservable and a retry after the
+    shard restarts will succeed — but the distinct ``code`` tells clients
+    *which* layer failed."""
+
+    kind = "shard_unavailable"
+
+
+_CATALOG = (
+    ("bad_request", BadRequest, "request envelope is malformed (bad JSON, missing or mistyped fields)"),
+    ("not_found", NotFound, "no such endpoint or dataset"),
+    ("unprocessable", Unprocessable, "well-formed but semantically invalid for this dataset"),
+    ("overloaded", TooManyRequests, "admission control shed the request; honor Retry-After"),
+    ("timeout", RequestTimeout, "the per-request deadline elapsed"),
+    ("circuit_open", CircuitOpen, "the dataset's breaker is open after repeated load/build failures"),
+    ("shard_unavailable", ShardUnavailable, "the worker process owning the dataset's shard is down"),
+    ("shutting_down", ShuttingDown, "the instance is draining for shutdown"),
+    ("internal", ServiceError, "unexpected server-side failure"),
+)
+
+
+def error_catalog() -> list[dict]:
+    """The machine-readable error-code table (drives ``/v1/schema``).
+
+    One entry per code: HTTP status, whether a retry may succeed, and a
+    one-line description.  Generated from the exception classes themselves
+    so the schema can never drift from what the service actually raises.
+    """
+    return [
+        {
+            "code": code,
+            "status": cls.status,
+            "retryable": cls.retryable,
+            "description": description,
+        }
+        for code, cls, description in _CATALOG
+    ]

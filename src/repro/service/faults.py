@@ -21,6 +21,12 @@ Injection sites (the strings the service passes to :meth:`FaultInjector.fail`
     sleeps ``latency`` seconds and/or burns ``busy`` seconds of CPU (the
     spin *contends* for the GIL, which is how overload benchmarks create
     realistic queueing without real datasets).
+``worker_exit``
+    Checked by shard worker processes (:mod:`repro.service.shard_worker`)
+    right before dispatching a request; a firing rule makes the worker
+    ``os._exit`` mid-request — the front-end sees the connection die, which
+    is how shard-crash chaos tests script a worker kill deterministically.
+    Ignored by the in-process (``--shards 0``) execution path.
 
 Configuration is either programmatic (tests build injectors directly) or via
 the ``FBOX_FAULTS`` environment variable holding JSON::
@@ -51,7 +57,7 @@ __all__ = [
 
 FAULTS_ENV_VAR = "FBOX_FAULTS"
 
-_SITES = ("dataset_load", "handler", "latency")
+_SITES = ("dataset_load", "handler", "latency", "worker_exit")
 
 
 class InjectedFault(RuntimeError):

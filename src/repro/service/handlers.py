@@ -34,13 +34,16 @@ from .encoding import (
     parse_group,
     parse_member,
 )
-from .errors import BadRequest, ServiceError, Unprocessable
+from .errors import BadRequest, ServiceError, Unprocessable, error_catalog
 from .faults import FaultInjector
 from .observability import ServiceMetrics
 from .registry import DatasetRegistry
 from .resilience import AdmissionController
 
 __all__ = [
+    "API_PREFIX",
+    "API_VERSION",
+    "LEGACY_SUNSET",
     "REQUEST_PARSERS",
     "ServiceContext",
     "handle_quantify",
@@ -50,8 +53,18 @@ __all__ = [
     "handle_datasets",
     "handle_healthz",
     "handle_readyz",
+    "handle_schema",
     "resolve_degraded",
+    "service_schema",
 ]
+
+API_VERSION = "v1"
+API_PREFIX = "/v1"
+"""The current API version mount point: every endpoint answers at
+``/v1/<endpoint>``.  The unversioned paths still work but are deprecated."""
+
+LEGACY_SUNSET = "Thu, 31 Dec 2026 23:59:59 GMT"
+"""The ``Sunset`` date legacy (unversioned) responses advertise."""
 
 _DIMENSIONS = ("group", "query", "location")
 _ORDERS = ("most", "least")
@@ -83,6 +96,11 @@ class ServiceContext:
     admission: AdmissionController | None = None
     faults: FaultInjector | None = None
     require_loaded: tuple[str, ...] = ()
+    router: object | None = None
+    """The :class:`~repro.service.sharding.ShardRouter` when ``--shards N``
+    is on (typed loosely to keep this module import-light).  When set, POST
+    query execution and the dataset-truth surfaces (``/datasets``,
+    ``/readyz``, the worker half of ``/metrics``) go through it."""
 
 
 def _require_object(payload) -> Mapping:
@@ -594,8 +612,26 @@ def handle_batch(context: ServiceContext, payload) -> dict:
 
 
 def handle_datasets(context: ServiceContext, payload=None) -> tuple[int, dict]:
-    """``GET /datasets`` — the registry listing."""
-    return 200, {"datasets": context.registry.describe()}
+    """``GET /datasets`` — the registry listing.
+
+    Every entry carries its placement and health facts — ``shard`` (0 when
+    sharding is off), ``generation``, and ``breaker`` state — so one call
+    answers "where does this dataset live and is it servable".  Under
+    sharding the listing is worker-truth: the router overlays each owning
+    worker's live load state.
+    """
+    router = context.router
+    if router is not None:
+        return 200, {"datasets": router.describe()}
+    registry = context.registry
+    entries = []
+    for entry in registry.describe():
+        name = entry["name"]
+        entry["shard"] = 0
+        entry["generation"] = registry.generation(name)
+        entry["breaker"] = registry.breaker(name).state
+        entries.append(entry)
+    return 200, {"datasets": entries}
 
 
 def handle_healthz(context: ServiceContext, payload=None) -> tuple[int, dict]:
@@ -612,9 +648,17 @@ def handle_readyz(context: ServiceContext, payload=None) -> tuple[int, dict]:
 
     503 while any preloaded dataset is still building (or not yet loaded)
     or any dataset's breaker is not closed; the body always carries the
-    per-dataset breaker state so a probe failure is self-explaining.
+    per-dataset breaker state so a probe failure is self-explaining.  Under
+    sharding the report is the router's shard-aware one: datasets owned by
+    a dead worker show an open breaker (quarantined) until it restarts.
     """
-    report = context.registry.health_report()
+    router = context.router
+    if router is not None:
+        report = router.health_report()
+    else:
+        report = [
+            dict(entry, shard=0) for entry in context.registry.health_report()
+        ]
     states = {entry["name"]: entry for entry in report}
     blockers: list[str] = []
     for name in context.require_loaded:
@@ -636,3 +680,175 @@ def handle_readyz(context: ServiceContext, payload=None) -> tuple[int, dict]:
         "blockers": blockers,
         "datasets": report,
     }
+
+
+# ----------------------------------------------------------------------
+# GET /schema — the machine-readable API description
+# ----------------------------------------------------------------------
+
+
+def _field(
+    name: str,
+    type_: str,
+    description: str,
+    required: bool = False,
+    default=None,
+    enum: tuple[str, ...] | None = None,
+) -> dict:
+    entry: dict = {
+        "name": name,
+        "type": type_,
+        "required": required,
+        "description": description,
+    }
+    if default is not None:
+        entry["default"] = default
+    if enum is not None:
+        entry["enum"] = list(enum)
+    return entry
+
+
+def _common_query_fields() -> list[dict]:
+    return [
+        _field(
+            "dataset", "string",
+            "registered dataset name (see GET /v1/datasets)", required=True,
+        ),
+        _field(
+            "measure", "string",
+            "distance measure; defaults to the dataset's default_measure",
+        ),
+        _field(
+            "allow_stale", "boolean",
+            "opt in to a degraded last-known-good answer when the deadline "
+            "fires or a breaker is open",
+            default=False,
+        ),
+    ]
+
+
+def _quantify_fields() -> list[dict]:
+    return _common_query_fields() + [
+        _field(
+            "dimension", "string", "dimension to rank", required=True,
+            enum=_DIMENSIONS,
+        ),
+        _field("k", "integer", "how many members to return (positive)", default=5),
+        _field("order", "string", "rank direction", default="most", enum=_ORDERS),
+        _field(
+            "algorithm", "string", "sweep strategy", default="fagin",
+            enum=_QUANTIFY_ALGORITHMS,
+        ),
+    ]
+
+
+def _compare_fields() -> list[dict]:
+    return _common_query_fields() + [
+        _field(
+            "dimension", "string", "dimension r1/r2 belong to", required=True,
+            enum=_DIMENSIONS,
+        ),
+        _field(
+            "breakdown", "string", "dimension to break the comparison down by",
+            required=True, enum=_DIMENSIONS,
+        ),
+        _field(
+            "r1", "string",
+            "first member (groups use attr=value[,attr=value] syntax)",
+            required=True,
+        ),
+        _field("r2", "string", "second member, same syntax as r1", required=True),
+        _field(
+            "algorithm", "string", "comparison strategy", default="cube",
+            enum=_COMPARE_ALGORITHMS,
+        ),
+    ]
+
+
+def _explain_fields() -> list[dict]:
+    return _common_query_fields() + [
+        _field(
+            "group", "string", "group label, attr=value[,attr=value]",
+            required=True,
+        ),
+        _field("query", "string", "query of the cell to explain", required=True),
+        _field("location", "string", "location of the cell to explain", required=True),
+    ]
+
+
+def service_schema() -> dict:
+    """The ``GET /v1/schema`` document.
+
+    Generated from the same constants the validators consult
+    (``_DIMENSIONS``, ``_ORDERS``, the algorithm tables, the batch op list
+    and size cap) and from :func:`~repro.service.errors.error_catalog`, so
+    the advertised enums and error codes can never drift from what the
+    service actually accepts and raises.
+    """
+    endpoint = lambda method, path, description, **extra: {  # noqa: E731
+        "method": method,
+        "path": API_PREFIX + path,
+        "legacy_path": path,
+        "description": description,
+        **extra,
+    }
+    return {
+        "version": API_VERSION,
+        "mount": API_PREFIX,
+        "legacy": {
+            "deprecated": True,
+            "sunset": LEGACY_SUNSET,
+            "note": "unversioned paths answer identically but carry "
+            "Deprecation: true and Sunset headers",
+        },
+        "endpoints": [
+            endpoint(
+                "POST", "/quantify",
+                "Problem 1: top/bottom-k unfairness of one dimension",
+                request_fields=_quantify_fields(),
+            ),
+            endpoint(
+                "POST", "/compare",
+                "Problem 2: reversal breakdown of two members",
+                request_fields=_compare_fields(),
+            ),
+            endpoint(
+                "POST", "/explain",
+                "decompose one d<g,q,l> cell into contributions",
+                request_fields=_explain_fields(),
+            ),
+            endpoint(
+                "POST", "/batch",
+                "many sub-requests in one call, sharing index sweeps",
+                request_fields=[
+                    _field(
+                        "requests", "array",
+                        "sub-requests; each carries an 'op' plus that "
+                        "endpoint's fields",
+                        required=True,
+                    ),
+                ],
+                batch={
+                    "max_items": _MAX_BATCH_ITEMS,
+                    "ops": list(_BATCH_OPS),
+                },
+            ),
+            endpoint(
+                "GET", "/datasets",
+                "registered datasets with shard, generation, and breaker state",
+            ),
+            endpoint("GET", "/schema", "this document"),
+            endpoint("GET", "/healthz", "liveness: the process is up"),
+            endpoint(
+                "GET", "/readyz",
+                "readiness: 503 while datasets build or breakers are open",
+            ),
+            endpoint("GET", "/metrics", "Prometheus text exposition"),
+        ],
+        "errors": error_catalog(),
+    }
+
+
+def handle_schema(context: ServiceContext, payload=None) -> tuple[int, dict]:
+    """``GET /schema`` — the machine-readable description of the API."""
+    return 200, service_schema()

@@ -224,15 +224,25 @@ def render_metrics(
     admission_stats: Mapping[str, object] | None = None,
     breaker_states: Mapping[str, Mapping[str, object]] | None = None,
     fault_stats: Iterable[Mapping[str, object]] | None = None,
+    extra_counters: Mapping[str, int] | None = None,
 ) -> str:
     """Render the full /metrics exposition text.
 
     The resilience families (admission counters, queue depth, breaker
     states, injected-fault counts) appear only when the corresponding
     component is attached, so bare :class:`ServiceMetrics` users keep the
-    original exposition.
+    original exposition.  ``extra_counters`` adds worker-side deltas
+    (sorted/random accesses, abandoned requests, degraded responses) to the
+    front's own counts — how the shard router folds its workers' truth
+    into one exposition.
     """
     snap = metrics.snapshot()
+    extra = dict(extra_counters or {})
+    for key in (
+        "sorted_accesses", "random_accesses",
+        "abandoned_requests", "degraded_responses",
+    ):
+        snap[key] += int(extra.get(key, 0))
     lines: list[str] = []
 
     lines.append("# TYPE fbox_requests_total counter")

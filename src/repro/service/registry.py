@@ -4,9 +4,11 @@ A :class:`DatasetSpec` describes how to obtain one named dataset (load a
 saved JSONL file or synthesize from a seed); the :class:`DatasetRegistry`
 materializes each dataset **once** and hands out one shared
 :class:`~repro.core.fbox.FBox` per ``(dataset, measure)`` pair.  Both levels
-use double-checked locking, so under concurrent first-touch traffic every
-dataset is built by exactly one thread and every cube/index family exactly
-once (the FBox itself locks its lazy builds).
+use double-checked locking **per dataset**: under concurrent first-touch
+traffic every dataset is built by exactly one thread and every cube/index
+family exactly once (the FBox itself locks its lazy builds), while builds of
+*distinct* datasets proceed concurrently — the slow work never holds the
+registry-wide lock, which only guards the bookkeeping dicts.
 
 Every dataset additionally sits behind a per-dataset
 :class:`~repro.service.resilience.CircuitBreaker`: a loader or F-Box build
@@ -110,7 +112,22 @@ class DatasetRegistry:
         self._generations: dict[str, int] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
         self._building: set[str] = set()
+        # The global lock only guards the dicts above (cheap, constant-time
+        # mutations).  Loads and F-Box builds — the slow work — serialize on
+        # a per-dataset lock instead, so builds of *distinct* datasets run
+        # concurrently.  Lock order is always dataset lock → global lock.
         self._lock = threading.RLock()
+        self._dataset_locks: dict[str, threading.RLock] = {}
+
+    def _dataset_lock(self, name: str) -> threading.RLock:
+        """The build lock for one dataset (created on first use, kept
+        forever — re-registration must reuse it so an in-flight build of the
+        old generation and the first build of the new one never interleave)."""
+        with self._lock:
+            lock = self._dataset_locks.get(name)
+            if lock is None:
+                lock = self._dataset_locks[name] = threading.RLock()
+            return lock
 
     def register(self, spec: DatasetSpec) -> None:
         """Add (or replace) a dataset spec; drops any stale materializations.
@@ -120,14 +137,20 @@ class DatasetRegistry:
         a replaced dataset can never be served again (ROADMAP: cache
         invalidation on mid-flight re-registration).
         """
-        with self._lock:
-            self._specs[spec.name] = spec
-            self._datasets.pop(spec.name, None)
-            for key in [k for k in self._fboxes if k[0] == spec.name]:
-                del self._fboxes[key]
-            self._generations[spec.name] = self._generations.get(spec.name, 0) + 1
-            # A fresh spec deserves a fresh health record.
-            self._breakers.pop(spec.name, None)
+        # Wait out any in-flight build of the old generation (dataset lock)
+        # before swapping the spec, so a stale build can never land *after*
+        # its dataset was replaced.  Builds of other datasets are unaffected.
+        with self._dataset_lock(spec.name):
+            with self._lock:
+                self._specs[spec.name] = spec
+                self._datasets.pop(spec.name, None)
+                for key in [k for k in self._fboxes if k[0] == spec.name]:
+                    del self._fboxes[key]
+                self._generations[spec.name] = (
+                    self._generations.get(spec.name, 0) + 1
+                )
+                # A fresh spec deserves a fresh health record.
+                self._breakers.pop(spec.name, None)
 
     def generation(self, name: str) -> int:
         """How many times ``name`` has been registered (0 when never)."""
@@ -169,12 +192,14 @@ class DatasetRegistry:
         spec = self.spec(name)
         loaded = self._datasets.get(name)
         if loaded is None:
-            with self._lock:
-                loaded = self._datasets.get(name)
+            with self._dataset_lock(name):
+                with self._lock:
+                    loaded = self._datasets.get(name)
                 if loaded is None:
                     breaker = self.breaker(name)
                     breaker.allow()
-                    self._building.add(name)
+                    with self._lock:
+                        self._building.add(name)
                     try:
                         if self.faults is not None:
                             self.faults.fail("dataset_load", name)
@@ -185,8 +210,10 @@ class DatasetRegistry:
                     else:
                         breaker.record_success()
                     finally:
-                        self._building.discard(name)
-                    self._datasets[name] = loaded
+                        with self._lock:
+                            self._building.discard(name)
+                    with self._lock:
+                        self._datasets[name] = loaded
         return loaded
 
     def is_loaded(self, name: str) -> bool:
@@ -211,12 +238,14 @@ class DatasetRegistry:
         fbox = self._fboxes.get(key)
         if fbox is None:
             dataset = self.dataset(name)
-            with self._lock:
-                fbox = self._fboxes.get(key)
+            with self._dataset_lock(name):
+                with self._lock:
+                    fbox = self._fboxes.get(key)
                 if fbox is None:
                     breaker = self.breaker(name)
                     breaker.allow()
-                    self._building.add(name)
+                    with self._lock:
+                        self._building.add(name)
                     try:
                         if spec.site == "taskrabbit":
                             fbox = FBox.for_marketplace(
@@ -244,8 +273,10 @@ class DatasetRegistry:
                     else:
                         breaker.record_success()
                     finally:
-                        self._building.discard(name)
-                    self._fboxes[key] = fbox
+                        with self._lock:
+                            self._building.discard(name)
+                    with self._lock:
+                        self._fboxes[key] = fbox
         return fbox
 
     def preload(self) -> None:

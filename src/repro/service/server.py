@@ -56,6 +56,7 @@ def make_server(
     quiet: bool = True,
     backend: str = "threads",
     executor_workers: int | None = None,
+    shards: int = 0,
 ) -> FBoxServer | AioFBoxServer:
     """Build a ready-to-serve F-Box server (``port=0`` picks an ephemeral one).
 
@@ -63,8 +64,11 @@ def make_server(
     connection, the legacy model) or ``"asyncio"`` (one event loop, CPU
     work on the app's bounded executor sized by ``executor_workers``).
     Both fronts share the same application, so every endpoint, error path,
-    and resilience behavior is identical.  See :func:`repro.service.app.
-    make_app` for the remaining knobs.
+    and resilience behavior is identical.  ``shards`` selects the execution
+    backend behind either front: ``0`` executes in-process (today's model),
+    ``N > 0`` spreads dataset ownership across ``N`` worker processes for
+    real CPU parallelism.  See :func:`repro.service.app.make_app` for the
+    remaining knobs.
     """
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -77,6 +81,7 @@ def make_server(
         queue_depth=queue_depth,
         faults=faults,
         executor_workers=executor_workers,
+        shards=shards,
     )
     if backend == "asyncio":
         return AioFBoxServer((host, port), app, quiet=quiet)
@@ -97,6 +102,7 @@ def serve(
     backend: str = "threads",
     executor_workers: int | None = None,
     drain_grace: float = 10.0,
+    shards: int = 0,
 ) -> int:
     """Run the service until SIGTERM/SIGINT; returns a process exit code.
 
@@ -121,6 +127,7 @@ def serve(
         quiet=quiet,
         backend=backend,
         executor_workers=executor_workers,
+        shards=shards,
     )
     if preload:
         context = server.context
@@ -145,9 +152,10 @@ def serve(
         sig: signal.signal(sig, _shutdown) for sig in (signal.SIGTERM, signal.SIGINT)
     }
     datasets = ", ".join(server.context.registry.names()) or "none"
+    mode = f"backend: {backend}" + (f", shards: {shards}" if shards else "")
     print(
         f"F-Box service listening on {server.url} "
-        f"(backend: {backend}, datasets: {datasets})",
+        f"({mode}, datasets: {datasets})",
         flush=True,
     )
     try:

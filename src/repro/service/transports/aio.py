@@ -200,7 +200,7 @@ class AioFBoxServer:
         body = b""
         framing_error = None
         request_close = False
-        if method == "POST" and path in app.post_routes:
+        if method == "POST" and app.is_post_route(path):
             plan = app.plan_body(headers.get("content-length"))
             if plan.error is not None:
                 framing_error = plan.error
@@ -249,6 +249,8 @@ class AioFBoxServer:
         ]
         if response.retry_after is not None:
             lines.append(f"Retry-After: {format_retry_after(response.retry_after)}")
+        for name, value in response.headers.items():
+            lines.append(f"{name}: {value}")
         if close:
             # Tell the client explicitly; HTTP/1.1 defaults to keep-alive.
             lines.append("Connection: close")
@@ -260,6 +262,14 @@ class AioFBoxServer:
 
 def _protocol_error_response(message: str) -> Response:
     body = json.dumps(
-        {"error": {"kind": "bad_request", "message": message}}, sort_keys=True
+        {
+            "error": {
+                "code": "bad_request",
+                "kind": "bad_request",
+                "message": message,
+                "retryable": False,
+            }
+        },
+        sort_keys=True,
     ).encode("utf-8")
     return Response(400, body)

@@ -103,7 +103,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
         body = b""
         framing_error = None
         close = False
-        if self.path in app.post_routes:
+        if app.is_post_route(self.path):
             plan = app.plan_body(self.headers.get("Content-Length"))
             if plan.error is not None:
                 framing_error = plan.error
@@ -146,6 +146,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(response.body)))
         if response.retry_after is not None:
             self.send_header("Retry-After", format_retry_after(response.retry_after))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
         if self.close_connection:
             # Tell the client explicitly; HTTP/1.1 defaults to keep-alive.
             self.send_header("Connection", "close")

@@ -95,18 +95,29 @@ def backend(request):
     return request.param
 
 
+@pytest.fixture(params=[0, 2], ids=["inproc", "shards2"])
+def shards(request):
+    """Every service test also runs against both execution backends: the
+    in-process executor and a two-worker shard pool.  Responses must be
+    byte-compatible, so the whole suite doubles as the routing oracle."""
+    return request.param
+
+
 @pytest.fixture
-def start_service(backend):
+def start_service(backend, shards):
     """A factory booting a live server on the parameterized backend.
 
     Returns the server (ephemeral port, ``server.url`` ready); every server
-    started through the factory is shut down and closed at teardown.
+    started through the factory is shut down and closed at teardown.  The
+    ``shards`` execution-backend parameter is applied unless the test pins
+    its own ``shards=`` explicitly.
     """
     from repro.service.server import make_server
 
     running: list = []
 
     def _start(registry=None, **kwargs):
+        kwargs.setdefault("shards", shards)
         server = make_server(registry=registry, port=0, backend=backend, **kwargs)
         thread = threading.Thread(target=server.serve_forever, daemon=True)
         thread.start()

@@ -401,9 +401,12 @@ class TestConcurrency:
             for _, body in outcomes
         ]
         assert len(set(entries)) == 1  # every response is identical
-        counts = registry.build_counts()
-        assert counts["cube_builds"] == 1
-        assert counts["fboxes"] == 1
+        # Read build counts from /metrics, not the front registry object:
+        # under sharding the build happened in a worker process and the
+        # exposition merges worker truth into the scrape.
+        _, text = harness.get("/metrics")
+        assert "fbox_cube_builds_total 1" in text
+        assert "fbox_instances 1" in text
 
     def test_shared_fbox_is_reused_across_measures_and_datasets(
         self, small_marketplace_dataset, small_search_dataset

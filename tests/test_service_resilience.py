@@ -529,8 +529,10 @@ class TestDegradedAnswers:
         faults = FaultInjector(
             [FaultRule(site="latency", match="/quantify", skip=1, latency=3.0)]
         )
+        # The deadline must clear the warm first-touch build (~0.4s on a
+        # loaded single-core runner) while staying far below the 3s stall.
         with live_server(
-            registry=registry, request_timeout=0.4, faults=faults
+            registry=registry, request_timeout=1.0, faults=faults
         ) as service:
             payload = {
                 "dataset": "taskrabbit",
