@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Smoke test for the F-Box query service, in three passes:
+# Smoke test for the F-Box query service, in five passes:
 #
 #   1. plain boot: /healthz, /readyz, /quantify, /batch, /metrics;
 #   2. chaos (breaker): boot with FBOX_FAULTS making the google loader crash
@@ -11,9 +11,13 @@
 #   4. sharded: boot with `--shards 2` and drive the versioned /v1 API —
 #      queries answered by both worker processes, a cross-shard /batch,
 #      worker build counts merged into /metrics, and the deprecation
-#      headers on legacy unversioned paths.
+#      headers on legacy unversioned paths;
+#   5. live ingest: boot sharded with a tiny --alert-threshold, stream a
+#      simulated re-crawl batch through `repro ingest`, replay it (must be
+#      idempotent), then read the per-generation trend points from
+#      /v1/trends and the fairness alerts from /v1/metrics + /v1/datasets.
 #
-# All four passes run once per transport backend (`--backend threads`,
+# All five passes run once per transport backend (`--backend threads`,
 # then `--backend asyncio`) — the two fronts share one application layer,
 # so every pass must behave identically on both.
 #
@@ -272,6 +276,65 @@ case "$BODY" in
     *) fail "schema lacks the shard_unavailable error code: $BODY" ;;
 esac
 echo "smoke: sharded /v1 pass ok"
+stop_server
+
+# ----------------------------------------------------------------------
+# Pass 5: live ingest + trends on the sharded /v1 write path
+# ----------------------------------------------------------------------
+
+boot_server --shards 2 --alert-threshold 0.0001
+
+# Warm the taskrabbit cube so the ingest applies a delta, not a no-op.
+expect 200 "pre-ingest quantify" POST "$BASE/v1/quantify" '{"dataset": "taskrabbit", "dimension": "group", "k": 3}' >/dev/null
+
+# Stream one simulated re-crawl batch (same seed/scope as the serving
+# registry) through the CLI's ingest client.
+INGEST_FILE="$(mktemp)"
+python3 -m repro simulate taskrabbit --scope small --stream \
+    --batches 1 --batch-size 2 >"$INGEST_FILE" 2>>"$LOG" \
+    || fail "simulate --stream failed"
+OUT="$(python3 -m repro ingest "$BASE" "$INGEST_FILE" 2>&1)" \
+    || fail "repro ingest failed: $OUT"
+case "$OUT" in
+    *'generation 2'*) ;;
+    *) fail "ingest did not bump the taskrabbit generation: $OUT" ;;
+esac
+
+# Replaying the same file must be idempotent: same batch_id, no new
+# generation, counted as a replay.
+OUT="$(python3 -m repro ingest "$BASE" "$INGEST_FILE" 2>&1)" \
+    || fail "repro ingest replay failed: $OUT"
+case "$OUT" in
+    *'1 replayed'*) ;;
+    *) fail "replayed batch was not deduplicated: $OUT" ;;
+esac
+rm -f "$INGEST_FILE"
+echo "smoke: ingest + idempotent replay ok"
+
+# The streamed batch touched (Handyman, Birmingham) first, so that cell has
+# a recorded trend point for the new generation.
+BODY="$(expect 200 "trends" GET "$BASE/v1/trends?dataset=taskrabbit&group=gender%3DFemale&query=Handyman&location=Birmingham%2C%20UK")"
+case "$BODY" in
+    *'"points"'*) ;;
+    *) fail "trends body lacks points: $BODY" ;;
+esac
+case "$BODY" in
+    *'"generation": 2'*|*'"generation":2'*) ;;
+    *) fail "trends lack a generation-2 point: $BODY" ;;
+esac
+echo "smoke: trends ok"
+
+# The perturbed crawl crosses the tiny threshold: alerts must surface in
+# the merged /v1/metrics and in the /v1/datasets ingest overlay.
+BODY="$(expect 200 "metrics after ingest" GET "$BASE/v1/metrics")"
+ALERTS="$(printf '%s\n' "$BODY" | grep -o 'fbox_fairness_alerts_total [0-9]*' | awk '{print $2}')"
+[ -n "$ALERTS" ] && [ "$ALERTS" -gt 0 ] || fail "no fairness alerts in metrics (got '${ALERTS:-missing}')"
+BODY="$(expect 200 "datasets after ingest" GET "$BASE/v1/datasets")"
+case "$BODY" in
+    *'"ingest_batches": 1'*|*'"ingest_batches":1'*) ;;
+    *) fail "datasets overlay lacks the ingest batch count: $BODY" ;;
+esac
+echo "smoke: fairness alerts ok"
 stop_server
 
 }

@@ -9,6 +9,8 @@ Commands
 ``toy``        print the paper's worked examples (Figures 1–5)
 ``batch``      answer a JSON file of sub-requests with shared index sweeps
 ``serve``      run the long-lived F-Box query service (HTTP JSON API)
+``simulate``   stream live observation batches from a simulator (JSONL)
+``ingest``     POST observation batches to a running service's /v1/observations
 
 ``quantify`` and ``compare`` accept ``--json`` to emit the same documents
 the service returns (shared encoder: :mod:`repro.service.encoding`).
@@ -200,6 +202,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=0,
         help="worker processes owning dataset shards (0 = execute in-process); "
         "each dataset is pinned to one shard by consistent hashing",
+    )
+    serve.add_argument(
+        "--alert-threshold", type=float, default=0.0,
+        help="fairness-alert threshold: ingested cube cells at or above this "
+        "unfairness count into fbox_fairness_alerts_total (0 disables)",
+    )
+
+    simulate = subparsers.add_parser(
+        "simulate",
+        help="stream live observation batches from a simulator (JSONL)",
+    )
+    simulate.add_argument("site", choices=["taskrabbit", "google"])
+    simulate.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    simulate.add_argument(
+        "--scope", choices=["small", "full"], default="small",
+        help="must match the serving registry's scope so rankings reference "
+        "known workers/users",
+    )
+    simulate.add_argument(
+        "--stream", action="store_true",
+        help="emit JSONL ingest batches on stdout (one batch per line, "
+        "ready for 'repro ingest')",
+    )
+    simulate.add_argument("--batches", type=int, default=1)
+    simulate.add_argument("--batch-size", type=int, default=8)
+    simulate.add_argument(
+        "--swaps", type=int, default=2,
+        help="seeded adjacent transpositions per ranking (the drift between crawls)",
+    )
+    simulate.add_argument(
+        "--dataset-name", default=None,
+        help="dataset name stamped on each batch (defaults to the site name)",
+    )
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="POST observation batches (JSONL) to a running service",
+    )
+    ingest.add_argument("url", help="service base URL, e.g. http://127.0.0.1:8080")
+    ingest.add_argument(
+        "batches",
+        help="JSONL file of ingest batches ('-' reads stdin); each line is "
+        '{"dataset": ..., "batch_id": ..., "observations": [...]} or a bare '
+        "observation array (then --dataset names the target)",
+    )
+    ingest.add_argument(
+        "--dataset", default=None,
+        help="dataset name for bare-array lines",
     )
     return parser
 
@@ -457,7 +507,111 @@ def _command_serve(args) -> int:
         executor_workers=args.executor_workers or None,
         drain_grace=args.drain_grace,
         shards=args.shards,
+        alert_threshold=args.alert_threshold if args.alert_threshold > 0 else None,
     )
+
+
+def _command_simulate(args) -> int:
+    """Stream simulator batches shaped for ``POST /v1/observations``."""
+    from .experiments.datasets import (
+        build_google_dataset,
+        build_taskrabbit_dataset,
+        build_taskrabbit_site,
+    )
+    from .service.registry import SMALL_CITIES
+
+    name = args.dataset_name or args.site
+    if args.site == "taskrabbit":
+        from .marketplace.crawl import emit_observations
+
+        cities = SMALL_CITIES if args.scope == "small" else None
+        dataset = build_taskrabbit_dataset(seed=args.seed, cities=cities)
+        stream = emit_observations(
+            build_taskrabbit_site(args.seed),
+            dataset,
+            batches=args.batches,
+            batch_size=args.batch_size,
+            seed=args.seed,
+            swaps=args.swaps,
+        )
+    else:
+        from .searchengine.study import emit_observations
+
+        design = "paper" if args.scope == "small" else "full"
+        dataset = build_google_dataset(seed=args.seed, design=design)
+        stream = emit_observations(
+            dataset,
+            batches=args.batches,
+            batch_size=args.batch_size,
+            seed=args.seed,
+            swaps=args.swaps,
+        )
+    if not args.stream:
+        print(
+            f"{args.site}: {len(dataset)} observations over "
+            f"{len(dataset.queries)} queries × {len(dataset.locations)} "
+            f"locations; --stream emits {args.batches} batches of "
+            f"{args.batch_size}"
+        )
+        return 0
+    for position, batch in enumerate(stream):
+        line = {
+            "dataset": name,
+            "batch_id": f"sim-{args.site}-{args.seed}-{position}",
+            "observations": batch,
+        }
+        print(json.dumps(line, sort_keys=True))
+    return 0
+
+
+def _command_ingest(args) -> int:
+    """POST JSONL ingest batches to a live service, one request per line."""
+    from .client import FBoxClient
+
+    if args.batches == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.batches, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+
+    applied = replayed = accepted = 0
+    with FBoxClient(args.url) as client:
+        for number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            batch = json.loads(line)
+            if isinstance(batch, list):
+                batch = {"dataset": args.dataset, "observations": batch}
+            dataset = batch.get("dataset") or args.dataset
+            if not dataset:
+                print(
+                    f"error: line {number} names no dataset and --dataset "
+                    "was not given",
+                    file=sys.stderr,
+                )
+                return 1
+            document = client.ingest(
+                dataset,
+                batch.get("observations") or [],
+                batch_id=batch.get("batch_id"),
+            )
+            if document.get("replayed"):
+                replayed += 1
+            else:
+                applied += 1
+                accepted += document.get("accepted", 0)
+            print(
+                f"{dataset}: generation {document.get('generation')}, "
+                f"accepted {document.get('accepted')}, "
+                f"alerts {document.get('alerts')}"
+                + (" (replayed)" if document.get("replayed") else "")
+            )
+    print(
+        f"ingested {applied} batches ({accepted} observations), "
+        f"{replayed} replayed"
+    )
+    return 0
 
 
 _COMMANDS = {
@@ -469,6 +623,8 @@ _COMMANDS = {
     "reproduce": _command_reproduce,
     "batch": _command_batch,
     "serve": _command_serve,
+    "simulate": _command_simulate,
+    "ingest": _command_ingest,
 }
 
 

@@ -31,6 +31,7 @@ import json
 import threading
 import time
 import urllib.parse
+import uuid
 from dataclasses import dataclass
 from random import Random
 
@@ -302,6 +303,43 @@ class FBoxClient:
     def batch(self, requests: list[dict]) -> dict:
         """``POST /v1/batch`` — many sub-requests, shared index sweeps."""
         return self.post(self._api("/batch"), {"requests": requests})
+
+    def ingest(
+        self, dataset: str, observations: list[dict], batch_id: str | None = None
+    ) -> dict:
+        """``POST /v1/observations`` — fold new rankings into a live dataset.
+
+        A ``batch_id`` is generated up front when the caller does not supply
+        one, so the *retries* inside :meth:`request` replay the same id: a
+        POST cut off by a dropped connection that actually applied
+        server-side is answered from the idempotency ledger
+        (``"replayed": true``) instead of double-applying the batch.
+        """
+        if batch_id is None:
+            batch_id = uuid.uuid4().hex
+        return self.post(
+            self._api("/observations"),
+            {
+                "dataset": dataset,
+                "batch_id": batch_id,
+                "observations": observations,
+            },
+        )
+
+    def trends(
+        self, dataset: str, group: str, query: str, location: str, **params
+    ) -> dict:
+        """``GET /v1/trends`` — one cube cell's values across generations."""
+        query_string = urllib.parse.urlencode(
+            {
+                "dataset": dataset,
+                "group": group,
+                "query": query,
+                "location": location,
+                **params,
+            }
+        )
+        return self.get(self._api("/trends") + "?" + query_string)[1]
 
     def datasets(self) -> dict:
         return self.get(self._api("/datasets"))[1]

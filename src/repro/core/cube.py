@@ -84,6 +84,43 @@ class UnfairnessCube:
                         values[gi, qi, li] = engine.unfairness(group, query, location)
         return cls(groups, queries, locations, values)
 
+    @classmethod
+    def compute_delta(
+        cls,
+        old: "UnfairnessCube",
+        engine: UnfairnessEngine,
+        queries: Sequence[str],
+        locations: Sequence[str],
+        dirty: Iterable[tuple[str, str]],
+    ) -> "UnfairnessCube":
+        """Rebuild only the dirty ``(query, location)`` columns of ``old``.
+
+        ``queries``/``locations`` are the *new* full domains; the old domains
+        must be prefixes of them (first-seen order only ever appends).  Every
+        surviving cell is copied verbatim, so the result is bit-identical to
+        a cold :meth:`compute` over the final dataset state as long as
+        ``dirty`` covers every pair whose observation changed.
+        """
+        queries = list(queries)
+        locations = list(locations)
+        if old.queries != queries[: len(old.queries)]:
+            raise CubeError("delta domains must extend the old queries in order")
+        if old.locations != locations[: len(old.locations)]:
+            raise CubeError("delta domains must extend the old locations in order")
+        values = np.full((len(old.groups), len(queries), len(locations)), np.nan)
+        values[:, : len(old.queries), : len(old.locations)] = old.values
+        query_index = {query: i for i, query in enumerate(queries)}
+        location_index = {location: i for i, location in enumerate(locations)}
+        for query, location in dirty:
+            qi = query_index[query]
+            li = location_index[location]
+            for gi, group in enumerate(old.groups):
+                if engine.defined_for(group, query, location):
+                    values[gi, qi, li] = engine.unfairness(group, query, location)
+                else:
+                    values[gi, qi, li] = np.nan
+        return cls(old.groups, queries, locations, values)
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------

@@ -24,7 +24,7 @@ from .comparison import ComparisonReport, compare, compare_with_indices
 from .cube import UnfairnessCube
 from .fagin import TopKResult, naive_top_k, top_k
 from .groups import Group, group_lattice
-from .indices import IndexFamily, build_family
+from .indices import IndexFamily, build_family, refresh_family
 from .unfairness import MarketplaceUnfairness, SearchEngineUnfairness, UnfairnessEngine
 
 __all__ = ["FBox"]
@@ -64,6 +64,9 @@ class FBox:
         self._build_lock = threading.RLock()
         self.cube_builds = 0
         self.family_builds = 0
+        self.delta_applies = 0
+        self.cells_recomputed = 0
+        self.lists_rebuilt = 0
 
     # ------------------------------------------------------------------
     # Constructors
@@ -157,6 +160,46 @@ class FBox:
                     self._families[key] = build_family(cube, dimension, descending)
                     self.family_builds += 1
         return self._families[key]
+
+    def apply_observations(
+        self,
+        queries: Sequence[str],
+        locations: Sequence[str],
+        dirty_pairs: Sequence[tuple[str, str]],
+    ) -> dict[str, int]:
+        """Fold upserted observations into the live materializations.
+
+        ``queries``/``locations`` are the dataset's *post-upsert* domains
+        (first-seen order only appends, so they extend this F-Box's).  Only
+        the dirty ``(query, location)`` cube columns are recomputed and only
+        the posting lists they touch are re-sorted; everything else is reused
+        verbatim, which is what makes the result bit-identical to a cold
+        rebuild of the final dataset state.  Returns delta-work counters.
+        """
+        queries = list(queries)
+        locations = list(locations)
+        with self._build_lock:
+            self.queries = queries
+            self.locations = locations
+            if self._cube is None:
+                # Nothing materialized yet: the next lazy build sees the new
+                # domains and dataset state, so there is no delta to apply.
+                return {"cells_recomputed": 0, "lists_rebuilt": 0}
+            self._cube = UnfairnessCube.compute_delta(
+                self._cube, self.engine, queries, locations, dirty_pairs
+            )
+            rebuilt_total = 0
+            for (dimension, descending), family in list(self._families.items()):
+                fresh, rebuilt = refresh_family(
+                    self._cube, dimension, descending, family, dirty_pairs
+                )
+                self._families[(dimension, descending)] = fresh
+                rebuilt_total += rebuilt
+            cells = len(dirty_pairs) * len(self.groups)
+            self.delta_applies += 1
+            self.cells_recomputed += cells
+            self.lists_rebuilt += rebuilt_total
+            return {"cells_recomputed": cells, "lists_rebuilt": rebuilt_total}
 
     @property
     def signature(self) -> tuple:

@@ -26,7 +26,13 @@ from ..exceptions import IndexError_
 from .cube import GROUP, LOCATION, QUERY, UnfairnessCube
 from .groups import Group
 
-__all__ = ["InvertedIndex", "IndexFamily", "build_family", "AccessStats"]
+__all__ = [
+    "InvertedIndex",
+    "IndexFamily",
+    "build_family",
+    "refresh_family",
+    "AccessStats",
+]
 
 
 @dataclass(eq=False)
@@ -244,3 +250,77 @@ def build_family(
     else:
         raise IndexError_(f"unknown dimension {dimension!r}; use group/query/location")
     return IndexFamily(dimension, lists)
+
+
+def refresh_family(
+    cube: UnfairnessCube,
+    dimension: str,
+    descending: bool,
+    previous: IndexFamily,
+    dirty_pairs: Sequence[tuple[str, str]],
+) -> tuple[IndexFamily, int]:
+    """Rebuild only the posting lists touched by the dirty ``(query, location)``
+    pairs, reusing every clean :class:`InvertedIndex` from ``previous``.
+
+    The new family's ``_lists`` dict is reconstructed in the exact loop order
+    of :func:`build_family` over the (possibly grown) cube domains, so its
+    ``pair_keys`` — and every rebuilt list, thanks to the stable sort in
+    :meth:`InvertedIndex.from_pairs` — are identical to a cold build of the
+    same cube.  Returns the fresh family and the number of lists rebuilt.
+    """
+    if previous.dimension != dimension:
+        raise IndexError_(
+            f"cannot refresh a {previous.dimension!r} family as {dimension!r}"
+        )
+    dirty = set(dirty_pairs)
+    dirty_queries = {query for query, _ in dirty}
+    dirty_locations = {location for _, location in dirty}
+    old = previous._lists
+    lists: dict[tuple, InvertedIndex] = {}
+    rebuilt = 0
+
+    def take(pair: tuple, stale: bool, pairs: list[tuple[Hashable, float]]) -> None:
+        nonlocal rebuilt
+        existing = old.get(pair)
+        if existing is not None and not stale:
+            lists[pair] = existing
+        else:
+            lists[pair] = InvertedIndex.from_pairs(pairs, descending=descending)
+            rebuilt += 1
+
+    if dimension == GROUP:
+        for qi, query in enumerate(cube.queries):
+            for li, location in enumerate(cube.locations):
+                take(
+                    (query, location),
+                    (query, location) in dirty,
+                    [
+                        (group, cube.values[gi, qi, li])
+                        for gi, group in enumerate(cube.groups)
+                    ],
+                )
+    elif dimension == QUERY:
+        for gi, group in enumerate(cube.groups):
+            for li, location in enumerate(cube.locations):
+                take(
+                    (group, location),
+                    location in dirty_locations,
+                    [
+                        (query, cube.values[gi, qi, li])
+                        for qi, query in enumerate(cube.queries)
+                    ],
+                )
+    elif dimension == LOCATION:
+        for gi, group in enumerate(cube.groups):
+            for qi, query in enumerate(cube.queries):
+                take(
+                    (group, query),
+                    query in dirty_queries,
+                    [
+                        (location, cube.values[gi, qi, li])
+                        for li, location in enumerate(cube.locations)
+                    ],
+                )
+    else:
+        raise IndexError_(f"unknown dimension {dimension!r}; use group/query/location")
+    return IndexFamily(dimension, lists), rebuilt

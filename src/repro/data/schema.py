@@ -166,6 +166,32 @@ class MarketplaceDataset:
             if group.matches(self.workers[worker_id].attributes)
         ]
 
+    def upsert_observations(
+        self, observations: Iterable[MarketplaceObservation]
+    ) -> list[tuple[str, str]]:
+        """Replace or add ``(query, location)`` observations in place.
+
+        The whole batch is validated before the first write, so a bad
+        observation leaves the dataset untouched.  Each accepted entry is a
+        single dict-item assignment of a frozen observation, which keeps the
+        dataset readable by concurrent queries throughout.  Returns the
+        distinct touched keys in batch order.
+        """
+        batch = list(observations)
+        for observation in batch:
+            key = (observation.query, observation.location)
+            for worker_id in observation.ranking:
+                if worker_id not in self.workers:
+                    raise DataError(
+                        f"ranking for {key!r} references unknown worker {worker_id!r}"
+                    )
+        touched: dict[tuple[str, str], None] = {}
+        for observation in batch:
+            key = (observation.query, observation.location)
+            self._observations[key] = observation
+            touched[key] = None
+        return list(touched)
+
     def __len__(self) -> int:
         return len(self._observations)
 
@@ -231,6 +257,30 @@ class SearchDataset:
             for user_id in observation.results_by_user
             if group.matches(self.users[user_id].attributes)
         ]
+
+    def upsert_observations(
+        self, observations: Iterable[SearchObservation]
+    ) -> list[tuple[str, str]]:
+        """Replace or add ``(query, location)`` observations in place.
+
+        Validated before the first write so a bad batch leaves the dataset
+        untouched; applied as atomic dict-item assignments of frozen
+        observations.  Returns the distinct touched keys in batch order.
+        """
+        batch = list(observations)
+        for observation in batch:
+            key = (observation.query, observation.location)
+            for user_id in observation.results_by_user:
+                if user_id not in self.users:
+                    raise DataError(
+                        f"observation for {key!r} references unknown user {user_id!r}"
+                    )
+        touched: dict[tuple[str, str], None] = {}
+        for observation in batch:
+            key = (observation.query, observation.location)
+            self._observations[key] = observation
+            touched[key] = None
+        return list(touched)
 
     def __len__(self) -> int:
         return len(self._observations)

@@ -23,6 +23,8 @@ none; downstream relevance falls back to the paper's ``1 − rank/N`` proxy.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from random import Random
+from typing import Iterator
 
 from ..data.schema import MarketplaceDataset, MarketplaceObservation, WorkerProfile
 from ..exceptions import DataError
@@ -30,7 +32,7 @@ from ..labeling.amt import AmtLabeler
 from .catalog import CATEGORIES, CITIES, crawl_queries
 from .site import RESULT_CAP, TaskRabbitSite
 
-__all__ = ["CrawlReport", "run_crawl"]
+__all__ = ["CrawlReport", "emit_observations", "run_crawl"]
 
 
 @dataclass(frozen=True)
@@ -120,3 +122,52 @@ def run_crawl(
         workers_observed=len(observed_ids),
         labeling_accuracy=accuracy,
     )
+
+
+def _perturb(items: list[str], rng: Random, swaps: int) -> list[str]:
+    """A mild rank drift: ``swaps`` random adjacent transpositions."""
+    items = list(items)
+    for _ in range(swaps if len(items) > 1 else 0):
+        position = rng.randrange(len(items) - 1)
+        items[position], items[position + 1] = items[position + 1], items[position]
+    return items
+
+
+def emit_observations(
+    site: TaskRabbitSite,
+    dataset: MarketplaceDataset,
+    batches: int = 1,
+    batch_size: int = 8,
+    seed: int = 0,
+    swaps: int = 2,
+    limit: int = RESULT_CAP,
+) -> Iterator[list[dict]]:
+    """Stream live re-crawl batches shaped for ``POST /v1/observations``.
+
+    The paper's crawl is a repeated protocol, so the streaming mode replays
+    it: each batch re-searches a rotating window of ``batch_size`` of the
+    dataset's (job, city) queries against ``site`` and applies ``swaps``
+    seeded adjacent transpositions per ranking — the drift a real site shows
+    between crawls.  ``site`` must be the instance the dataset was crawled
+    from (its population defines the known worker ids).  Yields plain JSON
+    batches, ready for :meth:`repro.client.FBoxClient.ingest`.
+    """
+    pairs = [(o.query, o.location) for o in dataset.observations()]
+    if not pairs:
+        raise DataError("dataset has no observations to stream against")
+    rng = Random(seed)
+    cursor = 0
+    for _ in range(batches):
+        batch = []
+        for _ in range(min(batch_size, len(pairs))):
+            job, city = pairs[cursor % len(pairs)]
+            cursor += 1
+            ranking = site.search(job, city, limit=limit)
+            batch.append(
+                {
+                    "query": job,
+                    "location": city,
+                    "ranking": _perturb(list(ranking.items), rng, swaps),
+                }
+            )
+        yield batch

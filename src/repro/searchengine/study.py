@@ -21,6 +21,8 @@ aggregate over each query's five terms).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from random import Random
+from typing import Iterator
 
 from ..data.schema import SearchDataset, SearchObservation, SearchUser
 from ..exceptions import DataError
@@ -30,7 +32,14 @@ from .jobs import GOOGLE_LOCATIONS, GOOGLE_QUERIES
 from .keyword_planner import term_variants
 from .personas import PARTICIPANTS_PER_STUDY, recruit_all
 
-__all__ = ["StudyDesign", "paper_design", "full_design", "run_study", "StudyReport"]
+__all__ = [
+    "StudyDesign",
+    "StudyReport",
+    "emit_observations",
+    "full_design",
+    "paper_design",
+    "run_study",
+]
 
 
 @dataclass(frozen=True)
@@ -146,3 +155,54 @@ def run_study(
         participants=len(participants),
         searches_executed=searches,
     )
+
+
+def emit_observations(
+    dataset: SearchDataset,
+    batches: int = 1,
+    batch_size: int = 4,
+    seed: int = 0,
+    swaps: int = 2,
+) -> Iterator[list[dict]]:
+    """Stream follow-up study waves shaped for ``POST /v1/observations``.
+
+    Each batch revisits a rotating window of ``batch_size`` of the
+    dataset's (term, location) observations with the *same* participant
+    panel and applies ``swaps`` seeded adjacent transpositions to every
+    user's result page — the result drift a repeated study would record.
+    Yields plain JSON batches, ready for
+    :meth:`repro.client.FBoxClient.ingest`.
+    """
+    observations = dataset.observations()
+    if not observations:
+        raise DataError("dataset has no observations to stream against")
+    rng = Random(seed)
+    cursor = 0
+    for _ in range(batches):
+        batch = []
+        for _ in range(min(batch_size, len(observations))):
+            observation = observations[cursor % len(observations)]
+            cursor += 1
+            pages = {
+                user_id: _perturb(list(page.items), rng, swaps)
+                for user_id, page in sorted(
+                    observation.results_by_user.items()
+                )
+            }
+            batch.append(
+                {
+                    "query": observation.query,
+                    "location": observation.location,
+                    "results_by_user": pages,
+                }
+            )
+        yield batch
+
+
+def _perturb(items: list[str], rng: Random, swaps: int) -> list[str]:
+    """A mild result drift: ``swaps`` random adjacent transpositions."""
+    items = list(items)
+    for _ in range(swaps if len(items) > 1 else 0):
+        position = rng.randrange(len(items) - 1)
+        items[position], items[position + 1] = items[position + 1], items[position]
+    return items

@@ -40,6 +40,7 @@ import logging
 import threading
 from dataclasses import dataclass, field
 from time import perf_counter
+from urllib.parse import parse_qsl
 
 from .cache import LRUCache
 from .errors import (
@@ -66,6 +67,7 @@ from .handlers import (
     handle_schema,
     resolve_degraded,
 )
+from .ingest import IngestManager, handle_observations, handle_trends, trends_document
 from .observability import ServiceMetrics, render_metrics
 from .registry import DatasetRegistry, default_registry
 from .resilience import AdmissionController
@@ -87,12 +89,18 @@ POST_ROUTES = {
     "/compare": handle_compare,
     "/explain": handle_explain,
     "/batch": handle_batch,
+    # The live write path.  "/trends" is registered here too so the shard
+    # workers' frame dispatch (which speaks POST) can answer routed trend
+    # lookups; clients use the GET route.
+    "/observations": handle_observations,
+    "/trends": trends_document,
 }
 GET_ROUTES = {
     "/datasets": handle_datasets,
     "/healthz": handle_healthz,
     "/readyz": handle_readyz,
     "/schema": handle_schema,
+    "/trends": handle_trends,
 }
 
 _METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -421,16 +429,21 @@ class FBoxApp:
         if self._draining:
             return self._shutdown_response()
         if request.method == "GET":
-            if request.path == "/metrics":
+            # Split the query string: routing and metrics labels use the
+            # bare path; the decoded parameters become the handler payload
+            # (how ``GET /trends?dataset=…`` addresses one cube cell).
+            path, _, query = request.path.partition("?")
+            if path == "/metrics":
                 return "/metrics", self._metrics_response
-            handler = self.get_routes.get(request.path)
+            handler = self.get_routes.get(path)
             if handler is None:
                 return self._error_response(
-                    NotFound(f"no such endpoint: GET {request.path}")
+                    NotFound(f"no such endpoint: GET {path}")
                 )
+            params = dict(parse_qsl(query, keep_blank_values=True)) if query else None
             # Health, readiness, and listings are never admission-controlled:
             # a saturated pool must still answer its probes.
-            return request.path, lambda: handler(self.context)
+            return path, lambda: handler(self.context, params)
         if request.method == "POST":
             if request.path not in self.post_routes:
                 return self._error_response(
@@ -615,6 +628,13 @@ class FBoxApp:
         answers survive the owning worker dying.
         """
         document = self.context.router.execute(path, payload, self.request_timeout)
+        if path == "/observations" and isinstance(document, dict):
+            # The owning worker bumped its private generation counter; sync
+            # the front's so /datasets and cache keys reflect the live state.
+            dataset = document.get("dataset")
+            generation = document.get("generation")
+            if isinstance(dataset, str) and isinstance(generation, int):
+                self.context.registry.sync_generation(dataset, generation)
         self._warm_stale(path, payload, document)
         return document
 
@@ -755,7 +775,10 @@ class FBoxApp:
         fault_stats = (
             context.faults.snapshot() if context.faults is not None else None
         )
-        extra_counters = None
+        # Ingest/alert counters ride in extra_counters on every backend:
+        # in-process they are this context's manager totals; under sharding
+        # the workers' counters are summed on top below.
+        extra_counters = dict(context.ingest.counters())
         if context.router is not None:
             # Under sharding the truth for caches, builds, index accesses,
             # abandonment/degradation, dataset breakers, and fired faults
@@ -769,17 +792,19 @@ class FBoxApp:
                 ):
                     cache_stats[key] = cache_stats.get(key, 0) + stats.get(key, 0)
             for builds in merged["builds"]:
-                for key in ("cube_builds", "family_builds", "fboxes"):
+                for key in (
+                    "cube_builds", "family_builds", "fboxes",
+                    "delta_applies", "delta_cells", "delta_lists",
+                ):
                     build_counts[key] = build_counts.get(key, 0) + builds.get(key, 0)
             breaker_states = merged["breakers"]
             if fault_stats is not None or merged["faults"]:
                 fault_stats = list(fault_stats or ()) + list(merged["faults"])
-            extra_counters = {
-                "sorted_accesses": 0,
-                "random_accesses": 0,
-                "abandoned_requests": 0,
-                "degraded_responses": 0,
-            }
+            for key in (
+                "sorted_accesses", "random_accesses",
+                "abandoned_requests", "degraded_responses",
+            ):
+                extra_counters.setdefault(key, 0)
             for counters in merged["counters"]:
                 for key in extra_counters:
                     extra_counters[key] += int(counters.get(key, 0))
@@ -809,6 +834,7 @@ def make_app(
     faults: FaultInjector | None = None,
     executor_workers: int | None = None,
     shards: int = 0,
+    alert_threshold: float | None = None,
 ) -> FBoxApp:
     """Build a ready-to-serve application (no sockets involved).
 
@@ -822,7 +848,9 @@ def make_app(
     :class:`~repro.service.sharding.ShardRouter` in front of that many
     worker processes — each owns the cubes for a deterministic subset of
     datasets — while ``0`` keeps the in-process execution path; responses
-    are byte-identical either way.
+    are byte-identical either way.  ``alert_threshold`` arms fairness-trend
+    alerting: any cell recomputed by an ingest whose value reaches the
+    threshold increments ``fbox_fairness_alerts_total``.
     """
     if registry is None:
         if faults is None:
@@ -848,6 +876,7 @@ def make_app(
             cache_size=cache_size,
             cache_ttl=cache_ttl,
             faults=faults,
+            alert_threshold=alert_threshold,
         )
     admission = None
     if max_concurrency > 0:
@@ -863,6 +892,7 @@ def make_app(
         stale=LRUCache(max(cache_size, 1)),
         admission=admission,
         faults=faults,
+        ingest=IngestManager(alert_threshold=alert_threshold),
         router=router,
     )
     if router is not None:

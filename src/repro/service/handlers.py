@@ -36,6 +36,7 @@ from .encoding import (
 )
 from .errors import BadRequest, ServiceError, Unprocessable, error_catalog
 from .faults import FaultInjector
+from .ingest import IngestManager
 from .observability import ServiceMetrics
 from .registry import DatasetRegistry
 from .resilience import AdmissionController
@@ -96,6 +97,7 @@ class ServiceContext:
     admission: AdmissionController | None = None
     faults: FaultInjector | None = None
     require_loaded: tuple[str, ...] = ()
+    ingest: IngestManager = field(default_factory=IngestManager)
     router: object | None = None
     """The :class:`~repro.service.sharding.ShardRouter` when ``--shards N``
     is on (typed loosely to keep this module import-light).  When set, POST
@@ -630,6 +632,7 @@ def handle_datasets(context: ServiceContext, payload=None) -> tuple[int, dict]:
         entry["shard"] = 0
         entry["generation"] = registry.generation(name)
         entry["breaker"] = registry.breaker(name).state
+        entry.update(context.ingest.dataset_facts(name))
         entries.append(entry)
     return 200, {"datasets": entries}
 
@@ -832,6 +835,35 @@ def service_schema() -> dict:
                     "max_items": _MAX_BATCH_ITEMS,
                     "ops": list(_BATCH_OPS),
                 },
+            ),
+            endpoint(
+                "POST", "/observations",
+                "live ingest: fold a batch of new rankings into a dataset "
+                "incrementally (delta cube/index maintenance)",
+                request_fields=[
+                    _field(
+                        "dataset", "string",
+                        "registered dataset name (see GET /v1/datasets)",
+                        required=True,
+                    ),
+                    _field(
+                        "batch_id", "string",
+                        "client-supplied idempotency key; a replayed batch "
+                        "returns the stored result instead of re-applying",
+                    ),
+                    _field(
+                        "observations", "array",
+                        "ranking batches; marketplace items carry query/"
+                        "location/ranking (+optional scores), search items "
+                        "query/location/results_by_user",
+                        required=True,
+                    ),
+                ],
+            ),
+            endpoint(
+                "GET", "/trends",
+                "one cube cell's measure values across ingest generations "
+                "(query params: dataset, group, query, location[, measure])",
             ),
             endpoint(
                 "GET", "/datasets",

@@ -1,0 +1,402 @@
+"""The live-ingest subsystem: ``POST /observations`` and ``GET /trends``.
+
+The paper's data is a crawl *protocol* — repeated queries against live
+sites — so the service accepts the same shape continuously: a batch of new
+``(query, location)`` rankings lands as one ``POST /observations``, is
+schema-validated against :mod:`repro.data.schema`, and is folded into the
+live dataset **incrementally** (only the dirty unfairness-cube columns are
+recomputed and only the dirty posting lists re-sorted — see
+:meth:`repro.core.fbox.FBox.apply_observations`).  The dataset's generation
+counter bumps last, so the LRU result cache and the degraded-answer store
+invalidate for free and no pre-ingest answer can ever carry the post-ingest
+generation tag.
+
+On top of the write path sits the monitoring surface the paper's
+longitudinal framing implies: every ingest records the recomputed cell
+values into a generation-ringed history, ``GET /v1/trends`` replays one
+cube cell's values across generations, and a configurable alert threshold
+counts crossings into ``fbox_fairness_alerts_total`` and the ``/datasets``
+listing.
+
+Idempotency: a client-supplied ``batch_id`` is remembered per dataset, and
+a replay (e.g. a retry after a dropped connection) returns the stored
+result with ``"replayed": true`` instead of double-applying the batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Mapping
+
+from ..core.groups import group_lattice
+from ..core.rankings import RankedList
+from ..core.unfairness import MarketplaceUnfairness, SearchEngineUnfairness
+from ..data.schema import MarketplaceObservation, SearchObservation
+from ..exceptions import DataError, ReproError
+from .encoding import parse_group
+from .errors import BadRequest, ServiceError, Unprocessable
+
+__all__ = [
+    "IngestManager",
+    "decode_observations",
+    "handle_observations",
+    "handle_trends",
+    "trends_document",
+]
+
+_MAX_INGEST_OBSERVATIONS = 256
+"""Upper bound on observations per ingest batch (one batch applies under
+the dataset's build lock, so unbounded batches would stall readers)."""
+
+_DEFAULT_HISTORY = 64
+"""Generations of trend history retained per dataset."""
+
+_LEDGER_CAPACITY = 256
+"""Remembered ``batch_id`` results per dataset (FIFO eviction)."""
+
+
+# ----------------------------------------------------------------------
+# Payload decoding (schema validation)
+# ----------------------------------------------------------------------
+
+
+def _require_object(payload) -> Mapping:
+    if not isinstance(payload, Mapping):
+        raise BadRequest(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _string_field(payload: Mapping, name: str, required: bool = True) -> str | None:
+    value = payload.get(name)
+    if value is None:
+        if required:
+            raise BadRequest(f"missing required field {name!r}")
+        return None
+    if not isinstance(value, str) or not value:
+        raise BadRequest(f"field {name!r} must be a non-empty string")
+    return value
+
+
+def _ranked_list(where: str, items, scores=None) -> RankedList:
+    if not isinstance(items, (list, tuple)) or not all(
+        isinstance(item, str) for item in items
+    ):
+        raise BadRequest(f"{where} must be a JSON array of strings")
+    if scores is not None:
+        if not isinstance(scores, Mapping):
+            raise BadRequest(f"scores in {where} must be a JSON object")
+        scores = {str(key): float(value) for key, value in scores.items()}
+    try:
+        return RankedList(items=tuple(items), scores=scores)
+    except ReproError as error:
+        raise Unprocessable(f"{where}: {error}") from error
+
+
+def _decode_marketplace(position: int, item: Mapping) -> MarketplaceObservation:
+    query = _string_field(item, "query")
+    location = _string_field(item, "location")
+    ranking = _ranked_list(
+        f"observations[{position}].ranking",
+        item.get("ranking"),
+        item.get("scores"),
+    )
+    try:
+        return MarketplaceObservation(query=query, location=location, ranking=ranking)
+    except ReproError as error:
+        raise Unprocessable(f"observations[{position}]: {error}") from error
+
+
+def _decode_search(position: int, item: Mapping) -> SearchObservation:
+    query = _string_field(item, "query")
+    location = _string_field(item, "location")
+    results = item.get("results_by_user")
+    if not isinstance(results, Mapping) or not results:
+        raise BadRequest(
+            f"observations[{position}].results_by_user must be a non-empty "
+            "JSON object of user → result list"
+        )
+    decoded = {
+        str(user): _ranked_list(
+            f"observations[{position}].results_by_user[{user!r}]", items
+        )
+        for user, items in results.items()
+    }
+    try:
+        return SearchObservation(
+            query=query, location=location, results_by_user=decoded
+        )
+    except ReproError as error:
+        raise Unprocessable(f"observations[{position}]: {error}") from error
+
+
+def decode_observations(site: str, items) -> list:
+    """Validate a batch of raw observation payloads for one site kind.
+
+    Envelope problems (wrong types, missing fields) raise
+    :class:`BadRequest`; semantic ones (duplicate ranks, empty rankings)
+    raise :class:`Unprocessable`, matching the service-wide policy.
+    """
+    if not isinstance(items, (list, tuple)):
+        raise BadRequest(
+            "field 'observations' must be a JSON array of observation objects"
+        )
+    if not items:
+        raise BadRequest("field 'observations' is empty; send at least one")
+    if len(items) > _MAX_INGEST_OBSERVATIONS:
+        raise BadRequest(
+            f"batch exceeds {_MAX_INGEST_OBSERVATIONS} observations "
+            f"(got {len(items)})"
+        )
+    decode = _decode_marketplace if site == "taskrabbit" else _decode_search
+    decoded = []
+    for position, item in enumerate(items):
+        if not isinstance(item, Mapping):
+            raise BadRequest(
+                f"observations[{position}] must be a JSON object, "
+                f"got {type(item).__name__}"
+            )
+        decoded.append(decode(position, item))
+    return decoded
+
+
+# ----------------------------------------------------------------------
+# The manager: idempotency ledger, trend history, alerts
+# ----------------------------------------------------------------------
+
+
+class IngestManager:
+    """Per-dataset write-path state: batch ledger, trend ring, alerts.
+
+    One instance lives on the :class:`~repro.service.handlers.ServiceContext`
+    (each shard worker owns its own, covering the datasets it serves).
+    Ingests for one dataset serialize on a per-dataset lock so the
+    check-ledger → apply → record sequence is atomic even under concurrent
+    replays of the same ``batch_id``.
+    """
+
+    def __init__(
+        self,
+        alert_threshold: float | None = None,
+        history: int = _DEFAULT_HISTORY,
+    ) -> None:
+        self.alert_threshold = alert_threshold
+        self.history = history
+        self._lock = threading.RLock()
+        self._dataset_locks: dict[str, threading.RLock] = {}
+        self._ledgers: dict[str, OrderedDict[str, dict]] = {}
+        self._rings: dict[str, deque] = {}
+        self._alerts: dict[str, int] = {}
+        self._batches: dict[str, int] = {}
+        self._observations = 0
+        self._replays = 0
+
+    def _dataset_lock(self, name: str) -> threading.RLock:
+        with self._lock:
+            lock = self._dataset_locks.get(name)
+            if lock is None:
+                lock = self._dataset_locks[name] = threading.RLock()
+            return lock
+
+    # -- the write path -------------------------------------------------
+
+    def ingest(
+        self, registry, name: str, batch_id: str | None, observations: list
+    ) -> dict:
+        """Apply one decoded batch; idempotent per ``(dataset, batch_id)``."""
+        with self._dataset_lock(name):
+            with self._lock:
+                ledger = self._ledgers.setdefault(name, OrderedDict())
+                stored = ledger.get(batch_id) if batch_id else None
+                if stored is not None:
+                    self._replays += 1
+                    return {**stored, "replayed": True}
+            try:
+                outcome = registry.apply_observations(name, observations)
+            except DataError as error:
+                # Semantic problems the decode layer cannot see (rankings
+                # referencing workers/users outside the dataset's roster).
+                raise Unprocessable(str(error)) from error
+            snapshot = self._record(registry, name, batch_id, outcome)
+            document = {
+                "kind": "ingest",
+                "dataset": name,
+                "batch_id": batch_id,
+                "generation": outcome["generation"],
+                "accepted": len(observations),
+                "touched_pairs": [list(pair) for pair in outcome["touched"]],
+                "cells_recomputed": outcome["cells_recomputed"],
+                "lists_rebuilt": outcome["lists_rebuilt"],
+                "alerts": snapshot["alerts"],
+            }
+            with self._lock:
+                self._batches[name] = self._batches.get(name, 0) + 1
+                self._observations += len(observations)
+                if batch_id:
+                    ledger[batch_id] = document
+                    while len(ledger) > _LEDGER_CAPACITY:
+                        ledger.popitem(last=False)
+            return {**document, "replayed": False}
+
+    def _record(
+        self, registry, name: str, batch_id: str | None, outcome: dict
+    ) -> dict:
+        """Snapshot the recomputed cells into the trend ring; count alerts.
+
+        Values come from each measure's engine (stateless per-cell, so this
+        costs only ``|groups| × |touched pairs|`` per measure).  The ring
+        holds one entry per ingest generation.
+        """
+        spec = registry.spec(name)
+        dataset = registry.dataset(name)
+        fboxes = registry.live_fboxes(name)
+        measures = sorted(fboxes) or [spec.default_measure]
+        groups = group_lattice(registry.schema)
+        values: dict[str, dict] = {}
+        alerts = 0
+        for measure in measures:
+            if measure in fboxes:
+                engine = fboxes[measure].engine
+            elif spec.site == "taskrabbit":
+                engine = MarketplaceUnfairness(dataset, registry.schema, measure=measure)
+            else:
+                engine = SearchEngineUnfairness(dataset, registry.schema, measure=measure)
+            cells: dict[tuple[str, str, str], float | None] = {}
+            for query, location in outcome["touched"]:
+                for group in groups:
+                    if engine.defined_for(group, query, location):
+                        value = float(engine.unfairness(group, query, location))
+                    else:
+                        value = None
+                    cells[(str(group), query, location)] = value
+                    if (
+                        value is not None
+                        and self.alert_threshold is not None
+                        and value >= self.alert_threshold
+                    ):
+                        alerts += 1
+            values[measure] = cells
+        entry = {
+            "generation": outcome["generation"],
+            "batch_id": batch_id,
+            "values": values,
+            "alerts": alerts,
+        }
+        with self._lock:
+            ring = self._rings.setdefault(name, deque(maxlen=self.history))
+            ring.append(entry)
+            self._alerts[name] = self._alerts.get(name, 0) + alerts
+        return entry
+
+    # -- the read surfaces ----------------------------------------------
+
+    def trends(
+        self, name: str, measure: str, group: str, query: str, location: str
+    ) -> list[dict]:
+        """Per-generation values of one cube cell, oldest first.
+
+        A generation appears only when the requested cell was recomputed by
+        that ingest; ``value`` is ``null`` when the cell was undefined then.
+        """
+        key = (group, query, location)
+        points = []
+        with self._lock:
+            ring = list(self._rings.get(name, ()))
+        for entry in ring:
+            cells = entry["values"].get(measure)
+            if cells is None or key not in cells:
+                continue
+            value = cells[key]
+            points.append(
+                {
+                    "generation": entry["generation"],
+                    "batch_id": entry["batch_id"],
+                    "value": value,
+                    "alert": (
+                        value is not None
+                        and self.alert_threshold is not None
+                        and value >= self.alert_threshold
+                    ),
+                }
+            )
+        return points
+
+    def dataset_facts(self, name: str) -> dict:
+        """The ``/datasets`` overlay: alerting config plus write-path counts."""
+        with self._lock:
+            return {
+                "alert_threshold": self.alert_threshold,
+                "alerts": self._alerts.get(name, 0),
+                "ingest_batches": self._batches.get(name, 0),
+                "trend_generations": len(self._rings.get(name, ())),
+            }
+
+    def counters(self) -> dict[str, int]:
+        """Totals for the /metrics exposition (summed across datasets)."""
+        with self._lock:
+            return {
+                "ingest_batches": sum(self._batches.values()),
+                "ingest_observations": self._observations,
+                "ingest_replays": self._replays,
+                "fairness_alerts": sum(self._alerts.values()),
+            }
+
+
+# ----------------------------------------------------------------------
+# Handlers
+# ----------------------------------------------------------------------
+
+
+def handle_observations(context, payload) -> dict:
+    """``POST /observations`` — fold a batch of new rankings into a dataset.
+
+    Under sharding this runs on the owning worker (the front routes the
+    payload over the frame protocol and syncs its generation counter from
+    the response).
+    """
+    payload = _require_object(payload)
+    name = _string_field(payload, "dataset")
+    batch_id = _string_field(payload, "batch_id", required=False)
+    spec = context.registry.spec(name)  # 404 before any decoding work
+    observations = decode_observations(spec.site, payload.get("observations"))
+    return context.ingest.ingest(context.registry, name, batch_id, observations)
+
+
+def trends_document(context, payload) -> dict:
+    """The ``/trends`` answer; shared by the GET route and worker dispatch."""
+    params = _require_object(payload if payload is not None else {})
+    name = _string_field(params, "dataset")
+    router = context.router
+    if router is not None:
+        return router.execute("/trends", dict(params), router.request_timeout)
+    spec = context.registry.spec(name)
+    measure = (
+        _string_field(params, "measure", required=False) or spec.default_measure
+    ).lower()
+    group_text = _string_field(params, "group")
+    query = _string_field(params, "query")
+    location = _string_field(params, "location")
+    try:
+        group = parse_group(group_text)
+    except ServiceError:
+        raise
+    except ReproError as error:
+        raise Unprocessable(str(error)) from error
+    points = context.ingest.trends(name, measure, str(group), query, location)
+    return {
+        "kind": "trends",
+        "dataset": name,
+        "measure": measure,
+        "group": str(group),
+        "query": query,
+        "location": location,
+        "alert_threshold": context.ingest.alert_threshold,
+        "points": points,
+    }
+
+
+def handle_trends(context, payload=None) -> tuple[int, dict]:
+    """``GET /trends`` — one cube cell's measure values across generations."""
+    return 200, trends_document(context, payload)

@@ -298,6 +298,20 @@ def render_metrics(
     lines.append("# TYPE fbox_degraded_responses_total counter")
     lines.append(f"fbox_degraded_responses_total {snap['degraded_responses']}")
 
+    # The live-ingest write path.  In-process these come straight from the
+    # ingest manager; under sharding the app sums the workers' counters into
+    # ``extra_counters`` before rendering.
+    lines.append("# TYPE fbox_ingest_batches_total counter")
+    lines.append(f"fbox_ingest_batches_total {int(extra.get('ingest_batches', 0))}")
+    lines.append("# TYPE fbox_ingest_observations_total counter")
+    lines.append(
+        f"fbox_ingest_observations_total {int(extra.get('ingest_observations', 0))}"
+    )
+    lines.append("# TYPE fbox_ingest_replays_total counter")
+    lines.append(f"fbox_ingest_replays_total {int(extra.get('ingest_replays', 0))}")
+    lines.append("# TYPE fbox_fairness_alerts_total counter")
+    lines.append(f"fbox_fairness_alerts_total {int(extra.get('fairness_alerts', 0))}")
+
     if admission_stats is not None:
         lines.append("# TYPE fbox_admission_total counter")
         for outcome in ("accepted", "shed"):
@@ -367,6 +381,16 @@ def render_metrics(
     lines.append(f"fbox_cube_builds_total {build_counts['cube_builds']}")
     lines.append("# TYPE fbox_index_family_builds_total counter")
     lines.append(f"fbox_index_family_builds_total {build_counts['family_builds']}")
+    lines.append("# TYPE fbox_delta_applies_total counter")
+    lines.append(f"fbox_delta_applies_total {build_counts.get('delta_applies', 0)}")
+    lines.append("# TYPE fbox_delta_cells_recomputed_total counter")
+    lines.append(
+        f"fbox_delta_cells_recomputed_total {build_counts.get('delta_cells', 0)}"
+    )
+    lines.append("# TYPE fbox_delta_lists_rebuilt_total counter")
+    lines.append(
+        f"fbox_delta_lists_rebuilt_total {build_counts.get('delta_lists', 0)}"
+    )
     lines.append("# TYPE fbox_instances gauge")
     lines.append(f"fbox_instances {build_counts['fboxes']}")
 

@@ -157,6 +157,54 @@ class DatasetRegistry:
         with self._lock:
             return self._generations.get(name, 0)
 
+    def sync_generation(self, name: str, generation: int) -> None:
+        """Raise ``name``'s generation to match a remote counter.
+
+        Under sharding the owning worker applies ingests against its private
+        registry; the front calls this after a routed write so its own
+        ``/datasets`` listing reports the live generation.  Monotonic: a
+        stale or replayed report never lowers the counter.
+        """
+        with self._lock:
+            if generation > self._generations.get(name, 0):
+                self._generations[name] = generation
+
+    def apply_observations(self, name: str, observations: list) -> dict:
+        """Fold already-decoded observations into a live dataset.
+
+        Runs entirely under the dataset's build lock: the dataset is
+        upserted in place, every live F-Box for ``name`` gets an incremental
+        delta (dirty cube columns + dirty posting lists only), and the
+        generation counter is bumped **last** so no answer computed against
+        the pre-ingest state can ever be tagged with the post-ingest
+        generation.  Returns the new generation, the touched pairs, and the
+        delta-work counters.
+        """
+        self.spec(name)  # 404 before any work
+        with self._dataset_lock(name):
+            dataset = self.dataset(name)
+            touched = dataset.upsert_observations(observations)
+            delta = {"cells_recomputed": 0, "lists_rebuilt": 0}
+            for fbox in self.live_fboxes(name).values():
+                stats = fbox.apply_observations(
+                    dataset.queries, dataset.locations, touched
+                )
+                delta["cells_recomputed"] += stats["cells_recomputed"]
+                delta["lists_rebuilt"] += stats["lists_rebuilt"]
+            with self._lock:
+                self._generations[name] = self._generations.get(name, 0) + 1
+                generation = self._generations[name]
+        return {"generation": generation, "touched": touched, **delta}
+
+    def live_fboxes(self, name: str) -> dict[str, FBox]:
+        """The live F-Boxes for ``name``, keyed by measure."""
+        with self._lock:
+            return {
+                measure: fbox
+                for (n, measure), fbox in self._fboxes.items()
+                if n == name
+            }
+
     def names(self) -> list[str]:
         """Registered dataset names, in registration order."""
         with self._lock:
@@ -326,6 +374,9 @@ class DatasetRegistry:
             "cube_builds": sum(fbox.cube_builds for fbox in fboxes),
             "family_builds": sum(fbox.family_builds for fbox in fboxes),
             "fboxes": len(fboxes),
+            "delta_applies": sum(fbox.delta_applies for fbox in fboxes),
+            "delta_cells": sum(fbox.cells_recomputed for fbox in fboxes),
+            "delta_lists": sum(fbox.lists_rebuilt for fbox in fboxes),
         }
 
     def describe(self) -> list[dict]:

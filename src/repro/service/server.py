@@ -57,6 +57,7 @@ def make_server(
     backend: str = "threads",
     executor_workers: int | None = None,
     shards: int = 0,
+    alert_threshold: float | None = None,
 ) -> FBoxServer | AioFBoxServer:
     """Build a ready-to-serve F-Box server (``port=0`` picks an ephemeral one).
 
@@ -82,6 +83,7 @@ def make_server(
         faults=faults,
         executor_workers=executor_workers,
         shards=shards,
+        alert_threshold=alert_threshold,
     )
     if backend == "asyncio":
         return AioFBoxServer((host, port), app, quiet=quiet)
@@ -103,6 +105,7 @@ def serve(
     executor_workers: int | None = None,
     drain_grace: float = 10.0,
     shards: int = 0,
+    alert_threshold: float | None = None,
 ) -> int:
     """Run the service until SIGTERM/SIGINT; returns a process exit code.
 
@@ -128,6 +131,7 @@ def serve(
         backend=backend,
         executor_workers=executor_workers,
         shards=shards,
+        alert_threshold=alert_threshold,
     )
     if preload:
         context = server.context

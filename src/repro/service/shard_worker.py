@@ -38,6 +38,7 @@ from .cache import LRUCache
 from .errors import NotFound, ServiceError
 from .faults import FaultInjector, FaultRule, InjectedFault
 from .handlers import ServiceContext
+from .ingest import IngestManager
 from .observability import ServiceMetrics
 from .registry import DatasetRegistry, DatasetSpec
 from .resilience import BreakerConfig
@@ -64,6 +65,7 @@ class WorkerConfig:
     schema: object
     breaker_config: BreakerConfig
     exit_faults_consumed: int = 0
+    alert_threshold: float | None = None
 
 
 def _rebuild_faults(fault_spec, consumed: int) -> FaultInjector | None:
@@ -99,6 +101,7 @@ def _build_app(
         stale=LRUCache(max(config.cache_size, 1)),
         admission=None,
         faults=faults,
+        ingest=IngestManager(alert_threshold=config.alert_threshold),
     )
     return FBoxApp(context, request_timeout=config.request_timeout), context
 
@@ -110,10 +113,15 @@ def _status_document(
     router merges these into ``/datasets``, ``/readyz``, and ``/metrics``."""
     registry = context.registry
     snap = context.metrics.snapshot()
+    datasets = []
+    for entry in registry.describe():
+        entry = dict(entry)
+        entry.update(context.ingest.dataset_facts(entry["name"]))
+        datasets.append(entry)
     return {
         "ok": True,
         "shard": config.index,
-        "datasets": registry.describe(),
+        "datasets": datasets,
         "health": registry.health_report(),
         "breakers": registry.breaker_states(),
         "cache": context.cache.stats(),
@@ -123,6 +131,7 @@ def _status_document(
             "random_accesses": snap["random_accesses"],
             "abandoned_requests": snap["abandoned_requests"],
             "degraded_responses": snap["degraded_responses"],
+            **context.ingest.counters(),
         },
         "faults": faults.snapshot() if faults is not None else [],
     }

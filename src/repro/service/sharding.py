@@ -259,6 +259,7 @@ class ShardRouter:
         faults: FaultInjector | None = None,
         poll_interval: float = 0.1,
         io_grace: float = 10.0,
+        alert_threshold: float | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -268,6 +269,7 @@ class ShardRouter:
         self.cache_size = cache_size
         self.cache_ttl = cache_ttl
         self.faults = faults
+        self.alert_threshold = alert_threshold
         self.poll_interval = poll_interval
         self.io_grace = io_grace
         self.metrics = None  # set by make_app; used for /batch accounting
@@ -327,6 +329,7 @@ class ShardRouter:
                 schema=self.registry.schema,
                 breaker_config=self.registry.breaker_config,
                 exit_faults_consumed=shard.crashes,
+                alert_threshold=self.alert_threshold,
             )
             process = self._mp.Process(
                 target=worker_main,
