@@ -14,11 +14,18 @@ import pytest
 from time import perf_counter
 
 from _util import emit
+from repro.core.colstore import ColumnarFamily, ColumnarStore
 from repro.core.cube import UnfairnessCube
 from repro.core.fagin import naive_top_k, top_k
 from repro.core.groups import Group
 from repro.core.indices import InvertedIndex, build_family
 from repro.experiments.report import render_table
+
+
+def _columnar_family(cube, dimension: str = "group") -> ColumnarFamily:
+    store = ColumnarStore.from_cube(cube, [(dimension, True)])
+    offsets, perm = store.families[(dimension, True)]
+    return ColumnarFamily(cube, dimension, True, offsets, perm)
 
 
 def _skewed_cube(n_members: int, n_queries: int, n_locations: int, seed: int = 0):
@@ -77,6 +84,67 @@ def test_naive_topk(benchmark, n_members):
     cube = _skewed_cube(n_members, 8, 8)
     result = benchmark(naive_top_k, cube, "group", 5)
     assert len(result.entries) == 5
+
+
+@pytest.mark.parametrize("n_members", [50, 200])
+def test_fagin_topk_columnar(benchmark, n_members):
+    """The same sweep over the columnar core's flat arrays."""
+    cube = _skewed_cube(n_members, 8, 8)
+    family = _columnar_family(cube)
+    result = benchmark(top_k, cube, "group", 5, "most", family)
+    assert len(result.entries) == 5
+
+
+def test_columnar_core_comparison():
+    """Dict vs columnar TA, same sweeps: identical results, timed side by
+    side.  Writes benchmarks/results/fagin_columnar.txt."""
+    rows = []
+    for n_members in (50, 200, 400):
+        cube = _skewed_cube(n_members, 8, 8)
+        dict_family = build_family(cube, "group")
+        columnar_family = _columnar_family(cube)
+        reference = top_k(cube, "group", 5, "most", dict_family)
+        columnar = top_k(cube, "group", 5, "most", columnar_family)
+        assert columnar.entries == reference.entries
+        assert (
+            columnar.stats.sorted_accesses == reference.stats.sorted_accesses
+        )
+        assert (
+            columnar.stats.random_accesses == reference.stats.random_accesses
+        )
+
+        def best(family, repeats=5, loops=10):
+            best_seconds = float("inf")
+            for _ in range(repeats):
+                started = perf_counter()
+                for _ in range(loops):
+                    top_k(cube, "group", 5, "most", family)
+                best_seconds = min(
+                    best_seconds, (perf_counter() - started) / loops
+                )
+            return best_seconds
+
+        dict_seconds = best(dict_family)
+        columnar_seconds = best(columnar_family)
+        rows.append(
+            (
+                f"|G|={n_members}",
+                dict_seconds * 1e6,
+                columnar_seconds * 1e6,
+                dict_seconds / columnar_seconds,
+            )
+        )
+    emit(
+        "fagin_columnar",
+        render_table(
+            "Threshold algorithm, dict core vs columnar core (k=5, best-of)",
+            ("size", "dict us", "columnar us", "speedup"),
+            rows,
+            decimals=2,
+        ),
+    )
+    # The flat-array sweep must not be slower than dict probing anywhere.
+    assert all(speedup > 0.8 for _, _, _, speedup in rows), rows
 
 
 def test_fagin_matches_naive_at_scale():

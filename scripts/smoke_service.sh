@@ -15,9 +15,13 @@
 #   5. live ingest: boot sharded with a tiny --alert-threshold, stream a
 #      simulated re-crawl batch through `repro ingest`, replay it (must be
 #      idempotent), then read the per-generation trend points from
-#      /v1/trends and the fairness alerts from /v1/metrics + /v1/datasets.
+#      /v1/trends and the fairness alerts from /v1/metrics + /v1/datasets;
+#   6. columnar core: boot sharded with `--core columnar`, answer queries
+#      from the shared-memory segments, ingest a batch through the write
+#      path, and — after shutdown — assert no fbx* segment survives in
+#      /dev/shm (the leak check).
 #
-# All five passes run once per transport backend (`--backend threads`,
+# All six passes run once per transport backend (`--backend threads`,
 # then `--backend asyncio`) — the two fronts share one application layer,
 # so every pass must behave identically on both.
 #
@@ -336,6 +340,58 @@ case "$BODY" in
 esac
 echo "smoke: fairness alerts ok"
 stop_server
+
+# ----------------------------------------------------------------------
+# Pass 6: columnar shared-memory core (--core columnar) + leak check
+# ----------------------------------------------------------------------
+
+# Segments from anything else running on this machine are not ours to
+# judge: snapshot /dev/shm before boot and diff after shutdown.
+SHM_BEFORE="$(ls /dev/shm 2>/dev/null | grep '^fbx' | sort)"
+
+boot_server --shards 2 --core columnar --alert-threshold 0.0001
+expect 200 "columnar readyz" GET "$BASE/v1/readyz" >/dev/null
+
+BODY="$(expect 200 "columnar quantify (taskrabbit)" POST "$BASE/v1/quantify" '{"dataset": "taskrabbit", "dimension": "group", "k": 3}')"
+case "$BODY" in
+    *'"unfairness"'*) ;;
+    *) fail "columnar quantify body lacks unfairness values: $BODY" ;;
+esac
+expect 200 "columnar quantify (google)" POST "$BASE/v1/quantify" '{"dataset": "google", "dimension": "location", "k": 2}' >/dev/null
+echo "smoke: columnar quantify ok"
+
+# The worker published its cube: segments must be live in /dev/shm now.
+SHM_LIVE="$(ls /dev/shm 2>/dev/null | grep '^fbx' | sort)"
+[ "$SHM_LIVE" != "$SHM_BEFORE" ] || fail "columnar server published no /dev/shm segment"
+
+# The columnar write path: ingest must publish a new generation, and the
+# post-ingest read must reflect it.
+INGEST_FILE="$(mktemp)"
+python3 -m repro simulate taskrabbit --scope small --stream \
+    --batches 1 --batch-size 2 >"$INGEST_FILE" 2>>"$LOG" \
+    || fail "simulate --stream failed (columnar)"
+OUT="$(python3 -m repro ingest "$BASE" "$INGEST_FILE" 2>&1)" \
+    || fail "columnar ingest failed: $OUT"
+case "$OUT" in
+    *'generation 2'*) ;;
+    *) fail "columnar ingest did not bump the generation: $OUT" ;;
+esac
+rm -f "$INGEST_FILE"
+expect 200 "post-ingest columnar quantify" POST "$BASE/v1/quantify" '{"dataset": "taskrabbit", "dimension": "group", "k": 3}' >/dev/null
+echo "smoke: columnar ingest ok"
+
+BODY="$(expect 200 "columnar metrics" GET "$BASE/v1/metrics")"
+case "$BODY" in
+    *fbox_segment_attaches_total*) ;;
+    *) fail "columnar metrics lack fbox_segment_attaches_total" ;;
+esac
+echo "smoke: columnar metrics ok"
+
+# Graceful shutdown must sweep every segment this server created.
+stop_server
+SHM_AFTER="$(ls /dev/shm 2>/dev/null | grep '^fbx' | sort)"
+[ "$SHM_AFTER" = "$SHM_BEFORE" ] || fail "leaked /dev/shm segments after shutdown: $(printf '%s' "$SHM_AFTER" | tr '\n' ' ')"
+echo "smoke: columnar segment sweep ok"
 
 }
 

@@ -208,6 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fairness-alert threshold: ingested cube cells at or above this "
         "unfairness count into fbox_fairness_alerts_total (0 disables)",
     )
+    serve.add_argument(
+        "--core", choices=["dict", "columnar"], default="dict",
+        help="F-Box storage engine: dict = reference per-cell maps; columnar "
+        "= flat numpy blocks in shared-memory segments (workers re-attach "
+        "after restarts; sharded fronts answer reads from the segments)",
+    )
 
     simulate = subparsers.add_parser(
         "simulate",
@@ -492,6 +498,7 @@ def _command_serve(args) -> int:
             reset_timeout=args.breaker_reset,
         ),
         faults=faults_from_env(),
+        core=args.core,
     )
     return serve(
         registry=registry,
@@ -508,6 +515,7 @@ def _command_serve(args) -> int:
         drain_grace=args.drain_grace,
         shards=args.shards,
         alert_threshold=args.alert_threshold if args.alert_threshold > 0 else None,
+        core=args.core,
     )
 
 

@@ -122,6 +122,11 @@ def top_k(
         raise AlgorithmError(
             f"index family is for {family.dimension!r}, not {dimension!r}"
         )
+    sweep = getattr(family, "run_sweep", None)
+    if sweep is not None:
+        # A columnar family replays this exact loop over numpy views —
+        # same rounds, tie-breaks, early stop, and access accounting.
+        return sweep(k, order)
     family.reset_stats()
 
     pairs = family.pair_keys

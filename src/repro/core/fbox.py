@@ -16,6 +16,8 @@ from __future__ import annotations
 import threading
 from typing import Hashable, Iterable, Sequence
 
+import numpy as np
+
 from ..data.schema import MarketplaceDataset, SearchDataset
 from ..exceptions import AlgorithmError
 from ..stats.histograms import DEFAULT_BINS
@@ -185,13 +187,31 @@ class FBox:
                 # Nothing materialized yet: the next lazy build sees the new
                 # domains and dataset state, so there is no delta to apply.
                 return {"cells_recomputed": 0, "lists_rebuilt": 0}
+            old = self._cube
             self._cube = UnfairnessCube.compute_delta(
                 self._cube, self.engine, queries, locations, dirty_pairs
+            )
+            # The exact staleness mask: which cells actually changed value
+            # (NaN-aware — a cell undefined before and after is unchanged).
+            # Old domains are prefixes of the new ones, so the old block
+            # NaN-pads into the new shape exactly as compute_delta laid it.
+            padded = np.full(self._cube.values.shape, np.nan)
+            g, q, l = old.values.shape
+            padded[:g, :q, :l] = old.values
+            fresh_values = self._cube.values
+            changed = ~(
+                (padded == fresh_values)
+                | (np.isnan(padded) & np.isnan(fresh_values))
             )
             rebuilt_total = 0
             for (dimension, descending), family in list(self._families.items()):
                 fresh, rebuilt = refresh_family(
-                    self._cube, dimension, descending, family, dirty_pairs
+                    self._cube,
+                    dimension,
+                    descending,
+                    family,
+                    dirty_pairs,
+                    changed=changed,
                 )
                 self._families[(dimension, descending)] = fresh
                 rebuilt_total += rebuilt

@@ -47,6 +47,8 @@ class AccessStats:
 
     sorted_accesses: int = 0
     random_accesses: int = 0
+    sorted_misses: int = 0
+    random_misses: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_sorted(self, count: int = 1) -> None:
@@ -59,11 +61,23 @@ class AccessStats:
         with self._lock:
             self.random_accesses += count
 
+    def record_sorted_miss(self, count: int = 1) -> None:
+        """Count ``count`` failed sorted probes (not part of the cost model)."""
+        with self._lock:
+            self.sorted_misses += count
+
+    def record_random_miss(self, count: int = 1) -> None:
+        """Count ``count`` failed random probes (not part of the cost model)."""
+        with self._lock:
+            self.random_misses += count
+
     def reset(self) -> None:
-        """Zero both counters in place."""
+        """Zero every counter in place."""
         with self._lock:
             self.sorted_accesses = 0
             self.random_accesses = 0
+            self.sorted_misses = 0
+            self.random_misses = 0
 
     def snapshot(self) -> "AccessStats":
         """A consistent point-in-time copy, detached from the live counters."""
@@ -71,6 +85,8 @@ class AccessStats:
             return AccessStats(
                 sorted_accesses=self.sorted_accesses,
                 random_accesses=self.random_accesses,
+                sorted_misses=self.sorted_misses,
+                random_misses=self.random_misses,
             )
 
     def merged_with(self, other: "AccessStats") -> "AccessStats":
@@ -79,6 +95,8 @@ class AccessStats:
         return AccessStats(
             sorted_accesses=mine.sorted_accesses + theirs.sorted_accesses,
             random_accesses=mine.random_accesses + theirs.random_accesses,
+            sorted_misses=mine.sorted_misses + theirs.sorted_misses,
+            random_misses=mine.random_misses + theirs.random_misses,
         )
 
     def __eq__(self, other: object) -> bool:
@@ -172,17 +190,33 @@ class IndexFamily:
             raise IndexError_(f"no posting list for pair {pair!r}") from None
 
     def sorted_access(self, pair: tuple, position: int) -> tuple[Hashable, float]:
-        """Counted sorted access into the ``pair`` posting list."""
+        """Counted sorted access into the ``pair`` posting list.
+
+        Only *successful* accesses count toward the paper's cost model —
+        probing a missing pair or an out-of-range position records a miss
+        instead of inflating ``sorted_accesses``.
+        """
+        try:
+            entry = self.posting_list(pair).sorted_access(position)
+        except IndexError_:
+            self.stats.record_sorted_miss()
+            raise
         self.stats.record_sorted()
-        return self.posting_list(pair).sorted_access(position)
+        return entry
 
     def random_access(self, pair: tuple, key: Hashable) -> float:
-        """Counted O(1) random access: value of ``key`` in the ``pair`` list."""
-        self.stats.record_random()
+        """Counted O(1) random access: value of ``key`` in the ``pair`` list.
+
+        As with :meth:`sorted_access`, only successful probes count; misses
+        are tallied separately in ``stats.random_misses``.
+        """
         try:
-            return self.posting_list(pair).random_access(key)
+            value = self.posting_list(pair).random_access(key)
         except IndexError_:
+            self.stats.record_random_miss()
             raise IndexError_(f"key {key!r} has no value for pair {pair!r}") from None
+        self.stats.record_random()
+        return value
 
     def has_value(self, pair: tuple, key: Hashable) -> bool:
         """True when ``key`` holds a value in the ``pair`` posting list."""
@@ -258,9 +292,18 @@ def refresh_family(
     descending: bool,
     previous: IndexFamily,
     dirty_pairs: Sequence[tuple[str, str]],
+    changed=None,
 ) -> tuple[IndexFamily, int]:
-    """Rebuild only the posting lists touched by the dirty ``(query, location)``
-    pairs, reusing every clean :class:`InvertedIndex` from ``previous``.
+    """Rebuild only the stale posting lists, reusing every clean
+    :class:`InvertedIndex` from ``previous``.
+
+    ``changed`` — when provided — is a boolean array shaped like
+    ``cube.values`` marking exactly the cells whose value differs from the
+    pre-delta cube (NaN-aware); a posting list is then stale only if one of
+    *its own* cells changed.  Without it the predicate falls back to the
+    coarse dirty-``(query, location)`` one: any dirty location (resp. query)
+    marks that column's list stale for *every* group, which over-rebuilds
+    lists whose cells the delta never touched.
 
     The new family's ``_lists`` dict is reconstructed in the exact loop order
     of :func:`build_family` over the (possibly grown) cube domains, so its
@@ -275,6 +318,11 @@ def refresh_family(
     dirty = set(dirty_pairs)
     dirty_queries = {query for query, _ in dirty}
     dirty_locations = {location for _, location in dirty}
+    if changed is not None:
+        # One stale flag per posting list: any() over the axis the list spans.
+        stale_group = changed.any(axis=0)  # (query, location) -> I(q,l) stale
+        stale_query = changed.any(axis=1)  # (group, location) -> I(g,l) stale
+        stale_location = changed.any(axis=2)  # (group, query) -> I(g,q) stale
     old = previous._lists
     lists: dict[tuple, InvertedIndex] = {}
     rebuilt = 0
@@ -293,7 +341,9 @@ def refresh_family(
             for li, location in enumerate(cube.locations):
                 take(
                     (query, location),
-                    (query, location) in dirty,
+                    bool(stale_group[qi, li])
+                    if changed is not None
+                    else (query, location) in dirty,
                     [
                         (group, cube.values[gi, qi, li])
                         for gi, group in enumerate(cube.groups)
@@ -304,7 +354,9 @@ def refresh_family(
             for li, location in enumerate(cube.locations):
                 take(
                     (group, location),
-                    location in dirty_locations,
+                    bool(stale_query[gi, li])
+                    if changed is not None
+                    else location in dirty_locations,
                     [
                         (query, cube.values[gi, qi, li])
                         for qi, query in enumerate(cube.queries)
@@ -315,7 +367,9 @@ def refresh_family(
             for qi, query in enumerate(cube.queries):
                 take(
                     (group, query),
-                    query in dirty_queries,
+                    bool(stale_location[gi, qi])
+                    if changed is not None
+                    else query in dirty_queries,
                     [
                         (location, cube.values[gi, qi, li])
                         for li, location in enumerate(cube.locations)

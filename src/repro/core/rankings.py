@@ -77,6 +77,12 @@ class RankedList:
                     )
         object.__setattr__(self, "items", items)
         object.__setattr__(self, "scores", scores)
+        # 1-based rank of every item, built once: rank()/exposure()/relevance()
+        # are the innermost calls of the exposure kernel, and rebuilding this
+        # dict per call made group mass sums quadratic in the ranking length.
+        object.__setattr__(
+            self, "_pos", {item: index + 1 for index, item in enumerate(items)}
+        )
 
     def __len__(self) -> int:
         return len(self.items)
@@ -88,12 +94,12 @@ class RankedList:
         return item in self._positions()
 
     def _positions(self) -> dict[str, int]:
-        return {item: index + 1 for index, item in enumerate(self.items)}
+        return self._pos
 
     def rank(self, item: str) -> int:
         """1-based rank of ``item``; raises :class:`MeasureError` if absent."""
         try:
-            return self._positions()[item]
+            return self._pos[item]
         except KeyError:
             raise MeasureError(f"item {item!r} is not in this ranked list") from None
 

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from urllib.parse import parse_qsl
 
+from ..core.colstore import SegmentMiss
 from .cache import LRUCache
 from .errors import (
     BadRequest,
@@ -61,6 +62,7 @@ from .handlers import (
     handle_compare,
     handle_datasets,
     handle_explain,
+    handle_front_read,
     handle_healthz,
     handle_quantify,
     handle_readyz,
@@ -69,7 +71,7 @@ from .handlers import (
 )
 from .ingest import IngestManager, handle_observations, handle_trends, trends_document
 from .observability import ServiceMetrics, render_metrics
-from .registry import DatasetRegistry, default_registry
+from .registry import CORES, DatasetRegistry, default_registry
 from .resilience import AdmissionController
 
 __all__ = [
@@ -331,6 +333,10 @@ class FBoxApp:
         router = self.context.router
         if router is not None:
             router.close()
+        # Sweep any shared-memory segments this process owns (columnar core;
+        # a no-op for the dict core).  After the router is closed no worker
+        # is left publishing, so nothing can leak into /dev/shm.
+        self.context.registry.close()
 
     def _ensure_executor(self) -> concurrent.futures.ThreadPoolExecutor:
         with self._executor_lock:
@@ -618,6 +624,25 @@ class FBoxApp:
 
         return execute
 
+    def _execute_shard(self, path: str, payload) -> dict:
+        """One POST on the sharded path: front-side read, else route.
+
+        With the columnar core, ``/quantify`` and ``/compare`` are answered
+        on the front by *attaching* to the owning worker's published
+        shared-memory segment — the worker roundtrip (and its queue) is
+        skipped entirely.  Anything the segment cannot answer — other
+        endpoints, nothing published yet, a racing re-publish, a payload
+        error — signals :class:`SegmentMiss` and falls back to the worker,
+        whose response is byte-identical.  Chaos runs (an attached fault
+        injector) always route so worker-side handler faults keep firing.
+        """
+        if self.context.faults is None:
+            try:
+                return handle_front_read(self.context, path, payload)
+            except SegmentMiss:
+                pass
+        return self._execute_routed(path, payload)
+
     def _execute_routed(self, path: str, payload) -> dict:
         """One POST answered by the shard pool instead of in-process.
 
@@ -650,6 +675,11 @@ class FBoxApp:
             return
         stored = {key: value for key, value in document.items() if key != "cached"}
         self.context.stale.put(parsed.stale_key, (stored, parsed.generation))
+        # Mirror into the result cache too: a repeat of this request is then
+        # a front-side hit ("cached": true) on every backend, which keeps
+        # responses byte-identical whether the repeat would have been served
+        # by the worker's cache (dict core) or a segment read (columnar).
+        self.context.cache.put(parsed.key, stored)
 
     def run_post(self, request: Request) -> tuple[int, dict]:
         """The sync pipeline body; raises :class:`ServiceError` on rejection."""
@@ -663,7 +693,7 @@ class FBoxApp:
             # The worker enforces the deadline (and raises the timeout the
             # router relays back); wrapping the roundtrip in another guard
             # thread would count every slow request twice.
-            run = lambda: self._execute_routed(path, payload)  # noqa: E731
+            run = lambda: self._execute_shard(path, payload)  # noqa: E731
         else:
             execute = self._execute_fn(path, payload)
             run = lambda: run_with_deadline(  # noqa: E731
@@ -699,7 +729,7 @@ class FBoxApp:
             # Routed calls block on a worker socket, not the CPU: run them
             # on the pool to keep the loop free, but with no wait_for —
             # the worker owns the deadline (see run_post).
-            routed = lambda: self._execute_routed(path, payload)  # noqa: E731
+            routed = lambda: self._execute_shard(path, payload)  # noqa: E731
             execute_async = lambda: asyncio.wrap_future(  # noqa: E731
                 self._ensure_executor().submit(routed)
             )
@@ -795,6 +825,7 @@ class FBoxApp:
                 for key in (
                     "cube_builds", "family_builds", "fboxes",
                     "delta_applies", "delta_cells", "delta_lists",
+                    "segment_attaches",
                 ):
                     build_counts[key] = build_counts.get(key, 0) + builds.get(key, 0)
             breaker_states = merged["breakers"]
@@ -835,6 +866,7 @@ def make_app(
     executor_workers: int | None = None,
     shards: int = 0,
     alert_threshold: float | None = None,
+    core: str = "dict",
 ) -> FBoxApp:
     """Build a ready-to-serve application (no sockets involved).
 
@@ -850,12 +882,18 @@ def make_app(
     datasets — while ``0`` keeps the in-process execution path; responses
     are byte-identical either way.  ``alert_threshold`` arms fairness-trend
     alerting: any cell recomputed by an ingest whose value reaches the
-    threshold increments ``fbox_fairness_alerts_total``.
+    threshold increments ``fbox_fairness_alerts_total``.  ``core`` selects
+    the F-Box storage engine: ``"dict"`` (reference) or ``"columnar"``
+    (flat numpy blocks in shared-memory segments; under sharding the front
+    answers ``/quantify``/``/compare`` by attaching to the owning worker's
+    segment, and restarted workers re-attach instead of rebuilding).
     """
+    if core not in CORES:
+        raise ValueError(f"core must be one of {CORES}, got {core!r}")
     if registry is None:
         if faults is None:
             faults = faults_from_env()
-        registry = default_registry(faults=faults)
+        registry = default_registry(faults=faults, core=core)
     else:
         # One injector end-to-end: reuse the registry's if it has one, else
         # share ours (or the env's) with it so dataset_load rules land.
@@ -865,10 +903,16 @@ def make_app(
             )
         if registry.faults is None:
             registry.faults = faults
+        if core == "columnar":
+            registry.enable_columnar()
     router = None
     if shards > 0:
         from .sharding import ShardRouter
 
+        if registry.core == "columnar":
+            # Materialize the segment namespace *before* the workers fork so
+            # they all publish into the front's space (attachable reads).
+            registry.segments
         router = ShardRouter(
             registry,
             shards=shards,
@@ -877,6 +921,8 @@ def make_app(
             cache_ttl=cache_ttl,
             faults=faults,
             alert_threshold=alert_threshold,
+            core=registry.core,
+            namespace=registry.namespace,
         )
     admission = None
     if max_concurrency > 0:

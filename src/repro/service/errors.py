@@ -30,6 +30,7 @@ __all__ = [
     "BadRequest",
     "NotFound",
     "Unprocessable",
+    "Conflict",
     "RequestTimeout",
     "TooManyRequests",
     "CircuitOpen",
@@ -79,6 +80,18 @@ class Unprocessable(ServiceError):
 
     status = 422
     kind = "unprocessable"
+
+
+class Conflict(ServiceError):
+    """The request contradicts already-applied state: an ingest batch whose
+    ``sequence`` is at or below the dataset's applied high-water mark but
+    whose ``batch_id`` has aged out of the idempotency ledger.  Re-applying
+    it would double-count observations, and the original result is gone, so
+    the only safe answer is an explicit refusal.  Not retryable: the same
+    batch will conflict forever."""
+
+    status = 409
+    kind = "batch_conflict"
 
 
 class RequestTimeout(ServiceError):
@@ -155,6 +168,7 @@ _CATALOG = (
     ("bad_request", BadRequest, "request envelope is malformed (bad JSON, missing or mistyped fields)"),
     ("not_found", NotFound, "no such endpoint or dataset"),
     ("unprocessable", Unprocessable, "well-formed but semantically invalid for this dataset"),
+    ("batch_conflict", Conflict, "ingest batch was already applied but its result aged out of the idempotency ledger"),
     ("overloaded", TooManyRequests, "admission control shed the request; honor Retry-After"),
     ("timeout", RequestTimeout, "the per-request deadline elapsed"),
     ("circuit_open", CircuitOpen, "the dataset's breaker is open after repeated load/build failures"),

@@ -51,6 +51,7 @@ __all__ = [
     "handle_compare",
     "handle_explain",
     "handle_batch",
+    "handle_front_read",
     "handle_datasets",
     "handle_healthz",
     "handle_readyz",
@@ -465,6 +466,77 @@ _DEGRADED_PARSERS = {
     "/compare": _parse_compare,
     "/explain": _parse_explain,
 }
+
+_FRONT_READ_PATHS = ("/quantify", "/compare")
+"""Endpoints a sharded front can answer straight from a published columnar
+segment.  ``/explain`` is excluded on purpose: it decomposes a cell through
+the unfairness *engine* (per-observation evidence), which only the owning
+worker holds — segments carry the materialized cube and indices, not the
+raw dataset."""
+
+
+def _front_quantify(context: ServiceContext, request: _QuantifyRequest, fbox) -> dict:
+    result = _run_query(
+        lambda: fbox.quantify(
+            request.dimension,
+            k=request.k,
+            order=request.order,
+            algorithm=request.algorithm,
+        )
+    )
+    context.metrics.record_access_stats(result.stats)
+    return _quantify_document(request, result)
+
+
+def _front_compare(context: ServiceContext, request: _CompareRequest, fbox) -> dict:
+    report = _run_query(
+        lambda: fbox.compare(
+            request.dimension,
+            request.r1,
+            request.r2,
+            request.breakdown,
+            algorithm=request.algorithm,
+        )
+    )
+    context.metrics.record_access_stats(report.stats)
+    document = encode_comparison(report)
+    document.update(
+        dataset=request.dataset,
+        measure=request.measure,
+        algorithm=request.algorithm,
+    )
+    return document
+
+
+def handle_front_read(context: ServiceContext, path: str, payload) -> dict:
+    """Answer ``/quantify`` or ``/compare`` on a sharded front straight from
+    the owning worker's published columnar segment — no worker roundtrip.
+
+    Raises :class:`~repro.core.colstore.SegmentMiss` whenever the request
+    cannot be served this way: a non-read endpoint, the dict core (no
+    segment space), nothing published yet for the ``(dataset, measure)``,
+    or a payload that fails validation — error responses must come from the
+    routed path so fronted and routed answers stay byte-identical.
+    """
+    from ..core.colstore import AttachedFBox, SegmentMiss
+
+    space = getattr(context.registry, "segments", None)
+    if space is None or path not in _FRONT_READ_PATHS:
+        raise SegmentMiss(f"no front-side read for {path}")
+    parser = _DEGRADED_PARSERS[path]
+    try:
+        request = parser(context, payload)
+    except ServiceError as error:
+        raise SegmentMiss(
+            "payload must be validated by the owning worker"
+        ) from error
+    fbox = AttachedFBox.attach(space, request.dataset, request.measure)
+    if path == "/quantify":
+        compute = lambda: _front_quantify(context, request, fbox)  # noqa: E731
+    else:
+        compute = lambda: _front_compare(context, request, fbox)  # noqa: E731
+    document, was_hit = _answer(context, request, compute)
+    return {**document, "cached": was_hit}
 
 REQUEST_PARSERS = _DEGRADED_PARSERS
 """Endpoint → cheap payload parser, for callers that need a request's cache

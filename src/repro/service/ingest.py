@@ -20,7 +20,13 @@ listing.
 
 Idempotency: a client-supplied ``batch_id`` is remembered per dataset, and
 a replay (e.g. a retry after a dropped connection) returns the stored
-result with ``"replayed": true`` instead of double-applying the batch.
+result with ``"replayed": true`` instead of double-applying the batch.  The
+ledger is a bounded FIFO, so on its own an old ``batch_id`` replayed after
+eviction would be silently re-applied; a client-supplied monotonically
+increasing ``sequence`` closes that hole — the manager tracks the highest
+applied sequence per dataset, and an unknown ``batch_id`` at or below the
+high-water mark is rejected with 409 ``batch_conflict`` instead of
+double-counting its observations.
 """
 
 from __future__ import annotations
@@ -35,7 +41,7 @@ from ..core.unfairness import MarketplaceUnfairness, SearchEngineUnfairness
 from ..data.schema import MarketplaceObservation, SearchObservation
 from ..exceptions import DataError, ReproError
 from .encoding import parse_group
-from .errors import BadRequest, ServiceError, Unprocessable
+from .errors import BadRequest, Conflict, ServiceError, Unprocessable
 
 __all__ = [
     "IngestManager",
@@ -191,7 +197,10 @@ class IngestManager:
         self._alerts: dict[str, int] = {}
         self._batches: dict[str, int] = {}
         self._observations = 0
-        self._replays = 0
+        # Replays by kind: "ledger" = answered from the stored result;
+        # "conflict" = an evicted-but-older sequence rejected with 409.
+        self._replays = {"ledger": 0, "conflict": 0}
+        self._high_water: dict[str, int] = {}
 
     def _dataset_lock(self, name: str) -> threading.RLock:
         with self._lock:
@@ -203,16 +212,42 @@ class IngestManager:
     # -- the write path -------------------------------------------------
 
     def ingest(
-        self, registry, name: str, batch_id: str | None, observations: list
+        self,
+        registry,
+        name: str,
+        batch_id: str | None,
+        observations: list,
+        sequence: int | None = None,
     ) -> dict:
-        """Apply one decoded batch; idempotent per ``(dataset, batch_id)``."""
+        """Apply one decoded batch; idempotent per ``(dataset, batch_id)``.
+
+        ``sequence`` (client-supplied, strictly increasing per dataset)
+        guards the idempotency ledger's bounded depth: an unknown
+        ``batch_id`` whose sequence is at or below the dataset's applied
+        high-water mark must be a replay of an evicted batch — re-applying
+        it would double-count, so it is rejected with 409
+        :class:`~repro.service.errors.Conflict` instead.
+        """
         with self._dataset_lock(name):
             with self._lock:
                 ledger = self._ledgers.setdefault(name, OrderedDict())
                 stored = ledger.get(batch_id) if batch_id else None
                 if stored is not None:
-                    self._replays += 1
+                    self._replays["ledger"] += 1
                     return {**stored, "replayed": True}
+                high_water = self._high_water.get(name)
+                if (
+                    sequence is not None
+                    and high_water is not None
+                    and sequence <= high_water
+                ):
+                    self._replays["conflict"] += 1
+                    raise Conflict(
+                        f"batch sequence {sequence} for dataset {name!r} is at "
+                        f"or below the applied high-water mark {high_water} and "
+                        f"its batch_id is no longer in the idempotency ledger; "
+                        "re-applying would double-count its observations"
+                    )
             try:
                 outcome = registry.apply_observations(name, observations)
             except DataError as error:
@@ -224,6 +259,7 @@ class IngestManager:
                 "kind": "ingest",
                 "dataset": name,
                 "batch_id": batch_id,
+                **({"sequence": sequence} if sequence is not None else {}),
                 "generation": outcome["generation"],
                 "accepted": len(observations),
                 "touched_pairs": [list(pair) for pair in outcome["touched"]],
@@ -234,6 +270,10 @@ class IngestManager:
             with self._lock:
                 self._batches[name] = self._batches.get(name, 0) + 1
                 self._observations += len(observations)
+                if sequence is not None:
+                    previous = self._high_water.get(name)
+                    if previous is None or sequence > previous:
+                        self._high_water[name] = sequence
                 if batch_id:
                     ledger[batch_id] = document
                     while len(ledger) > _LEDGER_CAPACITY:
@@ -339,7 +379,8 @@ class IngestManager:
             return {
                 "ingest_batches": sum(self._batches.values()),
                 "ingest_observations": self._observations,
-                "ingest_replays": self._replays,
+                "ingest_replays_ledger": self._replays["ledger"],
+                "ingest_replays_conflict": self._replays["conflict"],
                 "fairness_alerts": sum(self._alerts.values()),
             }
 
@@ -359,9 +400,16 @@ def handle_observations(context, payload) -> dict:
     payload = _require_object(payload)
     name = _string_field(payload, "dataset")
     batch_id = _string_field(payload, "batch_id", required=False)
+    sequence = payload.get("sequence")
+    if sequence is not None and (
+        isinstance(sequence, bool) or not isinstance(sequence, int) or sequence < 0
+    ):
+        raise BadRequest("field 'sequence' must be a non-negative integer")
     spec = context.registry.spec(name)  # 404 before any decoding work
     observations = decode_observations(spec.site, payload.get("observations"))
-    return context.ingest.ingest(context.registry, name, batch_id, observations)
+    return context.ingest.ingest(
+        context.registry, name, batch_id, observations, sequence=sequence
+    )
 
 
 def trends_document(context, payload) -> dict:

@@ -308,7 +308,14 @@ def render_metrics(
         f"fbox_ingest_observations_total {int(extra.get('ingest_observations', 0))}"
     )
     lines.append("# TYPE fbox_ingest_replays_total counter")
-    lines.append(f"fbox_ingest_replays_total {int(extra.get('ingest_replays', 0))}")
+    lines.append(
+        f"fbox_ingest_replays_total{_labels({'kind': 'ledger'})} "
+        f"{int(extra.get('ingest_replays_ledger', 0))}"
+    )
+    lines.append(
+        f"fbox_ingest_replays_total{_labels({'kind': 'conflict'})} "
+        f"{int(extra.get('ingest_replays_conflict', 0))}"
+    )
     lines.append("# TYPE fbox_fairness_alerts_total counter")
     lines.append(f"fbox_fairness_alerts_total {int(extra.get('fairness_alerts', 0))}")
 
@@ -381,6 +388,10 @@ def render_metrics(
     lines.append(f"fbox_cube_builds_total {build_counts['cube_builds']}")
     lines.append("# TYPE fbox_index_family_builds_total counter")
     lines.append(f"fbox_index_family_builds_total {build_counts['family_builds']}")
+    lines.append("# TYPE fbox_segment_attaches_total counter")
+    lines.append(
+        f"fbox_segment_attaches_total {build_counts.get('segment_attaches', 0)}"
+    )
     lines.append("# TYPE fbox_delta_applies_total counter")
     lines.append(f"fbox_delta_applies_total {build_counts.get('delta_applies', 0)}")
     lines.append("# TYPE fbox_delta_cells_recomputed_total counter")

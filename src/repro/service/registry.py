@@ -24,12 +24,14 @@ datasets deterministically.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from ..core.attributes import default_schema
+from ..core.colstore import ColumnarFBox, SegmentSpace
 from ..core.fbox import FBox
 from ..data.io import load_marketplace_dataset, load_search_dataset
 from ..exceptions import ReproError
@@ -37,7 +39,20 @@ from .errors import NotFound, ServiceError, Unprocessable
 from .faults import FaultInjector
 from .resilience import CLOSED, BreakerConfig, CircuitBreaker
 
-__all__ = ["DatasetSpec", "DatasetRegistry", "default_registry", "SMALL_CITIES"]
+__all__ = [
+    "DatasetSpec",
+    "DatasetRegistry",
+    "default_registry",
+    "SMALL_CITIES",
+    "CORES",
+]
+
+CORES = ("dict", "columnar")
+"""The two interchangeable storage cores; ``dict`` is the reference one."""
+
+
+def _default_namespace() -> str:
+    return f"{os.getpid():x}{os.urandom(4).hex()}"
 
 _SITES = ("taskrabbit", "google")
 
@@ -99,13 +114,24 @@ class DatasetRegistry:
         breaker_config: BreakerConfig | None = None,
         faults: FaultInjector | None = None,
         clock=time.monotonic,
+        core: str = "dict",
+        namespace: str | None = None,
+        owns_segments: bool = True,
     ) -> None:
+        if core not in CORES:
+            raise ReproError(f"core must be one of {CORES}, got {core!r}")
         self.schema = schema if schema is not None else default_schema()
         self.breaker_config = (
             breaker_config if breaker_config is not None else BreakerConfig()
         )
         self.faults = faults
         self._clock = clock
+        self.core = core
+        self._namespace = namespace
+        self._segments: SegmentSpace | None = None
+        # Shard workers publish into the front's namespace but must not
+        # sweep it — the front owns end-of-life cleanup for everyone.
+        self._owns_segments = owns_segments
         self._specs: dict[str, DatasetSpec] = {}
         self._datasets: dict[str, object] = {}
         self._fboxes: dict[tuple[str, str], FBox] = {}
@@ -118,6 +144,42 @@ class DatasetRegistry:
         # concurrently.  Lock order is always dataset lock → global lock.
         self._lock = threading.RLock()
         self._dataset_locks: dict[str, threading.RLock] = {}
+
+    def enable_columnar(self, namespace: str | None = None) -> None:
+        """Switch this registry to the columnar core (before any F-Box build).
+
+        ``namespace`` joins an existing segment space (the sharded front
+        hands every worker its token); omitted, a fresh private one is
+        generated on first use.
+        """
+        self.core = "columnar"
+        if namespace is not None:
+            self._namespace = namespace
+            self._segments = None
+
+    @property
+    def segments(self) -> SegmentSpace | None:
+        """The shared-memory segment space (columnar core only)."""
+        if self.core != "columnar":
+            return None
+        with self._lock:
+            if self._segments is None:
+                if self._namespace is None:
+                    self._namespace = _default_namespace()
+                self._segments = SegmentSpace(self._namespace)
+            return self._segments
+
+    @property
+    def namespace(self) -> str | None:
+        """The segment namespace token (None until the space exists)."""
+        return self._namespace
+
+    def close(self) -> None:
+        """Release owned shared-memory segments (no-op for the dict core)."""
+        with self._lock:
+            space = self._segments
+        if space is not None and self._owns_segments:
+            space.close()
 
     def _dataset_lock(self, name: str) -> threading.RLock:
         """The build lock for one dataset (created on first use, kept
@@ -141,6 +203,13 @@ class DatasetRegistry:
         # before swapping the spec, so a stale build can never land *after*
         # its dataset was replaced.  Builds of other datasets are unaffected.
         with self._dataset_lock(spec.name):
+            replacing = self.generation(spec.name) > 0
+            if replacing and self.core == "columnar":
+                # Published segments describe the *old* dataset; a cold
+                # attach against the replacement must miss, not adopt them.
+                space = self.segments
+                if space is not None:
+                    space.clear(dataset=spec.name)
             with self._lock:
                 self._specs[spec.name] = spec
                 self._datasets.pop(spec.name, None)
@@ -185,12 +254,21 @@ class DatasetRegistry:
             dataset = self.dataset(name)
             touched = dataset.upsert_observations(observations)
             delta = {"cells_recomputed": 0, "lists_rebuilt": 0}
-            for fbox in self.live_fboxes(name).values():
+            live = self.live_fboxes(name)
+            for fbox in live.values():
                 stats = fbox.apply_observations(
                     dataset.queries, dataset.locations, touched
                 )
                 delta["cells_recomputed"] += stats["cells_recomputed"]
                 delta["lists_rebuilt"] += stats["lists_rebuilt"]
+            if self.core == "columnar":
+                # Live F-Boxes just republished their segments; any other
+                # segment for this dataset (e.g. published before a process
+                # restart) no longer reflects its state — drop it so a cold
+                # attach rebuilds instead of adopting stale values.
+                space = self.segments
+                if space is not None:
+                    space.clear(dataset=name, keep_measures=list(live))
             with self._lock:
                 self._generations[name] = self._generations.get(name, 0) + 1
                 generation = self._generations[name]
@@ -294,15 +372,20 @@ class DatasetRegistry:
                     breaker.allow()
                     with self._lock:
                         self._building.add(name)
+                    box_class = ColumnarFBox if self.core == "columnar" else FBox
                     try:
                         if spec.site == "taskrabbit":
-                            fbox = FBox.for_marketplace(
+                            fbox = box_class.for_marketplace(
                                 dataset, self.schema, measure=measure
                             )
                         else:
-                            fbox = FBox.for_search(
+                            fbox = box_class.for_search(
                                 dataset, self.schema, measure=measure
                             )
+                        if self.core == "columnar":
+                            space = self.segments
+                            if space is not None:
+                                fbox.bind_segment(space, name, measure)
                     except ServiceError:
                         breaker.record_bypass()
                         raise
@@ -377,6 +460,9 @@ class DatasetRegistry:
             "delta_applies": sum(fbox.delta_applies for fbox in fboxes),
             "delta_cells": sum(fbox.cells_recomputed for fbox in fboxes),
             "delta_lists": sum(fbox.lists_rebuilt for fbox in fboxes),
+            "segment_attaches": sum(
+                getattr(fbox, "segment_attaches", 0) for fbox in fboxes
+            ),
         }
 
     def describe(self) -> list[dict]:
@@ -408,6 +494,7 @@ def default_registry(
     google_path: str | None = None,
     breaker_config: BreakerConfig | None = None,
     faults: FaultInjector | None = None,
+    core: str = "dict",
 ) -> DatasetRegistry:
     """The registry ``repro serve`` boots with: one TaskRabbit, one Google.
 
@@ -440,7 +527,9 @@ def default_registry(
         google_loader = lambda: build_google_dataset(seed=seed, design=design)
         google_description = f"simulated study (seed={seed}, design={design})"
 
-    registry = DatasetRegistry(breaker_config=breaker_config, faults=faults)
+    registry = DatasetRegistry(
+        breaker_config=breaker_config, faults=faults, core=core
+    )
     registry.register(
         DatasetSpec(
             name="taskrabbit",

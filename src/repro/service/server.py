@@ -58,6 +58,7 @@ def make_server(
     executor_workers: int | None = None,
     shards: int = 0,
     alert_threshold: float | None = None,
+    core: str = "dict",
 ) -> FBoxServer | AioFBoxServer:
     """Build a ready-to-serve F-Box server (``port=0`` picks an ephemeral one).
 
@@ -68,8 +69,10 @@ def make_server(
     and resilience behavior is identical.  ``shards`` selects the execution
     backend behind either front: ``0`` executes in-process (today's model),
     ``N > 0`` spreads dataset ownership across ``N`` worker processes for
-    real CPU parallelism.  See :func:`repro.service.app.make_app` for the
-    remaining knobs.
+    real CPU parallelism.  ``core`` selects the F-Box storage engine —
+    ``"dict"`` (reference) or ``"columnar"`` (flat numpy blocks in
+    shared-memory segments).  See :func:`repro.service.app.make_app` for
+    the remaining knobs.
     """
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -84,6 +87,7 @@ def make_server(
         executor_workers=executor_workers,
         shards=shards,
         alert_threshold=alert_threshold,
+        core=core,
     )
     if backend == "asyncio":
         return AioFBoxServer((host, port), app, quiet=quiet)
@@ -106,6 +110,7 @@ def serve(
     drain_grace: float = 10.0,
     shards: int = 0,
     alert_threshold: float | None = None,
+    core: str = "dict",
 ) -> int:
     """Run the service until SIGTERM/SIGINT; returns a process exit code.
 
@@ -132,6 +137,7 @@ def serve(
         executor_workers=executor_workers,
         shards=shards,
         alert_threshold=alert_threshold,
+        core=core,
     )
     if preload:
         context = server.context

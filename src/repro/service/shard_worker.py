@@ -66,6 +66,8 @@ class WorkerConfig:
     breaker_config: BreakerConfig
     exit_faults_consumed: int = 0
     alert_threshold: float | None = None
+    core: str = "dict"
+    namespace: str | None = None
 
 
 def _rebuild_faults(fault_spec, consumed: int) -> FaultInjector | None:
@@ -91,6 +93,11 @@ def _build_app(
         schema=config.schema,
         breaker_config=config.breaker_config,
         faults=faults,
+        core=config.core,
+        namespace=config.namespace,
+        # The front owns segment cleanup: a worker must never unlink the
+        # published segments it would want to re-attach to after a restart.
+        owns_segments=False,
     )
     for spec in specs:
         registry.register(spec)

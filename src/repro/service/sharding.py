@@ -49,6 +49,7 @@ from typing import Mapping
 from .errors import (
     BadRequest,
     CircuitOpen,
+    Conflict,
     NotFound,
     RequestTimeout,
     ServiceError,
@@ -153,6 +154,7 @@ _ERROR_CLASSES: dict[str, type[ServiceError]] = {
     "bad_request": BadRequest,
     "not_found": NotFound,
     "unprocessable": Unprocessable,
+    "batch_conflict": Conflict,
     "timeout": RequestTimeout,
     "overloaded": TooManyRequests,
     "circuit_open": CircuitOpen,
@@ -260,6 +262,8 @@ class ShardRouter:
         poll_interval: float = 0.1,
         io_grace: float = 10.0,
         alert_threshold: float | None = None,
+        core: str = "dict",
+        namespace: str | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -270,6 +274,8 @@ class ShardRouter:
         self.cache_ttl = cache_ttl
         self.faults = faults
         self.alert_threshold = alert_threshold
+        self.core = core
+        self.namespace = namespace
         self.poll_interval = poll_interval
         self.io_grace = io_grace
         self.metrics = None  # set by make_app; used for /batch accounting
@@ -330,6 +336,8 @@ class ShardRouter:
                 breaker_config=self.registry.breaker_config,
                 exit_faults_consumed=shard.crashes,
                 alert_threshold=self.alert_threshold,
+                core=self.core,
+                namespace=self.namespace,
             )
             process = self._mp.Process(
                 target=worker_main,
@@ -428,6 +436,9 @@ class ShardRouter:
             if process.is_alive():  # pragma: no cover - stubborn child
                 process.kill()
                 process.join(timeout=0.5)
+        # The workers are gone; sweep the namespace's shared-memory segments
+        # (worker registries never unlink — the front owns segment cleanup).
+        self.registry.close()
 
     # ------------------------------------------------------------------
     # Connection pool + request dispatch

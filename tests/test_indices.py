@@ -154,3 +154,78 @@ class TestAccessCounting:
             thread.join()
         assert stats.sorted_accesses == 16000
         assert stats.random_accesses == 16000
+
+
+class TestMissAccounting:
+    """Only *successful* probes count toward the paper's cost model.
+
+    Regression: failed sorted/random accesses used to inflate the access
+    totals, skewing every Fagin-vs-naive cost comparison on sparse cubes.
+    Misses are tallied separately, and both family implementations (dict
+    posting lists and the columnar arrays) must account identically.
+    """
+
+    @staticmethod
+    def _family(kind: str, cube):
+        if kind == "dict":
+            return build_family(cube, "group")
+        from repro.core.colstore import ColumnarFamily, ColumnarStore
+
+        store = ColumnarStore.from_cube(cube, [("group", True)])
+        offsets, perm = store.families[("group", True)]
+        return ColumnarFamily(cube, "group", True, offsets, perm)
+
+    @pytest.mark.parametrize("kind", ["dict", "columnar"])
+    def test_out_of_range_sorted_probe_is_a_miss_not_an_access(self, kind):
+        cube = make_cube()
+        family = self._family(kind, cube)
+        pair = family.pair_keys[0]
+        size = len(family.posting_list(pair))
+        with pytest.raises(IndexError_):
+            family.sorted_access(pair, size + 3)
+        stats = family.stats_snapshot()
+        assert stats.sorted_accesses == 0
+        assert stats.sorted_misses == 1
+        family.sorted_access(pair, 0)
+        stats = family.stats_snapshot()
+        assert stats.sorted_accesses == 1
+        assert stats.sorted_misses == 1
+
+    @pytest.mark.parametrize("kind", ["dict", "columnar"])
+    def test_unknown_pair_sorted_probe_is_a_miss(self, kind):
+        family = self._family(kind, make_cube())
+        with pytest.raises(IndexError_):
+            family.sorted_access(("no-such-query", "no-such-location"), 0)
+        stats = family.stats_snapshot()
+        assert stats.sorted_accesses == 0
+        assert stats.sorted_misses == 1
+
+    @pytest.mark.parametrize("kind", ["dict", "columnar"])
+    def test_absent_key_random_probe_is_a_miss_not_an_access(self, kind):
+        cube = make_cube()
+        cube.values[0, 0, 0] = np.nan  # g0 drops out of the (q0, l0) list
+        family = self._family(kind, cube)
+        pair = ("q0", "l0")
+        with pytest.raises(IndexError_):
+            family.random_access(pair, cube.groups[0])
+        stats = family.stats_snapshot()
+        assert stats.random_accesses == 0
+        assert stats.random_misses == 1
+        family.random_access(pair, cube.groups[1])
+        stats = family.stats_snapshot()
+        assert stats.random_accesses == 1
+        assert stats.random_misses == 1
+
+    @pytest.mark.parametrize("kind", ["dict", "columnar"])
+    def test_snapshot_and_merge_carry_miss_counts(self, kind):
+        cube = make_cube()
+        cube.values[0, 0, 0] = np.nan
+        family = self._family(kind, cube)
+        with pytest.raises(IndexError_):
+            family.random_access(("q0", "l0"), cube.groups[0])
+        with pytest.raises(IndexError_):
+            family.sorted_access(("q0", "l0"), 99)
+        snap = family.stats_snapshot()
+        merged = snap.merged_with(snap)
+        assert (snap.sorted_misses, snap.random_misses) == (1, 1)
+        assert (merged.sorted_misses, merged.random_misses) == (2, 2)

@@ -61,7 +61,14 @@ def _copy_search(dataset: SearchDataset) -> SearchDataset:
 
 @pytest.fixture
 def service(start_service, small_marketplace_dataset, small_search_dataset):
-    registry = _registry(small_marketplace_dataset, small_search_dataset)
+    # Ingest mutates the registered dataset in place; hand the registry
+    # copies so one parameterization's writes never leak into the next
+    # (a leaked re-apply changes zero cells, and the exact staleness
+    # predicate then correctly rebuilds zero posting lists).
+    registry = _registry(
+        _copy_marketplace(small_marketplace_dataset),
+        _copy_search(small_search_dataset),
+    )
     return ServiceHarness(start_service(registry=registry, request_timeout=60.0))
 
 
