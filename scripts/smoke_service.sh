@@ -19,9 +19,15 @@
 #   6. columnar core: boot sharded with `--core columnar`, answer queries
 #      from the shared-memory segments, ingest a batch through the write
 #      path, and — after shutdown — assert no fbx* segment survives in
-#      /dev/shm (the leak check).
+#      /dev/shm (the leak check);
+#   7. live resize: boot with `--shards 2 --admin-token`, ingest, then
+#      resize the pool to 4 and back to 2 through POST /v1/admin/shards
+#      while a background FBoxClient query loop hammers both datasets —
+#      the loop must see zero failures (only transparent retries), the
+#      post-resize answers must match the pre-resize ones, and the replayed
+#      batch must still answer from the migrated idempotency ledger.
 #
-# All six passes run once per transport backend (`--backend threads`,
+# All seven passes run once per transport backend (`--backend threads`,
 # then `--backend asyncio`) — the two fronts share one application layer,
 # so every pass must behave identically on both.
 #
@@ -392,6 +398,99 @@ stop_server
 SHM_AFTER="$(ls /dev/shm 2>/dev/null | grep '^fbx' | sort)"
 [ "$SHM_AFTER" = "$SHM_BEFORE" ] || fail "leaked /dev/shm segments after shutdown: $(printf '%s' "$SHM_AFTER" | tr '\n' ' ')"
 echo "smoke: columnar segment sweep ok"
+
+# ----------------------------------------------------------------------
+# Pass 7: live shard-pool resize under a background query loop
+# ----------------------------------------------------------------------
+
+boot_server --shards 2 --admin-token smoke-token
+
+# Seed the write path so the resize has real state to migrate.
+INGEST_FILE="$(mktemp)"
+python3 -m repro simulate taskrabbit --scope small --stream \
+    --batches 1 --batch-size 2 >"$INGEST_FILE" 2>>"$LOG" \
+    || fail "simulate --stream failed (resize)"
+python3 -m repro ingest "$BASE" "$INGEST_FILE" >/dev/null 2>&1 \
+    || fail "pre-resize ingest failed"
+
+PRE_RESIZE="$(expect 200 "pre-resize quantify" POST "$BASE/v1/quantify" '{"dataset": "taskrabbit", "dimension": "group", "k": 3}')"
+
+# The admin endpoint is armed: no token (or a wrong one) must be a 403.
+BODY="$(expect 403 "unauthorized resize" POST "$BASE/v1/admin/shards" '{"count": 4}')"
+case "$BODY" in
+    *forbidden*) ;;
+    *) fail "unauthorized resize lacks the forbidden error kind: $BODY" ;;
+esac
+echo "smoke: admin token gate ok"
+
+# Background open-loop traffic: FBoxClient retries 429/503 transparently,
+# so any surfaced exception is a non-retryable failure — the resize must
+# produce none.  The loop records its failures for the post-resize check.
+TRAFFIC_LOG="$(mktemp)"
+python3 - "$BASE" >"$TRAFFIC_LOG" 2>&1 <<'EOF' &
+import sys
+from repro.client import FBoxClient, RetryPolicy
+
+base = sys.argv[1]
+queries = 0
+with FBoxClient(base, retry=RetryPolicy(seed=5)) as client:
+    try:
+        while True:
+            client.quantify("taskrabbit", "group", k=3)
+            client.quantify("google", "location", k=2)
+            queries += 2
+    except BaseException as error:  # noqa: BLE001 - reported to the smoke
+        print(f"FAILED after {queries} queries: {error!r}", flush=True)
+        raise SystemExit(1)
+EOF
+TRAFFIC_PID=$!
+
+resize() {
+    local count="$1"
+    python3 - "$BASE" "$count" <<'EOF'
+import sys
+from repro.client import FBoxClient, RetryPolicy
+
+base, count = sys.argv[1], int(sys.argv[2])
+with FBoxClient(base, retry=RetryPolicy(seed=5)) as client:
+    outcome = client.resize(count, token="smoke-token")
+    print(f"resized {outcome['from']} -> {outcome['to']} "
+          f"(moved {len(outcome['migrated'])})")
+EOF
+}
+
+resize 4 || { kill "$TRAFFIC_PID" 2>/dev/null; fail "resize to 4 failed"; }
+resize 2 || { kill "$TRAFFIC_PID" 2>/dev/null; fail "resize back to 2 failed"; }
+
+kill "$TRAFFIC_PID" 2>/dev/null
+wait "$TRAFFIC_PID" 2>/dev/null
+case "$(cat "$TRAFFIC_LOG")" in
+    *FAILED*) fail "background traffic saw a non-retryable failure: $(cat "$TRAFFIC_LOG")" ;;
+esac
+rm -f "$TRAFFIC_LOG"
+echo "smoke: resize under traffic ok (zero client failures)"
+
+# State survived the round trip: same answer, and the migrated ledger
+# still recognizes the original batch as a replay.
+POST_RESIZE="$(expect 200 "post-resize quantify" POST "$BASE/v1/quantify" '{"dataset": "taskrabbit", "dimension": "group", "k": 3}')"
+PRE_NORM="$(printf '%s' "$PRE_RESIZE" | python3 -c 'import json,sys; d=json.load(sys.stdin); d.pop("cached", None); print(json.dumps(d, sort_keys=True))')"
+POST_NORM="$(printf '%s' "$POST_RESIZE" | python3 -c 'import json,sys; d=json.load(sys.stdin); d.pop("cached", None); print(json.dumps(d, sort_keys=True))')"
+[ "$PRE_NORM" = "$POST_NORM" ] || fail "post-resize answer diverged: $POST_NORM vs $PRE_NORM"
+OUT="$(python3 -m repro ingest "$BASE" "$INGEST_FILE" 2>&1)" \
+    || fail "post-resize replay failed: $OUT"
+case "$OUT" in
+    *'1 replayed'*) ;;
+    *) fail "post-resize replay was not deduplicated: $OUT" ;;
+esac
+rm -f "$INGEST_FILE"
+
+BODY="$(expect 200 "metrics after resize" GET "$BASE/v1/metrics")"
+case "$BODY" in
+    *'fbox_resizes_total 2'*) ;;
+    *) fail "metrics do not count both resizes: $BODY" ;;
+esac
+echo "smoke: resize state + metrics ok"
+stop_server
 
 }
 

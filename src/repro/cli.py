@@ -209,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
         "unfairness count into fbox_fairness_alerts_total (0 disables)",
     )
     serve.add_argument(
+        "--admin-token", default=None,
+        help="arm the admin API (POST /v1/admin/shards): requests must carry "
+        "this token in X-Admin-Token or Authorization: Bearer; unset leaves "
+        "the endpoint open (local development)",
+    )
+    serve.add_argument(
         "--core", choices=["dict", "columnar"], default="dict",
         help="F-Box storage engine: dict = reference per-cell maps; columnar "
         "= flat numpy blocks in shared-memory segments (workers re-attach "
@@ -516,6 +522,7 @@ def _command_serve(args) -> int:
         shards=args.shards,
         alert_threshold=args.alert_threshold if args.alert_threshold > 0 else None,
         core=args.core,
+        admin_token=args.admin_token,
     )
 
 

@@ -16,6 +16,9 @@ resilience layer expects from well-behaved callers:
   on a stale reused connection (the server idled it out between requests)
   is replayed once on a fresh connection without consuming a retry
   attempt; real connection failures still go through the backoff policy.
+  Requests marked *idempotent* (ingest always is — its ``batch_id`` turns
+  a re-application into a ledger replay) get the same one-shot replay
+  after a reset on a fresh connection too.
 
 The jitter RNG is seedable and the sleeper injectable, so tests and
 benchmarks get deterministic retry schedules::
@@ -164,19 +167,29 @@ class FBoxClient:
             self._connection = None
 
     def _send(
-        self, method: str, path: str, data: bytes | None, headers: dict
+        self,
+        method: str,
+        path: str,
+        data: bytes | None,
+        headers: dict,
+        idempotent: bool = False,
     ) -> tuple[int, str | None, bytes]:
         """One HTTP exchange on the shared keep-alive connection.
 
         A send that dies because the *reused* connection went stale is
         replayed once on a fresh connection, invisibly to the retry policy;
-        failures on a fresh connection propagate to it.
+        failures on a fresh connection propagate to it.  ``idempotent``
+        extends the same one-shot replay to resets on a *fresh* connection
+        (e.g. the server's worker restarted mid-body): a caller that marked
+        the request idempotent — ingest always does, its ``batch_id`` makes
+        re-application a ledger replay — would rather resend the identical
+        bytes than surface a connection error it cannot act on.
         """
         reused = self._connection is not None
         try:
             return self._exchange(method, path, data, headers)
         except _STALE_CONNECTION_ERRORS:
-            if not reused:
+            if not (reused or idempotent):
                 raise
         return self._exchange(method, path, data, headers)
 
@@ -198,15 +211,27 @@ class FBoxClient:
             self._drop_connection()
         return status, retry_after, body
 
-    def request(self, method: str, path: str, payload=None, retries: bool = True):
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload=None,
+        retries: bool = True,
+        headers: dict | None = None,
+        idempotent: bool = False,
+    ):
         """One API call with retries; returns ``(status, decoded_body)``.
 
         429/503 responses and connection errors are retried with backoff
         (unless ``retries=False``); other 4xx/5xx raise :class:`ClientError`
-        immediately.
+        immediately.  ``idempotent`` marks the request safe to resend after
+        a mid-exchange connection reset (see :meth:`_send`); ``headers``
+        adds extra request headers (e.g. ``X-Admin-Token``).
         """
         data = None if payload is None else json.dumps(payload).encode("utf-8")
-        headers = {"Content-Type": "application/json"} if data is not None else {}
+        send_headers = {"Content-Type": "application/json"} if data is not None else {}
+        if headers:
+            send_headers.update(headers)
         attempts = self.retry.max_attempts if retries else 1
         last_error: ClientError | None = None
         for attempt in range(attempts):
@@ -216,7 +241,9 @@ class FBoxClient:
             retry_after: float | None = None
             try:
                 with self._connection_lock:
-                    status, header, raw = self._send(method, path, data, headers)
+                    status, header, raw = self._send(
+                        method, path, data, send_headers, idempotent=idempotent
+                    )
                 body = _decode(raw)
                 if status < 400:
                     return status, body
@@ -246,9 +273,17 @@ class FBoxClient:
         assert last_error is not None
         raise last_error
 
-    def post(self, path: str, payload: dict):
+    def post(
+        self,
+        path: str,
+        payload: dict,
+        headers: dict | None = None,
+        idempotent: bool = False,
+    ):
         """POST returning the decoded body (status is always 200 here)."""
-        _, body = self.request("POST", path, payload)
+        _, body = self.request(
+            "POST", path, payload, headers=headers, idempotent=idempotent
+        )
         return body
 
     def get(self, path: str):
@@ -324,6 +359,23 @@ class FBoxClient:
                 "batch_id": batch_id,
                 "observations": observations,
             },
+            idempotent=True,
+        )
+
+    def resize(self, count: int, token: str | None = None) -> dict:
+        """``POST /v1/admin/shards`` — live-resize the worker pool.
+
+        ``token`` is sent as ``X-Admin-Token`` when the server was started
+        with ``--admin-token``.  Safe to mark idempotent: resizing to a
+        count the pool already has is a no-op, so a replayed request after
+        a connection reset converges to the same state.
+        """
+        headers = {"X-Admin-Token": token} if token is not None else None
+        return self.post(
+            self._api("/admin/shards"),
+            {"count": count},
+            headers=headers,
+            idempotent=True,
         )
 
     def trends(

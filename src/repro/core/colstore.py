@@ -275,6 +275,16 @@ class SegmentSpace:
             ) from None
         return generation, payload
 
+    def segment_count(self, dataset: str) -> int:
+        """How many live segments (heads + payloads) back ``dataset``.
+
+        A live shard-pool resize hands columnar state between workers by
+        *not* touching the segments at all — the destination re-attaches
+        the same shared memory — so a before/after count that stays equal
+        is the cheap observable proof of the O(1) handoff.
+        """
+        return len(self._known(f"fbx{self.namespace}-{_slug(dataset)}-"))
+
     # -- cleanup -------------------------------------------------------
 
     def _known(self, prefix: str) -> set[str]:

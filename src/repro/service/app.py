@@ -47,10 +47,12 @@ from .cache import LRUCache
 from .errors import (
     BadRequest,
     CircuitOpen,
+    Forbidden,
     NotFound,
     RequestTimeout,
     ServiceError,
     ShuttingDown,
+    Unprocessable,
 )
 from .faults import FaultInjector, faults_from_env
 from .handlers import (
@@ -86,6 +88,16 @@ __all__ = [
 
 _logger = logging.getLogger("repro.service")
 
+def _admin_shards_unrouted(context, payload):
+    # Registered so the transports read the request body and routing
+    # resolves; the real work happens in FBoxApp's dispatch, which
+    # intercepts the path before the handler table is consulted.
+    raise Unprocessable(
+        "live shard-pool resize requires --shards; this instance executes "
+        "queries in-process"
+    )
+
+
 POST_ROUTES = {
     "/quantify": handle_quantify,
     "/compare": handle_compare,
@@ -96,6 +108,8 @@ POST_ROUTES = {
     # lookups; clients use the GET route.
     "/observations": handle_observations,
     "/trends": trends_document,
+    # Operations surface: grow/shrink the worker pool while serving.
+    "/admin/shards": _admin_shards_unrouted,
 }
 GET_ROUTES = {
     "/datasets": handle_datasets,
@@ -129,6 +143,8 @@ class Request:
     body: bytes = b""
     framing_error: ServiceError | None = None
     close: bool = False
+    headers: dict = field(default_factory=dict)
+    """Request headers, lower-cased keys (admin endpoints read the token)."""
 
 
 @dataclass
@@ -295,10 +311,12 @@ class FBoxApp:
         context: ServiceContext,
         request_timeout: float | None = 30.0,
         executor_workers: int | None = None,
+        admin_token: str | None = None,
     ) -> None:
         self.context = context
         self.request_timeout = request_timeout
         self.executor_workers = executor_workers
+        self.admin_token = admin_token
         self.max_body_bytes = 1 << 20  # 1 MiB is plenty for query parameters
         self.max_drain_bytes = 8 << 20  # past this, closing beats draining
         self.post_routes = dict(POST_ROUTES)
@@ -681,11 +699,56 @@ class FBoxApp:
         # by the worker's cache (dict core) or a segment read (columnar).
         self.context.cache.put(parsed.key, stored)
 
+    def _require_admin(self, request: Request) -> None:
+        """Enforce ``--admin-token`` on admin endpoints (no-op when unarmed).
+
+        The token travels as ``X-Admin-Token`` or ``Authorization: Bearer``;
+        a mismatch is a non-retryable 403.  An unarmed instance (no token
+        configured) leaves the admin surface open — the documented local-
+        development default.
+        """
+        token = self.admin_token
+        if not token:
+            return
+        headers = request.headers or {}
+        supplied = headers.get("x-admin-token")
+        if supplied is None:
+            authorization = headers.get("authorization", "")
+            if authorization.lower().startswith("bearer "):
+                supplied = authorization[7:].strip()
+        if supplied != token:
+            raise Forbidden(
+                "admin endpoints require a valid X-Admin-Token (or "
+                "Authorization: Bearer) header"
+            )
+
+    def _admin_shards(self, request: Request, payload) -> dict:
+        """``POST /admin/shards`` — live-resize the worker pool.
+
+        Front-only: dispatched before admission control (an overloaded pool
+        is exactly when an operator grows it) and before the router, so it
+        never competes with the query traffic it is reshaping.
+        """
+        self._require_admin(request)
+        router = self.context.router
+        if router is None:
+            raise Unprocessable(
+                "live shard-pool resize requires --shards; this instance "
+                "executes queries in-process"
+            )
+        if not isinstance(payload, dict):
+            raise BadRequest(
+                f"request body must be a JSON object, got {type(payload).__name__}"
+            )
+        return router.resize(payload.get("count"))
+
     def run_post(self, request: Request) -> tuple[int, dict]:
         """The sync pipeline body; raises :class:`ServiceError` on rejection."""
         context = self.context
         path = request.path
         payload = self._parse_payload(request)
+        if path == "/admin/shards":
+            return 200, self._admin_shards(request, payload)
         fast = self._fast_path(path, payload)
         if fast is not None:
             return 200, fast
@@ -722,6 +785,13 @@ class FBoxApp:
         context = self.context
         path = request.path
         payload = self._parse_payload(request)
+        if path == "/admin/shards":
+            # A resize blocks on worker sockets for seconds; keep the loop
+            # free by running it on the pool like any routed call.
+            admin = lambda: self._admin_shards(request, payload)  # noqa: E731
+            return 200, await asyncio.wrap_future(
+                self._ensure_executor().submit(admin)
+            )
         fast = self._fast_path(path, payload)
         if fast is not None:
             return 200, fast
@@ -867,6 +937,7 @@ def make_app(
     shards: int = 0,
     alert_threshold: float | None = None,
     core: str = "dict",
+    admin_token: str | None = None,
 ) -> FBoxApp:
     """Build a ready-to-serve application (no sockets involved).
 
@@ -887,6 +958,9 @@ def make_app(
     (flat numpy blocks in shared-memory segments; under sharding the front
     answers ``/quantify``/``/compare`` by attaching to the owning worker's
     segment, and restarted workers re-attach instead of rebuilding).
+    ``admin_token`` arms authentication for ``POST /v1/admin/shards`` (the
+    live pool resize); unset, the admin surface is open — fine for local
+    development, not for anything shared.
     """
     if core not in CORES:
         raise ValueError(f"core must be one of {CORES}, got {core!r}")
@@ -947,4 +1021,5 @@ def make_app(
         context,
         request_timeout=request_timeout,
         executor_workers=executor_workers,
+        admin_token=admin_token,
     )

@@ -29,12 +29,14 @@ __all__ = [
     "ServiceError",
     "BadRequest",
     "NotFound",
+    "Forbidden",
     "Unprocessable",
     "Conflict",
     "RequestTimeout",
     "TooManyRequests",
     "CircuitOpen",
     "ShardUnavailable",
+    "ShardResizing",
     "ShuttingDown",
     "error_catalog",
 ]
@@ -72,6 +74,17 @@ class NotFound(ServiceError):
 
     status = 404
     kind = "not_found"
+
+
+class Forbidden(ServiceError):
+    """The request addresses an admin endpoint without a valid admin token.
+
+    Only raised when the operator armed ``--admin-token``; an unarmed
+    instance leaves admin endpoints open for local development.  Never
+    retryable: the same credentials will be rejected forever."""
+
+    status = 403
+    kind = "forbidden"
 
 
 class Unprocessable(ServiceError):
@@ -164,15 +177,30 @@ class ShardUnavailable(CircuitOpen):
     kind = "shard_unavailable"
 
 
+class ShardResizing(CircuitOpen):
+    """The dataset is mid-migration during a live shard-pool resize.
+
+    Raised for requests that cannot be served consistently while the
+    dataset's state is being copied between workers: the routing flip is
+    atomic per dataset, so the window is bounded by one dataset's state
+    size.  A :class:`CircuitOpen` subclass so the degraded-answer path can
+    serve stale reads when ``allow_stale`` is set, and so clients retry
+    after ``Retry-After`` exactly like any other transient 503."""
+
+    kind = "shard_resizing"
+
+
 _CATALOG = (
     ("bad_request", BadRequest, "request envelope is malformed (bad JSON, missing or mistyped fields)"),
     ("not_found", NotFound, "no such endpoint or dataset"),
+    ("forbidden", Forbidden, "admin endpoint called without a valid admin token"),
     ("unprocessable", Unprocessable, "well-formed but semantically invalid for this dataset"),
     ("batch_conflict", Conflict, "ingest batch was already applied but its result aged out of the idempotency ledger"),
     ("overloaded", TooManyRequests, "admission control shed the request; honor Retry-After"),
     ("timeout", RequestTimeout, "the per-request deadline elapsed"),
     ("circuit_open", CircuitOpen, "the dataset's breaker is open after repeated load/build failures"),
     ("shard_unavailable", ShardUnavailable, "the worker process owning the dataset's shard is down"),
+    ("shard_resizing", ShardResizing, "the dataset is migrating between workers during a live shard-pool resize"),
     ("shutting_down", ShuttingDown, "the instance is draining for shutdown"),
     ("internal", ServiceError, "unexpected server-side failure"),
 )

@@ -26,7 +26,13 @@ Injection sites (the strings the service passes to :meth:`FaultInjector.fail`
     right before dispatching a request; a firing rule makes the worker
     ``os._exit`` mid-request — the front-end sees the connection die, which
     is how shard-crash chaos tests script a worker kill deterministically.
-    Ignored by the in-process (``--shards 0``) execution path.
+    Ignored by the in-process (``--shards 0``) execution path.  Besides
+    request paths, workers also check this site around live-resize state
+    migration with the targets ``/admin/export:<dataset>`` and
+    ``/admin/import:<dataset>`` — matching rules kill the *source* or the
+    *destination* worker mid-migration, the two chaos arcs a resize must
+    survive.  (Respawned workers deduct the parent's observed crash count
+    from every ``worker_exit`` rule, so scripts use one rule per kill.)
 
 Configuration is either programmatic (tests build injectors directly) or via
 the ``FBOX_FAULTS`` environment variable holding JSON::

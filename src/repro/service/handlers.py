@@ -696,7 +696,10 @@ def handle_datasets(context: ServiceContext, payload=None) -> tuple[int, dict]:
     """
     router = context.router
     if router is not None:
-        return 200, {"datasets": router.describe()}
+        return 200, {
+            "datasets": router.describe(),
+            "resize": router.resize_status(),
+        }
     registry = context.registry
     entries = []
     for entry in registry.describe():
@@ -704,9 +707,12 @@ def handle_datasets(context: ServiceContext, payload=None) -> tuple[int, dict]:
         entry["shard"] = 0
         entry["generation"] = registry.generation(name)
         entry["breaker"] = registry.breaker(name).state
+        entry["migrating"] = False
         entry.update(context.ingest.dataset_facts(name))
         entries.append(entry)
-    return 200, {"datasets": entries}
+    # "resize": null documents that an in-process instance has no worker
+    # pool to resize (the sharded listing carries the live state machine).
+    return 200, {"datasets": entries, "resize": None}
 
 
 def handle_healthz(context: ServiceContext, payload=None) -> tuple[int, dict]:
@@ -728,11 +734,14 @@ def handle_readyz(context: ServiceContext, payload=None) -> tuple[int, dict]:
     a dead worker show an open breaker (quarantined) until it restarts.
     """
     router = context.router
+    resize = None
     if router is not None:
         report = router.health_report()
+        resize = router.resize_status()
     else:
         report = [
-            dict(entry, shard=0) for entry in context.registry.health_report()
+            dict(entry, shard=0, migrating=False)
+            for entry in context.registry.health_report()
         ]
     states = {entry["name"]: entry for entry in report}
     blockers: list[str] = []
@@ -749,11 +758,17 @@ def handle_readyz(context: ServiceContext, payload=None) -> tuple[int, dict]:
             blockers.append(
                 f"dataset {entry['name']!r} breaker is {entry['breaker']}"
             )
+        if entry.get("migrating"):
+            blockers.append(
+                f"dataset {entry['name']!r} is migrating (live shard-pool "
+                "resize)"
+            )
     status = 200 if not blockers else 503
     return status, {
         "status": "ready" if not blockers else "unavailable",
         "blockers": blockers,
         "datasets": report,
+        "resize": resize,
     }
 
 
@@ -936,6 +951,19 @@ def service_schema() -> dict:
                 "GET", "/trends",
                 "one cube cell's measure values across ingest generations "
                 "(query params: dataset, group, query, location[, measure])",
+            ),
+            endpoint(
+                "POST", "/admin/shards",
+                "operations: live-resize the worker pool; migrates moving "
+                "datasets' state and flips routing atomically per dataset "
+                "(auth: X-Admin-Token when --admin-token is set)",
+                request_fields=[
+                    _field(
+                        "count", "integer",
+                        "target shard count (1-64); requires --shards",
+                        required=True,
+                    ),
+                ],
             ),
             endpoint(
                 "GET", "/datasets",

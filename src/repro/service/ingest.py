@@ -46,6 +46,7 @@ from .errors import BadRequest, Conflict, ServiceError, Unprocessable
 __all__ = [
     "IngestManager",
     "decode_observations",
+    "encode_observation",
     "handle_observations",
     "handle_trends",
     "trends_document",
@@ -168,6 +169,34 @@ def decode_observations(site: str, items) -> list:
     return decoded
 
 
+def encode_observation(observation) -> dict:
+    """The inverse of :func:`decode_observations` for one observation.
+
+    Produces the exact ``POST /observations`` item shape, so a journal of
+    these payloads can be shipped over the shard frame protocol (plain
+    JSON) and replayed through the same validating decoder on the other
+    side — the wire format for dataset state migration is the public API
+    format, not a private pickle.
+    """
+    if isinstance(observation, MarketplaceObservation):
+        payload: dict = {
+            "query": observation.query,
+            "location": observation.location,
+            "ranking": list(observation.ranking.items),
+        }
+        if observation.ranking.scores is not None:
+            payload["scores"] = dict(observation.ranking.scores)
+        return payload
+    return {
+        "query": observation.query,
+        "location": observation.location,
+        "results_by_user": {
+            user: list(ranking.items)
+            for user, ranking in observation.results_by_user.items()
+        },
+    }
+
+
 # ----------------------------------------------------------------------
 # The manager: idempotency ledger, trend history, alerts
 # ----------------------------------------------------------------------
@@ -193,6 +222,12 @@ class IngestManager:
         self._lock = threading.RLock()
         self._dataset_locks: dict[str, threading.RLock] = {}
         self._ledgers: dict[str, OrderedDict[str, dict]] = {}
+        # Latest accepted observation per (query, location), re-encoded to
+        # the API payload shape.  Replaying the journal onto the dataset's
+        # deterministic base load reproduces the live state exactly — this
+        # is what a shard migration ships for the dict core (the columnar
+        # core additionally hands over its shared-memory segments in O(1)).
+        self._journals: dict[str, OrderedDict[tuple[str, str], dict]] = {}
         self._rings: dict[str, deque] = {}
         self._alerts: dict[str, int] = {}
         self._batches: dict[str, int] = {}
@@ -268,6 +303,11 @@ class IngestManager:
                 "alerts": snapshot["alerts"],
             }
             with self._lock:
+                journal = self._journals.setdefault(name, OrderedDict())
+                for observation in observations:
+                    key = (observation.query, observation.location)
+                    journal.pop(key, None)
+                    journal[key] = encode_observation(observation)
                 self._batches[name] = self._batches.get(name, 0) + 1
                 self._observations += len(observations)
                 if sequence is not None:
@@ -329,6 +369,97 @@ class IngestManager:
             ring.append(entry)
             self._alerts[name] = self._alerts.get(name, 0) + alerts
         return entry
+
+    # -- state migration (live shard-pool resize) ------------------------
+
+    @staticmethod
+    def _encode_ring_entry(entry: dict) -> dict:
+        # Trend cells are keyed by (group, query, location) tuples, which
+        # JSON cannot express as object keys; flatten to [g, q, l, value]
+        # rows for the wire.
+        return {
+            "generation": entry["generation"],
+            "batch_id": entry["batch_id"],
+            "alerts": entry["alerts"],
+            "values": {
+                measure: [
+                    [group, query, location, value]
+                    for (group, query, location), value in cells.items()
+                ]
+                for measure, cells in entry["values"].items()
+            },
+        }
+
+    def export_state(self, name: str) -> dict:
+        """A JSON-safe snapshot of one dataset's full write-path state.
+
+        Everything a destination worker needs so the move is invisible to
+        clients: the observation journal (to rebuild the dataset), the
+        idempotency ledger and applied high-water sequence (so replay
+        protection survives the move), the trend ring, and the alert and
+        batch counts.  Taken under the dataset's ingest lock, so the
+        snapshot can never interleave with a concurrent apply.
+        """
+        with self._dataset_lock(name):
+            with self._lock:
+                ledger = self._ledgers.get(name) or OrderedDict()
+                return {
+                    "journal": [
+                        dict(payload)
+                        for payload in self._journals.get(name, OrderedDict()).values()
+                    ],
+                    "ledger": [[batch_id, dict(doc)] for batch_id, doc in ledger.items()],
+                    "high_water": self._high_water.get(name),
+                    "ring": [
+                        self._encode_ring_entry(entry)
+                        for entry in self._rings.get(name, ())
+                    ],
+                    "alerts": self._alerts.get(name, 0),
+                    "batches": self._batches.get(name, 0),
+                }
+
+    def import_state(self, name: str, state: Mapping) -> None:
+        """Adopt an exported snapshot, wholesale replacing local state.
+
+        Replacement (not merge) is deliberate: after an N→M→N round trip a
+        worker may still hold the dataset's pre-departure state, and merging
+        would resurrect ledger entries and trend points the source already
+        evicted.  The imported snapshot *is* the dataset's truth.
+        """
+        journal: OrderedDict[tuple[str, str], dict] = OrderedDict()
+        for item in state.get("journal") or ():
+            journal[(item.get("query"), item.get("location"))] = dict(item)
+        ledger: OrderedDict[str, dict] = OrderedDict(
+            (batch_id, dict(doc)) for batch_id, doc in (state.get("ledger") or ())
+        )
+        ring: deque = deque(maxlen=self.history)
+        for entry in state.get("ring") or ():
+            ring.append(
+                {
+                    "generation": entry["generation"],
+                    "batch_id": entry["batch_id"],
+                    "alerts": entry["alerts"],
+                    "values": {
+                        measure: {
+                            (group, query, location): value
+                            for group, query, location, value in cells
+                        }
+                        for measure, cells in entry["values"].items()
+                    },
+                }
+            )
+        with self._dataset_lock(name):
+            with self._lock:
+                self._journals[name] = journal
+                self._ledgers[name] = ledger
+                self._rings[name] = ring
+                high_water = state.get("high_water")
+                if high_water is None:
+                    self._high_water.pop(name, None)
+                else:
+                    self._high_water[name] = int(high_water)
+                self._alerts[name] = int(state.get("alerts") or 0)
+                self._batches[name] = int(state.get("batches") or 0)
 
     # -- the read surfaces ----------------------------------------------
 

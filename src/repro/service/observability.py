@@ -86,6 +86,10 @@ class ServiceMetrics:
         self.batch_items = 0
         self.batch_shared_items = 0
         self.batch_groups = 0
+        self.resizes = 0
+        self.datasets_migrated = 0
+        self.resize_seconds = LatencyHistogram()
+        self.shard_restarts: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Request lifecycle
@@ -158,6 +162,22 @@ class ServiceMetrics:
             self.batch_groups += groups
             self.batch_shared_items += shared_items
 
+    def record_resize(self, seconds: float) -> None:
+        """Account one completed live shard-pool resize."""
+        with self._lock:
+            self.resizes += 1
+        self.resize_seconds.observe(seconds)
+
+    def record_dataset_migrated(self, count: int = 1) -> None:
+        """Count datasets whose state moved between workers during a resize."""
+        with self._lock:
+            self.datasets_migrated += count
+
+    def record_shard_restart(self, shard: int) -> None:
+        """Count one monitor-driven worker restart for the given shard."""
+        with self._lock:
+            self.shard_restarts[shard] = self.shard_restarts.get(shard, 0) + 1
+
     # ------------------------------------------------------------------
     # Index access accounting
     # ------------------------------------------------------------------
@@ -188,6 +208,9 @@ class ServiceMetrics:
             batch_items = self.batch_items
             batch_shared_items = self.batch_shared_items
             batch_groups = self.batch_groups
+            resizes = self.resizes
+            datasets_migrated = self.datasets_migrated
+            shard_restarts = dict(self.shard_restarts)
             histograms = dict(self._histograms)
         return {
             "in_flight": in_flight,
@@ -202,6 +225,10 @@ class ServiceMetrics:
             "batch_items": batch_items,
             "batch_shared_items": batch_shared_items,
             "batch_groups": batch_groups,
+            "resizes": resizes,
+            "datasets_migrated": datasets_migrated,
+            "shard_restarts": shard_restarts,
+            "resize_seconds": self.resize_seconds.snapshot(),
             "histograms": {
                 endpoint: histogram.snapshot()
                 for endpoint, histogram in histograms.items()
@@ -372,6 +399,33 @@ def render_metrics(
         )
     lines.append("# TYPE fbox_batch_sweep_groups_total counter")
     lines.append(f"fbox_batch_sweep_groups_total {snap['batch_groups']}")
+
+    # Live shard-pool resize accounting.  Rendered unconditionally (zero
+    # when the instance runs in-process) so dashboards keep a stable set of
+    # families across deployments.
+    lines.append("# TYPE fbox_resizes_total counter")
+    lines.append(f"fbox_resizes_total {snap['resizes']}")
+    lines.append("# TYPE fbox_datasets_migrated_total counter")
+    lines.append(f"fbox_datasets_migrated_total {snap['datasets_migrated']}")
+    lines.append("# TYPE fbox_resize_duration_seconds histogram")
+    resize_hist = snap["resize_seconds"]
+    cumulative = 0
+    for bound, count in zip(resize_hist["bounds"], resize_hist["counts"]):
+        cumulative += count
+        lines.append(
+            f"fbox_resize_duration_seconds_bucket{_labels({'le': bound})} {cumulative}"
+        )
+    cumulative += resize_hist["counts"][-1]
+    lines.append(
+        f"fbox_resize_duration_seconds_bucket{_labels({'le': '+Inf'})} {cumulative}"
+    )
+    lines.append(f"fbox_resize_duration_seconds_sum {resize_hist['sum']:.6f}")
+    lines.append(f"fbox_resize_duration_seconds_count {resize_hist['count']}")
+    lines.append("# TYPE fbox_shard_restarts_total counter")
+    for shard, count in sorted(snap["shard_restarts"].items()):
+        lines.append(
+            f"fbox_shard_restarts_total{_labels({'shard': shard})} {count}"
+        )
 
     lines.append("# TYPE fbox_cache_events_total counter")
     for event in ("hits", "misses", "evictions", "expirations"):

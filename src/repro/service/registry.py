@@ -134,6 +134,12 @@ class DatasetRegistry:
         self._owns_segments = owns_segments
         self._specs: dict[str, DatasetSpec] = {}
         self._datasets: dict[str, object] = {}
+        # Migrated-in observations awaiting materialization: a shard-resize
+        # import on a worker that never loaded the dataset stashes the
+        # journal here (latest per (query, location)), and ``dataset()``
+        # folds it in right after the base loader runs — the import itself
+        # stays O(journal) instead of forcing an eager build.
+        self._pending: dict[str, dict[tuple[str, str], object]] = {}
         self._fboxes: dict[tuple[str, str], FBox] = {}
         self._generations: dict[str, int] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
@@ -274,6 +280,41 @@ class DatasetRegistry:
                 generation = self._generations[name]
         return {"generation": generation, "touched": touched, **delta}
 
+    def adopt_observations(
+        self, name: str, observations: list, generation: int
+    ) -> None:
+        """Adopt a migrated dataset's observation journal (shard resize).
+
+        If the dataset is already materialized the journal is applied
+        immediately (one bulk incremental apply, so live F-Boxes and any
+        columnar segments refresh); otherwise it wholesale-replaces the
+        pending stash that the next :meth:`dataset` call folds in after the
+        deterministic base load.  Either way the generation counter is
+        raised to the source's, so the imported trend ring's generation
+        tags stay truthful and the next local ingest continues the same
+        sequence a cold boot would have produced.
+        """
+        self.spec(name)
+        with self._dataset_lock(name):
+            if self.is_loaded(name):
+                if observations:
+                    self.apply_observations(name, list(observations))
+            else:
+                with self._lock:
+                    if observations:
+                        self._pending[name] = {
+                            (obs.query, obs.location): obs
+                            for obs in observations
+                        }
+                    else:
+                        self._pending.pop(name, None)
+            self.sync_generation(name, generation)
+
+    def _take_pending(self, name: str) -> list:
+        with self._lock:
+            pending = self._pending.pop(name, None)
+        return list(pending.values()) if pending else []
+
     def live_fboxes(self, name: str) -> dict[str, FBox]:
         """The live F-Boxes for ``name``, keyed by measure."""
         with self._lock:
@@ -330,6 +371,9 @@ class DatasetRegistry:
                         if self.faults is not None:
                             self.faults.fail("dataset_load", name)
                         loaded = spec.loader()
+                        pending = self._take_pending(name)
+                        if pending:
+                            loaded.upsert_observations(pending)
                     except BaseException:
                         breaker.record_failure()
                         raise

@@ -59,6 +59,7 @@ def make_server(
     shards: int = 0,
     alert_threshold: float | None = None,
     core: str = "dict",
+    admin_token: str | None = None,
 ) -> FBoxServer | AioFBoxServer:
     """Build a ready-to-serve F-Box server (``port=0`` picks an ephemeral one).
 
@@ -88,6 +89,7 @@ def make_server(
         shards=shards,
         alert_threshold=alert_threshold,
         core=core,
+        admin_token=admin_token,
     )
     if backend == "asyncio":
         return AioFBoxServer((host, port), app, quiet=quiet)
@@ -111,6 +113,7 @@ def serve(
     shards: int = 0,
     alert_threshold: float | None = None,
     core: str = "dict",
+    admin_token: str | None = None,
 ) -> int:
     """Run the service until SIGTERM/SIGINT; returns a process exit code.
 
@@ -138,6 +141,7 @@ def serve(
         shards=shards,
         alert_threshold=alert_threshold,
         core=core,
+        admin_token=admin_token,
     )
     if preload:
         context = server.context

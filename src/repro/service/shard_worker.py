@@ -3,8 +3,12 @@
 :func:`worker_main` is the target :class:`~repro.service.sharding.ShardRouter`
 forks.  One worker owns the datasets, cubes, index families, result cache,
 and last-known-good store for its shard and answers the router's
-length-prefixed JSON frames (``ping`` / ``status`` / ``call`` / ``shutdown``)
-over the pre-bound listener socket it inherited.
+length-prefixed JSON frames (``ping`` / ``status`` / ``call`` /
+``export_dataset`` / ``import_dataset`` / ``shutdown``) over the pre-bound
+listener socket it inherited.  The export/import pair is the live-resize
+state handoff: the router snapshots a moving dataset's journal, ledger,
+high-water sequence, and trend ring from its old owner and replays them
+into the new one before flipping routing.
 
 ``call`` runs the untouched single-process POST pipeline —
 :meth:`repro.service.app.FBoxApp.run_post` against a worker-local
@@ -38,7 +42,7 @@ from .cache import LRUCache
 from .errors import NotFound, ServiceError
 from .faults import FaultInjector, FaultRule, InjectedFault
 from .handlers import ServiceContext
-from .ingest import IngestManager
+from .ingest import IngestManager, decode_observations
 from .observability import ServiceMetrics
 from .registry import DatasetRegistry, DatasetSpec
 from .resilience import BreakerConfig
@@ -144,17 +148,22 @@ def _status_document(
     }
 
 
+def _exit_fault(faults: FaultInjector | None, target: str) -> None:
+    """Fire a scripted mid-request crash for ``target`` if a rule matches."""
+    if faults is not None:
+        try:
+            faults.fail("worker_exit", target)
+        except InjectedFault:
+            # Die without a reply so the router sees exactly what a real
+            # worker death looks like.
+            os._exit(_EXIT_INJECTED)
+
+
 def _handle_call(
     app: FBoxApp, faults: FaultInjector | None, message: dict
 ) -> dict:
     path = message.get("path")
-    if faults is not None:
-        try:
-            faults.fail("worker_exit", str(path))
-        except InjectedFault:
-            # The scripted mid-request crash: die without a reply so the
-            # router sees exactly what a real worker death looks like.
-            os._exit(_EXIT_INJECTED)
+    _exit_fault(faults, str(path))
     if not isinstance(path, str) or path not in app.post_routes:
         return {
             "ok": False,
@@ -184,6 +193,59 @@ def _handle_call(
     return {"ok": True, "status": status, "document": document}
 
 
+def _handle_export(
+    context: ServiceContext, faults: FaultInjector | None, message: dict
+) -> dict:
+    """Snapshot one dataset's migratable state for the resize engine.
+
+    The chaos target ``/admin/export:<dataset>`` lets a ``worker_exit``
+    rule kill the *source* worker mid-migration deterministically.
+    """
+    name = message.get("dataset")
+    _exit_fault(faults, f"/admin/export:{name}")
+    try:
+        registry = context.registry
+        registry.spec(name)  # 404 before any work
+        document = {
+            "dataset": name,
+            "generation": registry.generation(name),
+            "state": context.ingest.export_state(name),
+        }
+    except ServiceError as error:
+        return {"ok": False, "error": encode_error(error)}
+    return {"ok": True, "status": 200, "document": document}
+
+
+def _handle_import(
+    context: ServiceContext, faults: FaultInjector | None, message: dict
+) -> dict:
+    """Adopt an exported snapshot as this worker's truth for the dataset.
+
+    The journal is replayed through the same validating decoder the public
+    ingest path uses; the chaos target ``/admin/import:<dataset>`` kills
+    the *destination* worker mid-migration.
+    """
+    name = message.get("dataset")
+    _exit_fault(faults, f"/admin/import:{name}")
+    try:
+        registry = context.registry
+        spec = registry.spec(name)
+        state = message.get("state") or {}
+        journal = state.get("journal") or []
+        observations = decode_observations(spec.site, journal) if journal else []
+        registry.adopt_observations(
+            name, observations, int(message.get("generation") or 0)
+        )
+        context.ingest.import_state(name, state)
+    except ServiceError as error:
+        return {"ok": False, "error": encode_error(error)}
+    return {
+        "ok": True,
+        "status": 200,
+        "document": {"dataset": name, "generation": registry.generation(name)},
+    }
+
+
 def _serve_connection(
     sock: socket.socket,
     app: FBoxApp,
@@ -205,6 +267,10 @@ def _serve_connection(
                 send_frame(sock, _status_document(config, context, faults))
             elif op == "call":
                 send_frame(sock, _handle_call(app, faults, message))
+            elif op == "export_dataset":
+                send_frame(sock, _handle_export(context, faults, message))
+            elif op == "import_dataset":
+                send_frame(sock, _handle_import(context, faults, message))
             elif op == "shutdown":
                 send_frame(sock, {"ok": True})
                 os._exit(0)

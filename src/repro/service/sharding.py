@@ -25,6 +25,17 @@ passed at spawn time — never from the parent's live objects — so a fork
 taken while a front-end thread holds a registry or cache lock can never
 deadlock the child.
 
+The pool is **live-resizable**: :meth:`ShardRouter.resize` (behind
+``POST /v1/admin/shards``) computes the old→new ring diff — consistent
+hashing bounds movement to roughly ``K/N`` of ``K`` datasets — spawns or
+retires workers, migrates each moving dataset's full state (observation
+journal, idempotency ledger and high-water sequence, trend ring) through
+the ``export_dataset``/``import_dataset`` frame ops, and flips routing
+atomically per dataset via an explicit placement table that overrides the
+ring while the resize is in flight.  Requests against a mid-copy dataset
+queue briefly (writes) or shed with 503 ``shard_resizing`` (reads), and a
+worker crash mid-copy is retried against the monitor-restarted worker.
+
 ``/batch`` is planned **per shard**: items are partitioned by their
 dataset's owner and each sub-batch runs through the owning worker's normal
 batch planner, so shared-sweep grouping (one TA sweep per homogeneous
@@ -39,6 +50,7 @@ import hashlib
 import json
 import logging
 import multiprocessing
+import random
 import socket
 import struct
 import threading
@@ -53,6 +65,7 @@ from .errors import (
     NotFound,
     RequestTimeout,
     ServiceError,
+    ShardResizing,
     ShardUnavailable,
     ShuttingDown,
     TooManyRequests,
@@ -159,6 +172,7 @@ _ERROR_CLASSES: dict[str, type[ServiceError]] = {
     "overloaded": TooManyRequests,
     "circuit_open": CircuitOpen,
     "shard_unavailable": ShardUnavailable,
+    "shard_resizing": ShardResizing,
     "shutting_down": ShuttingDown,
 }
 
@@ -218,6 +232,40 @@ _MAX_IDLE_CONNECTIONS = 8
 _STATUS_TIMEOUT = 5.0
 _PING_TIMEOUT = 2.0
 
+_MAX_SHARD_COUNT = 64
+"""Upper bound on the live-resizable worker pool (one process per shard)."""
+
+_RESTART_BACKOFF_BASE = 0.05
+"""First-restart delay for a crashed worker, in seconds.  Negligible for
+isolated crashes; doubles per consecutive crash so a crash-looping worker
+cannot hot-spin the front's monitor thread."""
+
+_RESTART_BACKOFF_CAP = 5.0
+"""Ceiling on the exponential restart backoff."""
+
+_RESTART_JITTER = 0.1
+"""Fraction of the delay added as seeded jitter (decorrelates restarts)."""
+
+_RESTART_STABLE_WINDOW = 5.0
+"""A worker that survives this long resets the consecutive-crash counter."""
+
+_RESIZE_WRITE_GRACE = 1.0
+"""How long a write to a mid-migration dataset waits for the routing flip
+before answering 503 ``shard_resizing`` (writes queue briefly)."""
+
+_RESIZE_READ_GRACE = 0.05
+"""Reads wait only briefly: a stale answer or retry beats a stalled one."""
+
+_RESIZE_SETTLE = 0.02
+"""Pause between gating a dataset and the first state copy, letting writes
+that passed the gate before it existed land on the source."""
+
+_MIGRATION_TIMEOUT = 30.0
+"""Socket budget for one export/import exchange."""
+
+_MIGRATION_DEADLINE = 30.0
+"""Total budget for migrating one dataset, crash retries included."""
+
 
 class _Shard:
     """One worker process slot: process handle, address, sockets, breaker."""
@@ -230,6 +278,10 @@ class _Shard:
         self.lock = threading.Lock()
         self.idle: list[socket.socket] = []
         self.crashes = 0
+        self.consecutive_crashes = 0
+        self.next_restart_at = 0.0
+        self.spawned_at = 0.0
+        self.retired = False
 
     def clear_pool(self) -> None:
         with self.lock:
@@ -264,6 +316,7 @@ class ShardRouter:
         alert_threshold: float | None = None,
         core: str = "dict",
         namespace: str | None = None,
+        restart_seed: int = 0,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -283,6 +336,24 @@ class ShardRouter:
         self._mp = multiprocessing.get_context("fork")
         self._closed = False
         self._spawn_lock = threading.Lock()
+        self._restart_rng = random.Random(restart_seed)
+        # Live-resize state: one resize runs at a time; ``_placement``
+        # overrides the ring per dataset while one is in flight, and
+        # ``_moving`` gates requests against a dataset whose state is
+        # mid-copy (the event fires at the routing flip).
+        self._resize_lock = threading.Lock()
+        self._placement: dict[str, int] | None = None
+        self._moving: dict[str, threading.Event] = {}
+        self._resize_status: dict = {
+            "state": "idle",
+            "from": None,
+            "to": None,
+            "dataset": None,
+            "moving": 0,
+            "migrated": 0,
+            "resizes": 0,
+            "last": None,
+        }
         self._shards = [_Shard(index) for index in range(shards)]
         for shard in self._shards:
             self._spawn(shard)
@@ -297,10 +368,41 @@ class ShardRouter:
 
     def shard_of(self, name) -> int:
         """The shard index owning dataset ``name`` (0 for non-strings, so
-        malformed requests still route somewhere and get their normal 4xx)."""
+        malformed requests still route somewhere and get their normal 4xx).
+
+        While a resize is in flight the explicit placement table wins: it
+        starts as the old ring's assignment for every dataset and flips to
+        the new owner per dataset as each migration completes, so routing
+        is atomic per dataset even though the pool changes underneath."""
         if not isinstance(name, str) or not name:
             return 0
+        placement = self._placement
+        if placement is not None:
+            owner = placement.get(name)
+            if owner is not None:
+                return owner
         return shard_for(name, self.shards, self._ring)
+
+    def _slot(self, name) -> _Shard:
+        """The live :class:`_Shard` owning ``name``.
+
+        Re-resolves if a concurrent resize flips placement and the slot
+        list between the index computation and the lookup."""
+        while True:
+            shards = self._shards
+            index = self.shard_of(name)
+            if index < len(shards):
+                return shards[index]
+
+    def _slot_by_index(self, index: int) -> _Shard:
+        shards = self._shards
+        if index < len(shards):
+            return shards[index]
+        raise ShardUnavailable(
+            f"shard {index} was retired by a pool resize; retry",
+            retry_after=0.2,
+            extra={"shard": index},
+        )
 
     # ------------------------------------------------------------------
     # Worker lifecycle
@@ -351,6 +453,7 @@ class ShardRouter:
             with shard.lock:
                 shard.process = process
                 shard.address = (address[0], address[1])
+                shard.spawned_at = time.monotonic()
 
     def _monitor_loop(self) -> None:
         ticks = 0
@@ -358,13 +461,20 @@ class ShardRouter:
         while not self._closed:
             time.sleep(self.poll_interval)
             ticks += 1
-            for shard in self._shards:
+            for shard in list(self._shards):
                 if self._closed:
                     return
+                if shard.retired:
+                    continue
                 process = shard.process
                 if process is None:
                     continue
                 if not process.is_alive():
+                    # Capped exponential backoff: a crash-looping worker is
+                    # left dead (breaker open, requests shed fast) until its
+                    # restart slot arrives instead of hot-spinning respawns.
+                    if time.monotonic() < shard.next_restart_at:
+                        continue
                     self._revive(shard, "worker process died")
                 elif ticks % ping_every == 0 and not self._ping(shard):
                     # Alive but not answering: assume wedged and replace it.
@@ -376,15 +486,35 @@ class ShardRouter:
 
     def _revive(self, shard: _Shard, reason: str) -> None:
         """Quarantine a dead shard, respawn it, and close the breaker once
-        the replacement answers a ping."""
+        the replacement answers a ping.
+
+        Each revive schedules the *next* allowed restart: the delay doubles
+        per consecutive crash (a worker that stays up for
+        ``_RESTART_STABLE_WINDOW`` seconds resets the streak), is capped,
+        and carries seeded jitter so a host-wide event doesn't restart
+        every shard in lockstep."""
+        now = time.monotonic()
         shard.crashes += 1
+        if now - shard.spawned_at < _RESTART_STABLE_WINDOW:
+            shard.consecutive_crashes += 1
+        else:
+            shard.consecutive_crashes = 1
+        delay = min(
+            _RESTART_BACKOFF_BASE * (2 ** (shard.consecutive_crashes - 1)),
+            _RESTART_BACKOFF_CAP,
+        )
+        delay *= 1.0 + _RESTART_JITTER * self._restart_rng.random()
+        shard.next_restart_at = now + delay
+        if self.metrics is not None:
+            self.metrics.record_shard_restart(shard.index)
         shard.breaker.record_failure()
         shard.clear_pool()
         _logger.warning(
-            "shard %d: %s; restarting (crash #%d)",
+            "shard %d: %s; restarting (crash #%d, next backoff %.3fs)",
             shard.index,
             reason,
             shard.crashes,
+            delay,
         )
         process = shard.process
         if process is not None:
@@ -414,6 +544,299 @@ class ShardRouter:
         except (OSError, ConnectionError, ValueError):
             return False
         return bool(reply.get("ok"))
+
+    # ------------------------------------------------------------------
+    # Live resize (POST /v1/admin/shards)
+    # ------------------------------------------------------------------
+
+    def resize_status(self) -> dict:
+        """The resize state machine's current frame (feeds ``/readyz`` and
+        ``/v1/datasets``): state, endpoints, per-dataset progress, and the
+        last completed resize's summary."""
+        status = dict(self._resize_status)
+        status["moving_datasets"] = sorted(self._moving)
+        return status
+
+    def _note_resize(self, state: str, **fields) -> None:
+        self._resize_status = {**self._resize_status, "state": state, **fields}
+
+    def resize(self, count: int) -> dict:
+        """Grow or shrink the worker pool to ``count`` shards, live.
+
+        One resize runs at a time; a concurrent request answers 503
+        ``shard_resizing`` (retryable) rather than queueing, because the
+        right count is whatever the operator asks for *after* seeing the
+        first resize land.
+        """
+        if isinstance(count, bool) or not isinstance(count, int):
+            raise Unprocessable("shard count must be an integer")
+        if not 1 <= count <= _MAX_SHARD_COUNT:
+            raise Unprocessable(
+                f"shard count must be between 1 and {_MAX_SHARD_COUNT}, "
+                f"got {count}"
+            )
+        if self._closed:
+            raise ShuttingDown("the service is draining; shard pool is frozen")
+        if not self._resize_lock.acquire(blocking=False):
+            raise ShardResizing(
+                "a shard-pool resize is already in progress; retry after it "
+                "completes",
+                retry_after=1.0,
+            )
+        try:
+            return self._resize(count)
+        finally:
+            self._resize_lock.release()
+
+    def _resize(self, count: int) -> dict:
+        started = time.monotonic()
+        old = self.shards
+        old_ring = self._ring
+        new_ring = build_ring(count)
+        names = self.registry.names()
+        # Start from the surviving placement of an interrupted resize (if
+        # any) so a retry completes the job instead of undoing its flips.
+        previous = self._placement
+        placement = {
+            name: (
+                previous[name]
+                if previous is not None and name in previous
+                else shard_for(name, old, old_ring)
+            )
+            for name in names
+        }
+        movers = [
+            name
+            for name in names
+            if shard_for(name, count, new_ring) != placement[name]
+        ]
+        if count == old and not movers:
+            return {
+                "kind": "resize",
+                "from": old,
+                "to": count,
+                "migrated": [],
+                "noop": True,
+                "duration_seconds": 0.0,
+                "core": self.core,
+            }
+        _logger.warning(
+            "resizing shard pool %d -> %d (%d of %d datasets move)",
+            old,
+            count,
+            len(movers),
+            len(names),
+        )
+        self._note_resize(
+            "planned",
+            **{"from": old, "to": count, "moving": len(movers),
+               "migrated": 0, "dataset": None},
+        )
+        self._placement = placement
+        migrated: list[str] = []
+        try:
+            if count > len(self._shards):
+                # Grow: bring the new workers up (and pinging) before any
+                # state moves, so a migration never races a worker boot.
+                fresh = [
+                    _Shard(index)
+                    for index in range(len(self._shards), count)
+                ]
+                for shard in fresh:
+                    self._spawn(shard)
+                self._shards = self._shards + fresh
+                for shard in fresh:
+                    self._await_worker(shard)
+            for name in movers:
+                dest_index = shard_for(name, count, new_ring)
+                self._note_resize("draining", dataset=name)
+                source = self._slot_by_index(placement[name])
+                dest = self._slot_by_index(dest_index)
+                gate = threading.Event()
+                self._moving[name] = gate
+                try:
+                    self._note_resize("migrating", dataset=name)
+                    self._migrate(name, source, dest)
+                    # The flip: placement first, then the gate — a queued
+                    # write that wakes on the gate re-resolves its route
+                    # and lands on the new owner.
+                    placement[name] = dest_index
+                    self._note_resize(
+                        "flipped", dataset=name, migrated=len(migrated) + 1
+                    )
+                finally:
+                    gate.set()
+                    self._moving.pop(name, None)
+                migrated.append(name)
+                if self.metrics is not None:
+                    self.metrics.record_dataset_migrated()
+        except BaseException:
+            # Leave the placement table in force: every dataset still routes
+            # to a worker that holds its state (flipped ones to their new
+            # owner), and a retried resize picks up from here.
+            self._note_resize("failed", dataset=None)
+            raise
+        self.shards = count
+        self._ring = new_ring
+        self._placement = None
+        shards = self._shards
+        if count < len(shards):
+            retired = shards[count:]
+            # Truncate before shutting the retirees down so the monitor's
+            # next pass cannot resurrect them.
+            self._shards = shards[:count]
+            for shard in retired:
+                shard.retired = True
+            self._note_resize("retired", dataset=None)
+            for shard in retired:
+                self._retire(shard)
+        duration = time.monotonic() - started
+        if self.metrics is not None:
+            self.metrics.record_resize(duration)
+        summary = {
+            "kind": "resize",
+            "from": old,
+            "to": count,
+            "migrated": migrated,
+            "noop": False,
+            "duration_seconds": round(duration, 6),
+            "core": self.core,
+        }
+        space = self.registry.segments
+        if space is not None:
+            # Columnar handoff is O(1): the destination re-attaches the same
+            # shared-memory segments, so the per-dataset segment census is
+            # the observable proof that no state was copied or re-published.
+            summary["segments"] = {
+                name: space.segment_count(name) for name in migrated
+            }
+        self._note_resize(
+            "idle",
+            dataset=None,
+            resizes=self._resize_status["resizes"] + 1,
+            last=summary,
+        )
+        _logger.warning(
+            "shard pool resized %d -> %d in %.3fs (%d datasets moved)",
+            old,
+            count,
+            duration,
+            len(migrated),
+        )
+        return summary
+
+    def _await_worker(self, shard: _Shard) -> None:
+        deadline = time.monotonic() + 10.0
+        while not self._closed and time.monotonic() < deadline:
+            if self._ping(shard):
+                return
+            time.sleep(0.02)
+        raise ShardUnavailable(
+            f"shard {shard.index} did not come up in time for the resize",
+            retry_after=1.0,
+            extra={"shard": shard.index},
+        )
+
+    def _migrate(self, name: str, source: _Shard, dest: _Shard) -> None:
+        """Copy one dataset's state from ``source`` to ``dest``.
+
+        Copies until the source's generation is stable across the copy (new
+        writes are gated on the moving event, so in-flight stragglers are
+        the only source of movement and the loop converges).  A worker
+        crash mid-copy — the chaos arcs script exactly this for both ends —
+        surfaces as :class:`ShardUnavailable`; the monitor restarts the
+        worker and the copy starts over from the survivor's truth.
+        """
+        time.sleep(_RESIZE_SETTLE)
+        deadline = time.monotonic() + _MIGRATION_DEADLINE
+        while True:
+            try:
+                exported = self._unwrap(
+                    self._call_shard(
+                        source,
+                        {"op": "export_dataset", "dataset": name},
+                        _MIGRATION_TIMEOUT,
+                    )
+                )
+                self._unwrap(
+                    self._call_shard(
+                        dest,
+                        {
+                            "op": "import_dataset",
+                            "dataset": name,
+                            "generation": exported.get("generation"),
+                            "state": exported.get("state"),
+                        },
+                        _MIGRATION_TIMEOUT,
+                    )
+                )
+                check = self._unwrap(
+                    self._call_shard(
+                        source,
+                        {"op": "export_dataset", "dataset": name},
+                        _MIGRATION_TIMEOUT,
+                    )
+                )
+                if check.get("generation") == exported.get("generation"):
+                    self.registry.sync_generation(
+                        name, int(exported.get("generation") or 0)
+                    )
+                    return
+                # A straggler write landed between the copy and the check;
+                # go around again with the fresher snapshot.
+            except (CircuitOpen, OSError, ConnectionError, ValueError) as error:
+                if time.monotonic() >= deadline:
+                    raise
+                _logger.warning(
+                    "migration of %r interrupted (%s); waiting for the "
+                    "worker to come back",
+                    name,
+                    error,
+                )
+                time.sleep(0.05)
+
+    def _resize_gate(self, dataset: str, path: str) -> None:
+        """Hold or shed one request against a mid-migration dataset.
+
+        Writes wait up to ``_RESIZE_WRITE_GRACE`` for the flip (so most
+        queue briefly and then land on the new owner); reads give up almost
+        immediately — the caller either serves a stale degraded answer
+        (``allow_stale``) or the client retries after ``Retry-After``.
+        """
+        gate = self._moving.get(dataset)
+        if gate is None or gate.is_set():
+            return
+        grace = (
+            _RESIZE_WRITE_GRACE if path == "/observations" else _RESIZE_READ_GRACE
+        )
+        if gate.wait(grace):
+            return
+        raise ShardResizing(
+            f"dataset {dataset!r} is migrating to a new shard during a live "
+            "pool resize; retry shortly",
+            retry_after=0.2,
+            extra={"dataset": dataset},
+        )
+
+    def _retire(self, shard: _Shard) -> None:
+        """Shut one worker down for good (the monitor skips retired slots)."""
+        try:
+            self._roundtrip(shard, {"op": "shutdown"}, 0.5)
+        except (OSError, ConnectionError, ValueError):
+            pass
+        shard.clear_pool()
+        process = shard.process
+        shard.process = None
+        shard.address = None
+        if process is None:
+            return
+        process.join(timeout=0.5)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=0.5)
+        if process.is_alive():  # pragma: no cover - stubborn child
+            process.kill()
+            process.join(timeout=0.5)
 
     def close(self) -> None:
         """Stop the monitor and terminate every worker (idempotent)."""
@@ -533,7 +956,9 @@ class ShardRouter:
         if path == "/batch":
             return self._execute_batch(payload, timeout)
         dataset = payload.get("dataset") if isinstance(payload, Mapping) else None
-        shard = self._shards[self.shard_of(dataset)]
+        if isinstance(dataset, str):
+            self._resize_gate(dataset, path)
+        shard = self._slot(dataset)
         reply = self._call_shard(
             shard,
             {"op": "call", "path": path, "payload": payload, "timeout": timeout},
@@ -555,6 +980,11 @@ class ShardRouter:
         from .handlers import _batch_items
 
         items = _batch_items(payload)  # envelope-level 400s happen up front
+        for name in {
+            item.get("dataset") for item in items if isinstance(item, Mapping)
+        }:
+            if isinstance(name, str):
+                self._resize_gate(name, "/batch")
         groups: dict[int, list[int]] = {}
         for position, item in enumerate(items):
             name = item.get("dataset") if isinstance(item, Mapping) else None
@@ -566,7 +996,7 @@ class ShardRouter:
             sub = [items[position] for position in positions]
             try:
                 reply = self._call_shard(
-                    self._shards[shard_index],
+                    self._slot_by_index(shard_index),
                     {
                         "op": "call",
                         "path": "/batch",
@@ -651,7 +1081,10 @@ class ShardRouter:
         return reply
 
     def _statuses(self) -> dict[int, dict | None]:
-        return {shard.index: self._worker_status(shard) for shard in self._shards}
+        return {
+            shard.index: self._worker_status(shard)
+            for shard in list(self._shards)
+        }
 
     def _down_entry(self, shard: _Shard, name: str) -> dict:
         state = shard.breaker.state
@@ -672,16 +1105,16 @@ class ShardRouter:
         statuses = self._statuses()
         report = []
         for name in self.registry.names():
-            index = self.shard_of(name)
+            shard = self._slot(name)
+            index = shard.index
             status = statuses.get(index)
             if status is None:
-                entry = self._down_entry(self._shards[index], name)
+                entry = self._down_entry(shard, name)
             else:
                 health = {e["name"]: e for e in status.get("health", ())}
-                entry = dict(
-                    health.get(name) or self._down_entry(self._shards[index], name)
-                )
+                entry = dict(health.get(name) or self._down_entry(shard, name))
             entry["shard"] = index
+            entry["migrating"] = name in self._moving
             report.append(entry)
         return report
 
@@ -691,7 +1124,8 @@ class ShardRouter:
         entries = []
         for entry in self.registry.describe():
             name = entry["name"]
-            index = self.shard_of(name)
+            shard = self._slot(name)
+            index = shard.index
             status = statuses.get(index)
             if status is not None:
                 remote = {e["name"]: e for e in status.get("datasets", ())}
@@ -702,11 +1136,12 @@ class ShardRouter:
             else:
                 entry = dict(entry)
                 entry["loaded"] = False
-                state = self._shards[index].breaker.state
+                state = shard.breaker.state
                 state = state if state != CLOSED else OPEN
             entry["shard"] = index
             entry["generation"] = self.registry.generation(name)
             entry["breaker"] = state
+            entry["migrating"] = name in self._moving
             entries.append(entry)
         return entries
 
@@ -726,10 +1161,9 @@ class ShardRouter:
         fault_extra: list[dict] = []
         breaker_states: dict[str, dict] = {}
         for name in self.registry.names():
-            index = self.shard_of(name)
-            status = statuses.get(index)
+            shard = self._slot(name)
+            status = statuses.get(shard.index)
             if status is None:
-                shard = self._shards[index]
                 snapshot = shard.breaker.snapshot()
                 snapshot["dataset"] = name
                 if snapshot["state"] == CLOSED:

@@ -218,6 +218,7 @@ class AioFBoxServer:
             body=body,
             framing_error=framing_error,
             close=request_close,
+            headers=headers,
         )
         return request, want_close
 

@@ -120,6 +120,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     body=body,
                     framing_error=framing_error,
                     close=close,
+                    headers={
+                        key.lower(): value for key, value in self.headers.items()
+                    },
                 )
             )
         )

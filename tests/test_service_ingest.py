@@ -585,9 +585,9 @@ class TestClientIngest:
         with FBoxClient(service.base, retry=RetryPolicy(seed=1)) as client:
             original_post = client.post
 
-            def recording_post(path, payload):
+            def recording_post(path, payload, **kwargs):
                 sent.append(payload)
-                return original_post(path, payload)
+                return original_post(path, payload, **kwargs)
 
             client.post = recording_post
             first = client.ingest("taskrabbit", batch)
