@@ -3,8 +3,14 @@
 The paper reports that EMD and Exposure "yield the same observations" on
 TaskRabbit and that Kendall Tau and Jaccard "report mostly similar results"
 on Google.  This benchmark quantifies both claims as Spearman rank
-correlations between the per-member orderings of the measure pairs, and
-sweeps the EMD histogram bin count (DESIGN.md ablation #2).
+correlations between the per-member orderings of the measure pairs — now
+including the FA*IR ranked-group-fairness measure against both marketplace
+measures — and sweeps the EMD histogram bin count (DESIGN.md ablation #2).
+
+It also reports the what-if intervention deltas: the mean before/after of
+every group-ranking measure when the FA*IR greedy re-ranking and the
+Singh & Joachims exposure LP repair the crawl's populated cells, and checks
+that the LP's exposure improvement is at least FA*IR's on one dataset.
 """
 
 from __future__ import annotations
@@ -15,8 +21,21 @@ from scipy.stats import spearmanr
 from _util import emit
 from repro.core.fbox import FBox
 from repro.core.attributes import default_schema
+from repro.core.groups import Group
+from repro.core.interventions import apply_intervention
+from repro.core.unfairness import MarketplaceUnfairness
+from repro.exceptions import DataError, MeasureError
 from repro.experiments.datasets import build_google_dataset, build_taskrabbit_dataset
 from repro.experiments.report import render_table
+
+QUICK_CITIES = (
+    "Birmingham, UK",
+    "Oklahoma City, OK",
+    "Chicago, IL",
+    "San Francisco, CA",
+    "Boston, MA",
+    "Seattle, WA",
+)
 
 
 def _ranking_values(fbox, dimension):
@@ -24,18 +43,26 @@ def _ranking_values(fbox, dimension):
     return [fbox.cube.aggregate_for(dimension, member) for member in members]
 
 
-def _agreement_report() -> str:
+def _agreement_report(cities=None) -> str:
     schema = default_schema()
     rows = []
 
-    taskrabbit = build_taskrabbit_dataset(level="category")
-    emd = FBox.for_marketplace(taskrabbit, schema, measure="emd")
-    exposure = FBox.for_marketplace(taskrabbit, schema, measure="exposure")
-    for dimension in ("group", "query", "location"):
-        rho, _ = spearmanr(
-            _ranking_values(emd, dimension), _ranking_values(exposure, dimension)
-        )
-        rows.append((f"TaskRabbit EMD↔Exposure ({dimension}s)", float(rho)))
+    taskrabbit = build_taskrabbit_dataset(level="category", cities=cities)
+    marketplace = {
+        name: FBox.for_marketplace(taskrabbit, schema, measure=name)
+        for name in ("emd", "exposure", "fair")
+    }
+    pairs = (("emd", "exposure"), ("emd", "fair"), ("exposure", "fair"))
+    for left, right in pairs:
+        for dimension in ("group", "query", "location"):
+            rho, _ = spearmanr(
+                _ranking_values(marketplace[left], dimension),
+                _ranking_values(marketplace[right], dimension),
+            )
+            rows.append(
+                (f"TaskRabbit {left.upper()}↔{right.upper()} ({dimension}s)",
+                 float(rho))
+            )
 
     google = build_google_dataset(design="full")
     kendall = FBox.for_search(google, schema, measure="kendall")
@@ -49,6 +76,88 @@ def _agreement_report() -> str:
     return render_table(
         "Measure agreement (Spearman rank correlation)",
         ("measure pair", "rho"),
+        rows,
+    )
+
+
+def _populated_cells(engine, group, cap):
+    """Up to ``cap`` (ranking, members, populated) triples the group defines."""
+    cells = []
+    for query in engine.dataset.queries:
+        for location in engine.dataset.locations:
+            try:
+                cells.append(engine.ranked_members(group, query, location))
+            except DataError:
+                continue
+            if len(cells) >= cap:
+                return cells
+    return cells
+
+
+def run_intervention_deltas(quick: bool = False) -> str:
+    """Mean measure deltas of both interventions over crawl cells.
+
+    Asserts the committed invariant: the exposure LP improves (reduces)
+    exposure deviation at least as much as FA*IR does on at least one of
+    the crawled datasets.
+    """
+    schema = default_schema()
+    group = Group({"gender": "Female"})
+    cap = 6 if quick else 24
+    datasets = {
+        "TaskRabbit": build_taskrabbit_dataset(
+            level="category", cities=QUICK_CITIES if quick else None
+        ),
+    }
+    if not quick:
+        datasets["TaskRabbit biased"] = build_taskrabbit_dataset(
+            level="category", bias_scale=2.0
+        )
+    rows = []
+    lp_beats_fair_somewhere = False
+    for label, dataset in datasets.items():
+        engine = MarketplaceUnfairness(dataset, schema, measure="exposure")
+        cells = _populated_cells(engine, group, cap)
+        improvements = {}
+        for intervention in ("fair", "exposure_lp"):
+            totals: dict[str, list[float]] = {}
+            for ranking, members, populated in cells:
+                try:
+                    result = apply_intervention(
+                        intervention, ranking, members, populated
+                    )
+                except MeasureError:
+                    continue
+                for name in result.before:
+                    totals.setdefault(name, []).append(0.0)
+                    totals[name][-1] = result.before[name] - result.after[name]
+                    totals.setdefault(f"{name}:before", []).append(
+                        result.before[name]
+                    )
+                    totals.setdefault(f"{name}:after", []).append(
+                        result.after[name]
+                    )
+            for name in sorted(n for n in totals if ":" not in n):
+                rows.append(
+                    (
+                        f"{label} · {intervention} · {name}",
+                        float(np.mean(totals[f"{name}:before"])),
+                        float(np.mean(totals[f"{name}:after"])),
+                        float(np.mean(totals[name])),
+                    )
+                )
+            improvements[intervention] = float(
+                np.mean(totals.get("exposure", [0.0]))
+            )
+        if improvements["exposure_lp"] >= improvements["fair"] - 1e-12:
+            lp_beats_fair_somewhere = True
+    assert lp_beats_fair_somewhere, (
+        "exposure LP should improve exposure deviation at least as much as "
+        f"FA*IR on one dataset; got {rows}"
+    )
+    return render_table(
+        "Intervention deltas (mean over populated cells; improvement = before − after)",
+        ("dataset · intervention · measure", "before", "after", "improvement"),
         rows,
     )
 
@@ -86,3 +195,28 @@ def test_measure_agreement(benchmark):
 def test_emd_bin_sweep(benchmark):
     emit("emd_bin_sweep", _bin_sweep_report())
     benchmark(lambda: None)
+
+
+def test_intervention_deltas(benchmark):
+    emit("intervention_deltas", run_intervention_deltas())
+    schema = default_schema()
+    taskrabbit = build_taskrabbit_dataset(level="category", cities=QUICK_CITIES)
+    engine = MarketplaceUnfairness(taskrabbit, schema, measure="exposure")
+    ranking, members, populated = _populated_cells(
+        engine, Group({"gender": "Female"}), 1
+    )[0]
+    benchmark(lambda: apply_intervention("fair", ranking, members, populated))
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="six-city crawl, fewer cells"
+    )
+    arguments = parser.parse_args()
+    cities = QUICK_CITIES if arguments.quick else None
+    emit("measure_agreement", _agreement_report(cities=cities))
+    emit("intervention_deltas", run_intervention_deltas(quick=arguments.quick))
+    print("bench_measure_agreement: OK")

@@ -11,6 +11,7 @@ Commands
 ``serve``      run the long-lived F-Box query service (HTTP JSON API)
 ``simulate``   stream live observation batches from a simulator (JSONL)
 ``ingest``     POST observation batches to a running service's /v1/observations
+``whatif``     hypothetically re-rank one cell with a fairness intervention
 
 ``quantify`` and ``compare`` accept ``--json`` to emit the same documents
 the service returns (shared encoder: :mod:`repro.service.encoding`).
@@ -25,6 +26,7 @@ import sys
 from . import __version__
 from .core.attributes import default_schema
 from .core.fbox import FBox
+from .core.measures.base import available_measures, default_measure_for_site
 from .data.io import (
     load_marketplace_dataset,
     load_search_dataset,
@@ -91,6 +93,33 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("group", help="group label as attr=value[,attr=value]")
     explain.add_argument("query")
     explain.add_argument("location")
+
+    whatif = subparsers.add_parser(
+        "whatif",
+        help="hypothetically re-rank one cell with a fairness intervention",
+    )
+    _add_dataset_arguments(whatif)
+    whatif.add_argument("group", help="group label as attr=value[,attr=value]")
+    whatif.add_argument("query")
+    whatif.add_argument("location")
+    whatif.add_argument(
+        "--intervention", default="fair",
+        help="registered re-ranker (see GET /v1/schema), e.g. fair|exposure_lp",
+    )
+    whatif.add_argument(
+        "--alpha", type=float, default=None, help="FA*IR significance level"
+    )
+    whatif.add_argument(
+        "--p", type=float, default=None,
+        help="FA*IR null-hypothesis protected probability",
+    )
+    whatif.add_argument(
+        "--url", default=None,
+        help="POST to a running service instead of computing locally",
+    )
+    whatif.add_argument(
+        "--json", action="store_true", help="emit the service's JSON document"
+    )
 
     toy = subparsers.add_parser("toy", help="print the paper's worked examples")
     del toy  # no extra arguments
@@ -272,7 +301,11 @@ def _add_dataset_arguments(sub: argparse.ArgumentParser) -> None:
         "--dataset", default=None, help="load a saved JSONL dataset instead of simulating"
     )
     sub.add_argument("--seed", type=int, default=DEFAULT_SEED)
-    sub.add_argument("--measure", default=None, help="emd|exposure|kendall|jaccard")
+    sub.add_argument(
+        "--measure", default=None,
+        help="|".join(available_measures())
+        + " (defaults to the site's registered default)",
+    )
 
 
 def _parse_member(dimension: str, text: str):
@@ -283,14 +316,13 @@ def _parse_member(dimension: str, text: str):
 
 def _load_fbox(args) -> FBox:
     schema = default_schema()
+    measure = args.measure or default_measure_for_site(args.site)
     if args.site == "taskrabbit":
-        measure = args.measure or "emd"
         if args.dataset:
             dataset = load_marketplace_dataset(args.dataset)
         else:
             dataset = build_taskrabbit_dataset(seed=args.seed)
         return FBox.for_marketplace(dataset, schema, measure=measure)
-    measure = args.measure or "kendall"
     if args.dataset:
         dataset = load_search_dataset(args.dataset)
     else:
@@ -347,6 +379,56 @@ def _command_compare(args) -> int:
     print(
         report_mod.render_comparison(
             f"{args.r1} vs {args.r2} by {args.breakdown}", result
+        )
+    )
+    return 0
+
+
+def _command_whatif(args) -> int:
+    if args.url:
+        from .client import FBoxClient
+
+        params = {}
+        if args.alpha is not None:
+            params["alpha"] = args.alpha
+        if args.p is not None:
+            params["p"] = args.p
+        with FBoxClient(args.url) as client:
+            document = client.whatif(
+                args.site, args.group, args.query, args.location,
+                args.intervention, **params,
+            )
+    else:
+        from .service.encoding import encode_whatif
+
+        fbox = _load_fbox(args)
+        group = _parse_member("group", args.group)
+        result = fbox.whatif(
+            group, args.query, args.location, args.intervention,
+            alpha=args.alpha, p=args.p,
+        )
+        document = encode_whatif(result)
+        document.update(
+            dataset=args.site, group=str(group),
+            query=args.query, location=args.location,
+        )
+    if args.json:
+        print(json.dumps(document, sort_keys=True, indent=2))
+        return 0
+    print(
+        f"{document['intervention']} on {document['group']} at "
+        f"({document['query']!r}, {document['location']!r}): "
+        f"{document['moved']} of {len(document['original'])} workers moved"
+    )
+    rows = [
+        (name, entry["before"], entry["after"], entry["delta"])
+        for name, entry in sorted(document["measures"].items())
+    ]
+    print(
+        report_mod.render_table(
+            "Per-measure fairness delta (negative = less unfair)",
+            ("measure", "before", "after", "delta"),
+            rows,
         )
     )
     return 0
@@ -634,6 +716,7 @@ _COMMANDS = {
     "quantify": _command_quantify,
     "compare": _command_compare,
     "explain": _command_explain,
+    "whatif": _command_whatif,
     "toy": _command_toy,
     "reproduce": _command_reproduce,
     "batch": _command_batch,

@@ -335,6 +335,33 @@ class FBoxClient:
             },
         )
 
+    def whatif(
+        self,
+        dataset: str,
+        group: str,
+        query: str,
+        location: str,
+        intervention: str,
+        **params,
+    ) -> dict:
+        """``POST /v1/whatif`` — hypothetically re-rank one cell's ranking.
+
+        ``intervention`` is a registered re-ranker (``"fair"``,
+        ``"exposure_lp"``, …); extra ``params`` (``alpha``, ``p``, ``seed``,
+        ``allow_stale``) pass through.
+        """
+        return self.post(
+            self._api("/whatif"),
+            {
+                "dataset": dataset,
+                "group": group,
+                "query": query,
+                "location": location,
+                "intervention": intervention,
+                **params,
+            },
+        )
+
     def batch(self, requests: list[dict]) -> dict:
         """``POST /v1/batch`` — many sub-requests, shared index sweeps."""
         return self.post(self._api("/batch"), {"requests": requests})

@@ -86,27 +86,11 @@ def _pairwise_distance(engine, group, other, query, location) -> float | None:
         others = engine.dataset.members_in_ranking(other, ranking)
         if not members or not others:
             return None
-        if engine.measure_name == "exposure":
-            # Exposure is not pairwise; report the deviation against this
-            # single comparable group as its contribution.
-            from .measures.exposure import exposure_deviation
-
-            return exposure_deviation(
-                ranking,
-                members,
-                {other.name: others},
-                denominator=engine.exposure_denominator,
-            )
-        from ..stats.histograms import UnitHistogram
-        from .measures.emd import emd
-
-        own = UnitHistogram.from_values(
-            [ranking.relevance(w) for w in members], bins=engine.bins
-        )
-        theirs = UnitHistogram.from_values(
-            [ranking.relevance(w) for w in others], bins=engine.bins
-        )
-        return emd(own, theirs)
+        # The group-ranking protocol against this single comparable: for
+        # pairwise measures (EMD) that *is* the pairwise distance; for
+        # holistic ones (exposure, FA*IR) it is the deviation attributable
+        # to this comparable alone.
+        return engine.measure.group_value(ranking, members, {other.name: others})
     raise DataError(f"cannot explain cells for engine type {type(engine).__name__}")
 
 

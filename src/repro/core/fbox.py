@@ -19,7 +19,7 @@ from typing import Hashable, Iterable, Sequence
 import numpy as np
 
 from ..data.schema import MarketplaceDataset, SearchDataset
-from ..exceptions import AlgorithmError
+from ..exceptions import AlgorithmError, MeasureError
 from ..stats.histograms import DEFAULT_BINS
 from .attributes import AttributeSchema
 from .comparison import ComparisonReport, compare, compare_with_indices
@@ -27,6 +27,7 @@ from .cube import UnfairnessCube
 from .fagin import TopKResult, naive_top_k, top_k
 from .groups import Group, group_lattice
 from .indices import IndexFamily, build_family, refresh_family
+from .interventions import InterventionResult, apply_intervention
 from .unfairness import MarketplaceUnfairness, SearchEngineUnfairness, UnfairnessEngine
 
 __all__ = ["FBox"]
@@ -303,4 +304,34 @@ class FBox:
             return compare_with_indices(self.cube, dimension, r1, r2, breakdown)
         raise AlgorithmError(
             f"algorithm must be 'cube' or 'indices', got {algorithm!r}"
+        )
+
+    def whatif(
+        self,
+        group: Group,
+        query: str,
+        location: str,
+        intervention: str,
+        **options,
+    ) -> InterventionResult:
+        """What would repairing one cell's ranking do?
+
+        Runs a registered intervention (``"fair"``, ``"exposure_lp"``, …)
+        on the worker ranking behind ``d<group, query, location>`` and
+        reports the before/after value of every registered group-ranking
+        measure.  Purely hypothetical: neither the dataset nor any
+        materialized cube/index is touched.  Only group-ranking engines
+        (one shared ranking per cell) support interventions; search-engine
+        cells have one ranking *per user* and raise :class:`MeasureError`.
+        """
+        ranked_members = getattr(self.engine, "ranked_members", None)
+        if ranked_members is None:
+            raise MeasureError(
+                "what-if interventions need a group-ranking engine (one "
+                f"worker ranking per cell); {type(self.engine).__name__} "
+                "does not provide one"
+            )
+        ranking, members, populated = ranked_members(group, query, location)
+        return apply_intervention(
+            intervention, ranking, members, populated, **options
         )

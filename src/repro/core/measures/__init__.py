@@ -1,6 +1,21 @@
-"""Unfairness distance measures: Kendall Tau, Jaccard, EMD, and Exposure."""
+"""Unfairness distance measures: Kendall Tau, Jaccard, EMD, Exposure, FA*IR."""
 
-from .base import RankedListMeasure, available_measures, get_measure, register_measure
+from .base import (
+    GROUP_RANKING,
+    RANKED_LIST,
+    GroupRankingMeasure,
+    MeasureInfo,
+    MeasureOption,
+    RankedListMeasure,
+    available_measures,
+    default_measure_for_site,
+    family_for_site,
+    get_measure,
+    measure_info,
+    measures_for_family,
+    register_measure,
+    unregister_measure,
+)
 from .emd import EmdMeasure, emd, emd_from_values
 from .exposure import (
     ExposureMeasure,
@@ -8,14 +23,25 @@ from .exposure import (
     group_exposure_mass,
     group_relevance_mass,
 )
+from .fair import FairMeasure, adjusted_alpha, mtable, prefix_failures
 from .jaccard import JaccardMeasure, jaccard_distance, jaccard_index
 from .kendall import KendallTauMeasure, kendall_tau_distance
 
 __all__ = [
+    "GROUP_RANKING",
+    "RANKED_LIST",
+    "GroupRankingMeasure",
+    "MeasureInfo",
+    "MeasureOption",
     "RankedListMeasure",
     "available_measures",
+    "default_measure_for_site",
+    "family_for_site",
     "get_measure",
+    "measure_info",
+    "measures_for_family",
     "register_measure",
+    "unregister_measure",
     "EmdMeasure",
     "emd",
     "emd_from_values",
@@ -23,6 +49,10 @@ __all__ = [
     "exposure_deviation",
     "group_exposure_mass",
     "group_relevance_mass",
+    "FairMeasure",
+    "adjusted_alpha",
+    "mtable",
+    "prefix_failures",
     "JaccardMeasure",
     "jaccard_distance",
     "jaccard_index",

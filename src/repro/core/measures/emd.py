@@ -11,13 +11,15 @@ ends of the interval.  This matches the magnitudes the paper reports
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from ...exceptions import MeasureError
 from ...stats.histograms import DEFAULT_BINS, UnitHistogram
+from ..rankings import RankedList
 
 __all__ = ["EmdMeasure", "emd", "emd_from_values", "emd_from_values_reference"]
 
@@ -108,7 +110,45 @@ class EmdMeasure:
     ) -> float:
         return emd_from_values(left_scores, right_scores, bins=self.bins)
 
+    def group_value(
+        self,
+        ranking: RankedList,
+        group_members: Sequence[str],
+        comparable_members: Mapping[str, Sequence[str]],
+    ) -> float:
+        """§3.3.1: average EMD between the group's relevance histogram and
+        each populated comparable group's (the group-ranking protocol)."""
+        if not comparable_members:
+            raise MeasureError("EMD needs at least one populated comparable group")
+        own = UnitHistogram.from_values(
+            [ranking.relevance(item) for item in group_members], bins=self.bins
+        )
+        distances = [
+            emd(
+                own,
+                UnitHistogram.from_values(
+                    [ranking.relevance(item) for item in members], bins=self.bins
+                ),
+            )
+            for members in comparable_members.values()
+        ]
+        return statistics.fmean(distances)
 
-from .base import register_measure  # noqa: E402  (registration at import time)
 
-register_measure("emd", EmdMeasure)
+from .base import GROUP_RANKING, MeasureOption, register_measure  # noqa: E402
+
+register_measure(
+    "emd",
+    EmdMeasure,
+    family=GROUP_RANKING,
+    description=(
+        "average Earth Mover's Distance between the group's relevance-score "
+        "histogram and each comparable group's (§3.3.1)"
+    ),
+    options=(
+        MeasureOption(
+            "bins", "integer", DEFAULT_BINS, "histogram bin count (positive)"
+        ),
+    ),
+    default_for=("taskrabbit",),
+)

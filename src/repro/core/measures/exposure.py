@@ -95,6 +95,13 @@ class ExposureMeasure:
     denominator: str = "comparables"
     name: str = "exposure"
 
+    def __post_init__(self) -> None:
+        if self.denominator not in ("comparables", "ranking"):
+            raise MeasureError(
+                f"denominator must be 'comparables' or 'ranking', "
+                f"got {self.denominator!r}"
+            )
+
     def __call__(
         self,
         ranking: RankedList,
@@ -105,7 +112,28 @@ class ExposureMeasure:
             ranking, group_members, comparable_members, denominator=self.denominator
         )
 
+    group_value = __call__
+    """The group-ranking protocol; exposure already has its exact shape."""
 
-from .base import register_measure  # noqa: E402  (registration at import time)
 
-register_measure("exposure", ExposureMeasure)
+from .base import GROUP_RANKING, MeasureOption, register_measure  # noqa: E402
+
+register_measure(
+    "exposure",
+    ExposureMeasure,
+    family=GROUP_RANKING,
+    description=(
+        "L1 deviation between the group's exposure share and its relevance "
+        "share (§3.3.2, after Singh & Joachims / Biega et al.)"
+    ),
+    options=(
+        MeasureOption(
+            "denominator",
+            "string",
+            "comparables",
+            "share normalization: over the group plus its comparables "
+            "(§3.3.2's formulas) or over the whole ranking",
+            choices=("comparables", "ranking"),
+        ),
+    ),
+)

@@ -1,0 +1,241 @@
+"""FA*IR ranked group fairness (Zehlike et al., CIKM 2017).
+
+A ranking of candidates, some of whom belong to a *protected* group, is
+**ranked-group-fair** at significance ``alpha`` if every prefix of length
+``t`` contains at least ``m(t)`` protected candidates, where ``m(t)`` is the
+inverse binomial CDF
+
+    m(t) = min{ m : F(m; t, p) > alpha }
+
+under the null hypothesis that each position is protected independently
+with probability ``p``.  Testing every prefix multiplies the chance that a
+genuinely fair ranking fails somewhere, so FA*IR replaces ``alpha`` with a
+*corrected* ``alpha_c``: the largest significance whose mtable keeps the
+family-wise failure probability of a fair ranking at or below ``alpha``
+(found by binary search over an exact dynamic program).
+
+:class:`FairMeasure` turns the test into a group-ranking unfairness value in
+``[0, 1]``: the fraction of prefixes at which the ranking *fails* the test
+for the assessed group.  ``0.0`` means the ranking passes at every prefix —
+exactly the condition :func:`repro.core.interventions.fair_rerank`
+re-establishes — and larger values mean the group is starved of prefix
+representation at more depths.
+
+Everything here is exact and deterministic: binomial PMFs evolve by the
+``Bin(t, p) -> Bin(t+1, p)`` convolution, the DP prunes states below
+``m(t)``, and results are cached per ``(n, p, alpha)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ...exceptions import MeasureError
+from ..rankings import RankedList
+from .base import GROUP_RANKING, MeasureOption, register_measure
+
+__all__ = [
+    "FairMeasure",
+    "adjusted_alpha",
+    "mtable",
+    "prefix_failures",
+]
+
+DEFAULT_ALPHA = 0.1
+"""The paper's significance level; FA*IR's own experiments use it too."""
+
+_MAX_ALPHA = 0.5
+"""Above one-half the binomial median argument breaks down; reject early."""
+
+
+def _validate(n: int, p: float, alpha: float) -> None:
+    if n <= 0:
+        raise MeasureError(f"ranking length must be positive, got {n}")
+    if not 0.0 < p < 1.0:
+        raise MeasureError(f"protected probability p must lie in (0, 1), got {p}")
+    if not 0.0 < alpha < _MAX_ALPHA:
+        raise MeasureError(
+            f"significance alpha must lie in (0, {_MAX_ALPHA}), got {alpha}"
+        )
+
+
+@lru_cache(maxsize=512)
+def mtable(n: int, p: float, alpha: float) -> tuple[int, ...]:
+    """``m(1..n)``: the minimum protected count required at every prefix.
+
+    ``m(t)`` is the smallest ``m`` with ``F(m; t, p) > alpha``.  The
+    binomial PMF of each prefix length evolves from the previous one by a
+    single convolution step, so the whole table costs ``O(n^2)``.
+    """
+    _validate(n, p, alpha)
+    pmf = np.array([1.0])  # Bin(0, p)
+    table: list[int] = []
+    for _ in range(n):
+        grown = np.zeros(pmf.size + 1)
+        grown[: pmf.size] += pmf * (1.0 - p)
+        grown[1:] += pmf * p
+        pmf = grown
+        # First index whose CDF strictly exceeds alpha.
+        table.append(int(np.searchsorted(np.cumsum(pmf), alpha, side="right")))
+    return tuple(table)
+
+
+def _failure_probability(table: tuple[int, ...], p: float) -> float:
+    """Probability that a fair ranking fails the mtable at *some* prefix.
+
+    Exact DP over the protected count: evolve the binomial state vector one
+    position at a time and zero out every state below ``m(t)`` — mass that
+    leaves the vector is exactly the mass of rankings failing first at
+    ``t``.  What survives to the end is the pass probability.
+    """
+    pmf = np.array([1.0])
+    for required in table:
+        grown = np.zeros(pmf.size + 1)
+        grown[: pmf.size] += pmf * (1.0 - p)
+        grown[1:] += pmf * p
+        grown[:required] = 0.0
+        pmf = grown
+    return 1.0 - float(pmf.sum())
+
+
+@lru_cache(maxsize=512)
+def adjusted_alpha(n: int, p: float, alpha: float) -> float:
+    """The multiple-tests corrected significance ``alpha_c``.
+
+    The largest ``a <= alpha`` whose mtable keeps a fair ranking's
+    family-wise failure probability at or below ``alpha``; found by binary
+    search (failure probability is monotone in ``a``).
+    """
+    _validate(n, p, alpha)
+    if _failure_probability(mtable(n, p, alpha), p) <= alpha:
+        return alpha
+    low, high = 0.0, alpha
+    for _ in range(32):
+        mid = (low + high) / 2.0
+        if mid <= 0.0:
+            break
+        if _failure_probability(mtable(n, p, mid), p) <= alpha:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def prefix_failures(
+    ranking: RankedList,
+    protected: frozenset[str] | set[str],
+    p: float,
+    alpha: float,
+    correct: bool = True,
+) -> int:
+    """How many prefixes of ``ranking`` fail the FA*IR test.
+
+    ``0`` means ranked-group-fair at every depth.  With ``correct`` the
+    mtable is built at the family-wise adjusted significance, matching the
+    FA*IR paper's test (and what :func:`~repro.core.interventions.
+    fair_rerank` guarantees).
+    """
+    n = len(ranking)
+    effective = adjusted_alpha(n, p, alpha) if correct else alpha
+    if effective <= 0.0:
+        return 0
+    table = mtable(n, p, effective)
+    failures = 0
+    count = 0
+    for index, item in enumerate(ranking):
+        if item in protected:
+            count += 1
+        if count < table[index]:
+            failures += 1
+    return failures
+
+
+@dataclass(frozen=True)
+class FairMeasure:
+    """FA*IR's test as a group-ranking unfairness value in ``[0, 1]``.
+
+    The assessed group is the protected one; everyone else in the ranking
+    (comparables and unlabeled workers alike) is unprotected, which is also
+    exactly how the re-ranking interventions see the list — so a ranking
+    re-ranked by ``fair_rerank`` scores ``0.0`` here.
+
+    Parameters
+    ----------
+    alpha:
+        Significance level of the per-prefix binomial test.
+    p:
+        Null-hypothesis protected probability; defaults to the group's
+        actual share of the ranking (testing the *distribution* of the
+        group through the prefixes, not its overall size).
+    correct:
+        Apply the multiple-tests alpha correction (FA*IR's default).
+    """
+
+    alpha: float = DEFAULT_ALPHA
+    p: float | None = None
+    correct: bool = True
+    name: str = "fair"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < _MAX_ALPHA:
+            raise MeasureError(
+                f"significance alpha must lie in (0, {_MAX_ALPHA}), "
+                f"got {self.alpha}"
+            )
+        if self.p is not None and not 0.0 < self.p < 1.0:
+            raise MeasureError(
+                f"protected probability p must lie in (0, 1), got {self.p}"
+            )
+
+    def group_value(
+        self,
+        ranking: RankedList,
+        group_members: Sequence[str],
+        comparable_members: Mapping[str, Sequence[str]],
+    ) -> float:
+        """Fraction of prefixes at which the ranking fails the FA*IR test."""
+        if not group_members:
+            raise MeasureError("the assessed group has no members in this ranking")
+        n = len(ranking)
+        if n == 0:
+            raise MeasureError("cannot test an empty ranking for group fairness")
+        protected = frozenset(group_members)
+        p = self.p if self.p is not None else len(protected) / n
+        if not 0.0 < p < 1.0:
+            # The group is everyone (or absent): no prefix can under- or
+            # over-represent it, so the test trivially passes.
+            return 0.0
+        return prefix_failures(
+            ranking, protected, p, self.alpha, correct=self.correct
+        ) / n
+
+
+register_measure(
+    "fair",
+    FairMeasure,
+    family=GROUP_RANKING,
+    description=(
+        "FA*IR ranked group fairness (Zehlike et al.): fraction of ranking "
+        "prefixes where the group's count falls below the alpha-corrected "
+        "binomial mtable"
+    ),
+    options=(
+        MeasureOption(
+            "alpha", "number", DEFAULT_ALPHA,
+            "significance level of the per-prefix binomial test, in (0, 0.5)",
+        ),
+        MeasureOption(
+            "p", "number", None,
+            "null-hypothesis protected probability; defaults to the group's "
+            "share of the ranking",
+        ),
+        MeasureOption(
+            "correct", "boolean", True,
+            "apply the family-wise multiple-tests alpha correction",
+        ),
+    ),
+)

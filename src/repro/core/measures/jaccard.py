@@ -63,4 +63,24 @@ class JaccardMeasure:
         return jaccard_distance(left.item_set(), right.item_set())
 
 
-register_measure("jaccard", JaccardMeasure)
+from .base import MeasureOption, RANKED_LIST  # noqa: E402  (import-time)
+
+register_measure(
+    "jaccard",
+    JaccardMeasure,
+    family=RANKED_LIST,
+    description=(
+        "Jaccard comparison of two users' result sets, order-ignoring "
+        "(§3.2; 'distance' mode is 1 − index)"
+    ),
+    options=(
+        MeasureOption(
+            "mode",
+            "string",
+            "distance",
+            "'distance' (higher = more unfair) or the paper's Figure 3 raw "
+            "'index'",
+            choices=("distance", "index"),
+        ),
+    ),
+)

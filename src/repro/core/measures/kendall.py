@@ -176,4 +176,24 @@ def kendall_tau_distance_reference(
     return total / pairs
 
 
-register_measure("kendall", KendallTauMeasure)
+from .base import MeasureOption, RANKED_LIST  # noqa: E402  (import-time)
+
+register_measure(
+    "kendall",
+    KendallTauMeasure,
+    family=RANKED_LIST,
+    description=(
+        "normalized Kendall K^(p) top-k distance between two users' result "
+        "lists (§3.2, after Fagin, Kumar & Sivakumar)"
+    ),
+    options=(
+        MeasureOption(
+            "penalty",
+            "number",
+            0.5,
+            "neutral penalty for pairs whose relative order is unknowable, "
+            "in [0, 1]",
+        ),
+    ),
+    default_for=("google",),
+)

@@ -7,9 +7,16 @@ one ``(query, location)`` pair:
   the comparable groups ``g'`` of ``g``, of the average pairwise ranked-list
   distance (Kendall Tau or Jaccard) between users of ``g`` and users of
   ``g'``.
-* :class:`MarketplaceUnfairness` implements §3.3 — either the average EMD
-  between ``g``'s relevance-score histogram and each comparable group's
-  (§3.3.1), or the exposure deviation ``|exp(g) − rel(g)|`` (§3.3.2).
+* :class:`MarketplaceUnfairness` implements §3.3 — any *group-ranking*
+  measure scoring ``g`` against its populated comparable groups inside one
+  worker ranking (EMD §3.3.1, exposure deviation §3.3.2, FA*IR, …).
+
+Both engines resolve their measure through the registry in
+:mod:`repro.core.measures.base`: the registered family decides which engine
+accepts the measure, and the registered option schema decides which of the
+engine's constructor knobs (``bins``, ``penalty``, …) reach the measure's
+factory.  Registering a new measure of the right family makes it servable
+here — and therefore by the query service — with no engine edits.
 
 Both expose the same ``unfairness(group, query, location)`` interface plus
 the §3.4 aggregations over sets of queries/locations/groups, so the cube,
@@ -23,13 +30,15 @@ from typing import Iterable, Protocol, Sequence
 
 from ..data.schema import MarketplaceDataset, SearchDataset
 from ..exceptions import DataError, MeasureError
-from ..stats.histograms import DEFAULT_BINS, UnitHistogram
+from ..stats.histograms import DEFAULT_BINS
 from .attributes import AttributeSchema
 from .groups import Group, comparable_groups
-from .measures.emd import emd
-from .measures.exposure import exposure_deviation
-from .measures.jaccard import JaccardMeasure
-from .measures.kendall import KendallTauMeasure
+from .measures.base import (
+    GROUP_RANKING,
+    RANKED_LIST,
+    measure_info,
+    measures_for_family,
+)
 
 __all__ = [
     "UnfairnessEngine",
@@ -53,6 +62,26 @@ class UnfairnessEngine(Protocol):
         ...
 
 
+def _build_measure(
+    measure: str, family: str, site_kind: str, candidates: dict
+) -> object:
+    """Instantiate ``measure`` via the registry, enforcing its family.
+
+    ``candidates`` holds every option the engine's signature offers; the
+    measure's declared option schema filters them, so e.g. ``bins`` never
+    reaches the exposure constructor and unknown measures list the right
+    family's alternatives in the error.
+    """
+    info = measure_info(measure)
+    if info.family != family:
+        raise MeasureError(
+            f"{site_kind} engines need a {family} measure; {measure!r} is "
+            f"{info.family or 'family-less'} (available: "
+            f"{measures_for_family(family)})"
+        )
+    return info.factory(**info.filter_options(candidates))
+
+
 class SearchEngineUnfairness:
     """Equation 1 on a :class:`~repro.data.schema.SearchDataset`.
 
@@ -63,12 +92,16 @@ class SearchEngineUnfairness:
     schema:
         The protected-attribute schema defining comparable groups.
     measure:
-        ``"kendall"`` (default) or ``"jaccard"`` — the DIST between two
-        users' ranked lists.
+        Any registered ranked-list measure (``"kendall"`` by default) — the
+        DIST between two users' ranked lists.
     penalty:
-        Kendall ``K^(p)`` neutral-pair penalty (ignored for Jaccard).
+        Kendall ``K^(p)`` neutral-pair penalty (offered to every measure;
+        only those declaring the option receive it).
     jaccard_mode:
-        ``"distance"`` or ``"index"`` (ignored for Kendall).
+        ``"distance"`` or ``"index"`` (reaches measures declaring ``mode``).
+    measure_options:
+        Further options forwarded to the measure's constructor when its
+        registered option schema declares them.
     """
 
     def __init__(
@@ -78,18 +111,18 @@ class SearchEngineUnfairness:
         measure: str = "kendall",
         penalty: float = 0.5,
         jaccard_mode: str = "distance",
+        **measure_options,
     ) -> None:
         self.dataset = dataset
         self.schema = schema
         self.measure_name = measure.lower()
-        if self.measure_name == "kendall":
-            self._dist = KendallTauMeasure(penalty=penalty)
-        elif self.measure_name == "jaccard":
-            self._dist = JaccardMeasure(mode=jaccard_mode)
-        else:
-            raise MeasureError(
-                f"search-engine measures are 'kendall' or 'jaccard', got {measure!r}"
-            )
+        self.measure = _build_measure(
+            self.measure_name,
+            RANKED_LIST,
+            "search-engine",
+            {"penalty": penalty, "mode": jaccard_mode, **measure_options},
+        )
+        self._dist = self.measure
 
     def _group_distance(
         self, left_users: Sequence[str], right_users: Sequence[str], observation
@@ -153,17 +186,22 @@ class MarketplaceUnfairness:
     schema:
         The protected-attribute schema defining comparable groups.
     measure:
-        ``"emd"`` (default) — average EMD between relevance histograms of
-        ``g`` and each comparable group — or ``"exposure"`` — L1 deviation
-        between exposure share and relevance share.
+        Any registered group-ranking measure: ``"emd"`` (default; average
+        EMD between relevance histograms of ``g`` and each comparable
+        group), ``"exposure"`` (L1 deviation between exposure share and
+        relevance share), ``"fair"`` (FA*IR prefix-failure rate), or
+        anything registered since.
     bins:
-        Histogram bin count for the EMD variant.
+        Histogram bin count (reaches measures declaring ``bins``).
     exposure_denominator:
         ``"comparables"`` (default) follows §3.3.2's formulas literally
         (the Figure 5 worked example); ``"ranking"`` normalizes shares over
         the whole ranking instead, which is the only reading under which
         the paper's Table 8 can report *unequal* exposure for Male and
-        Female.  See :func:`repro.core.measures.exposure_deviation`.
+        Female.  Reaches measures declaring ``denominator``.
+    measure_options:
+        Further options forwarded to the measure's constructor when its
+        registered option schema declares them.
     """
 
     def __init__(
@@ -173,22 +211,31 @@ class MarketplaceUnfairness:
         measure: str = "emd",
         bins: int = DEFAULT_BINS,
         exposure_denominator: str = "comparables",
+        **measure_options,
     ) -> None:
-        if measure.lower() not in ("emd", "exposure"):
-            raise MeasureError(
-                f"marketplace measures are 'emd' or 'exposure', got {measure!r}"
-            )
         self.dataset = dataset
         self.schema = schema
         self.measure_name = measure.lower()
+        self.measure = _build_measure(
+            self.measure_name,
+            GROUP_RANKING,
+            "marketplace",
+            {
+                "bins": bins,
+                "denominator": exposure_denominator,
+                **measure_options,
+            },
+        )
         self.bins = bins
         self.exposure_denominator = exposure_denominator
 
-    def _relevance_scores(self, ranking, members: Sequence[str]) -> list[float]:
-        return [ranking.relevance(worker_id) for worker_id in members]
-
-    def unfairness(self, group: Group, query: str, location: str) -> float:
-        """``d<g,q,l>`` via EMD (§3.3.1) or Exposure (§3.3.2)."""
+    def ranked_members(
+        self, group: Group, query: str, location: str
+    ) -> tuple[object, list[str], dict[str, list[str]]]:
+        """The ``(ranking, group members, populated comparables)`` triple
+        for one cell — the inputs every group-ranking measure (and the
+        what-if interventions) consumes.  Raises :class:`DataError` when
+        the cell is undefined."""
         observation = self.dataset.observation(query, location)
         ranking = observation.ranking
         members = self.dataset.members_in_ranking(group, ranking)
@@ -200,32 +247,18 @@ class MarketplaceUnfairness:
             other: self.dataset.members_in_ranking(other, ranking)
             for other in comparable_groups(group, self.schema)
         }
-        populated = {other: ids for other, ids in others.items() if ids}
+        populated = {other.name: ids for other, ids in others.items() if ids}
         if not populated:
             raise DataError(
                 f"group {group} has no populated comparable groups for "
                 f"({query!r}, {location!r})"
             )
-        if self.measure_name == "exposure":
-            return exposure_deviation(
-                ranking,
-                members,
-                {other.name: ids for other, ids in populated.items()},
-                denominator=self.exposure_denominator,
-            )
-        own_histogram = UnitHistogram.from_values(
-            self._relevance_scores(ranking, members), bins=self.bins
-        )
-        distances = [
-            emd(
-                own_histogram,
-                UnitHistogram.from_values(
-                    self._relevance_scores(ranking, ids), bins=self.bins
-                ),
-            )
-            for ids in populated.values()
-        ]
-        return statistics.fmean(distances)
+        return ranking, members, populated
+
+    def unfairness(self, group: Group, query: str, location: str) -> float:
+        """``d<g,q,l>`` via the configured group-ranking measure."""
+        ranking, members, populated = self.ranked_members(group, query, location)
+        return self.measure.group_value(ranking, members, populated)
 
     def defined_for(self, group: Group, query: str, location: str) -> bool:
         """True when the group and at least one comparable group are ranked."""

@@ -69,6 +69,7 @@ from .handlers import (
     handle_quantify,
     handle_readyz,
     handle_schema,
+    handle_whatif,
     resolve_degraded,
 )
 from .ingest import IngestManager, handle_observations, handle_trends, trends_document
@@ -102,6 +103,7 @@ POST_ROUTES = {
     "/quantify": handle_quantify,
     "/compare": handle_compare,
     "/explain": handle_explain,
+    "/whatif": handle_whatif,
     "/batch": handle_batch,
     # The live write path.  "/trends" is registered here too so the shard
     # workers' frame dispatch (which speaks POST) can answer routed trend

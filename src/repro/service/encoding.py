@@ -22,6 +22,7 @@ from ..core.explain import CellExplanation
 from ..core.fagin import TopKResult
 from ..core.groups import Group
 from ..core.indices import AccessStats
+from ..core.interventions import InterventionResult
 from ..exceptions import ReproError
 from .errors import ServiceError
 
@@ -32,6 +33,7 @@ __all__ = [
     "encode_topk",
     "encode_comparison",
     "encode_explanation",
+    "encode_whatif",
     "batch_item_ok",
     "batch_item_error",
     "encode_batch",
@@ -137,6 +139,30 @@ def encode_explanation(explanation: CellExplanation) -> dict:
             }
             for contribution in explanation.contributions
         ],
+    }
+
+
+def encode_whatif(result: InterventionResult) -> dict:
+    """JSON document for a what-if intervention result.
+
+    ``measures`` reports before/after/delta for every registered
+    group-ranking measure that is defined on this cell; negative deltas mean
+    the intervention reduced that measure's unfairness.
+    """
+    return {
+        "kind": "whatif",
+        "intervention": result.intervention,
+        "original": list(result.original.items),
+        "reranked": list(result.reranked.items),
+        "moved": result.moved,
+        "measures": {
+            name: {
+                "before": result.before[name],
+                "after": result.after[name],
+                "delta": result.after[name] - result.before[name],
+            }
+            for name in sorted(result.before)
+        },
     }
 
 

@@ -21,6 +21,13 @@ from typing import Hashable, Mapping
 
 from ..core.batch import group_key
 from ..core.explain import explain_cell
+from ..core.interventions import available_interventions, intervention_info
+from ..core.measures.base import (
+    GROUP_RANKING,
+    available_measures,
+    family_for_site,
+    measure_info,
+)
 from ..exceptions import ReproError
 from .cache import LRUCache
 from .encoding import (
@@ -31,6 +38,7 @@ from .encoding import (
     encode_comparison,
     encode_explanation,
     encode_topk,
+    encode_whatif,
     parse_group,
     parse_member,
 )
@@ -50,6 +58,7 @@ __all__ = [
     "handle_quantify",
     "handle_compare",
     "handle_explain",
+    "handle_whatif",
     "handle_batch",
     "handle_front_read",
     "handle_datasets",
@@ -137,6 +146,16 @@ def _bool_field(payload: Mapping, name: str, default: bool = False) -> bool:
     if not isinstance(value, bool):
         raise BadRequest(f"field {name!r} must be a boolean")
     return value
+
+
+def _number_field(payload: Mapping, name: str) -> float | None:
+    """An optional numeric field (int or float, not bool)."""
+    value = payload.get(name)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadRequest(f"field {name!r} must be a number")
+    return float(value)
 
 
 def _choice_field(
@@ -461,18 +480,132 @@ def handle_explain(context: ServiceContext, payload) -> dict:
     return {**document, "cached": was_hit}
 
 
+@dataclass(frozen=True)
+class _WhatifRequest(_ParsedRequest):
+    """One fully validated what-if request plus its cache keys."""
+
+    measure: str = ""
+    group: Hashable = None
+    query: str = ""
+    location: str = ""
+    intervention: str = ""
+    alpha: float | None = None
+    p: float | None = None
+    seed: int = 0
+
+
+def _parse_whatif(context: ServiceContext, payload) -> _WhatifRequest:
+    payload = _require_object(payload)
+    dataset = _string_field(payload, "dataset")
+    group_text = _string_field(payload, "group")
+    query = _string_field(payload, "query")
+    location = _string_field(payload, "location")
+    intervention = _string_field(payload, "intervention")
+    alpha = _number_field(payload, "alpha")
+    p = _number_field(payload, "p")
+    seed = _int_field(payload, "seed", 0)
+    allow_stale = _bool_field(payload, "allow_stale")
+    spec = context.registry.spec(dataset)  # 404 before any heavy work
+    interventions = available_interventions()
+    if intervention.lower() not in interventions:
+        raise Unprocessable(
+            f"unknown intervention {intervention!r}; available: {interventions}"
+        )
+    intervention = intervention.lower()
+    if family_for_site(spec.site) != GROUP_RANKING:
+        raise Unprocessable(
+            f"dataset {dataset!r} is a {spec.site} (ranked-list) dataset; "
+            "what-if interventions re-rank the shared worker ranking of a "
+            "group-ranking dataset"
+        )
+    try:
+        group = parse_group(group_text)
+    except ReproError as error:
+        raise Unprocessable(str(error)) from error
+
+    generation, key, stale_key = _request_keys(
+        context,
+        "whatif",
+        dataset,
+        {
+            "dataset": dataset,
+            "group": str(group),
+            "query": query,
+            "location": location,
+            "intervention": intervention,
+            "alpha": alpha,
+            "p": p,
+            "seed": seed,
+        },
+    )
+    return _WhatifRequest(
+        dataset=dataset,
+        generation=generation,
+        key=key,
+        stale_key=stale_key,
+        allow_stale=allow_stale,
+        measure=spec.default_measure,
+        group=group,
+        query=query,
+        location=location,
+        intervention=intervention,
+        alpha=alpha,
+        p=p,
+        seed=seed,
+    )
+
+
+def handle_whatif(context: ServiceContext, payload) -> dict:
+    """``POST /whatif`` — re-rank one cell's ranking, report every measure.
+
+    Purely hypothetical: runs a registered intervention on the worker
+    ranking behind ``d<group, query, location>`` and reports the
+    before/after value of **all** registered group-ranking measures; the
+    dataset and its materializations are untouched.  The F-Box is looked up
+    under the dataset's default measure purely to share the already-built
+    instance — the intervention consults the measure registry directly.
+    """
+    request = _parse_whatif(context, payload)
+
+    def compute() -> dict:
+        fbox = context.registry.fbox(request.dataset, request.measure)
+        result = _run_query(
+            lambda: fbox.whatif(
+                request.group,
+                request.query,
+                request.location,
+                request.intervention,
+                alpha=request.alpha,
+                p=request.p,
+                seed=request.seed,
+            )
+        )
+        document = encode_whatif(result)
+        document.update(
+            dataset=request.dataset,
+            group=str(request.group),
+            query=request.query,
+            location=request.location,
+        )
+        return document
+
+    document, was_hit = _answer(context, request, compute)
+    return {**document, "cached": was_hit}
+
+
 _DEGRADED_PARSERS = {
     "/quantify": _parse_quantify,
     "/compare": _parse_compare,
     "/explain": _parse_explain,
+    "/whatif": _parse_whatif,
 }
 
 _FRONT_READ_PATHS = ("/quantify", "/compare")
 """Endpoints a sharded front can answer straight from a published columnar
-segment.  ``/explain`` is excluded on purpose: it decomposes a cell through
-the unfairness *engine* (per-observation evidence), which only the owning
-worker holds — segments carry the materialized cube and indices, not the
-raw dataset."""
+segment.  ``/explain`` and ``/whatif`` are excluded on purpose: both reach
+through the unfairness *engine* into per-observation evidence (the raw
+worker rankings), which only the owning worker holds — segments carry the
+materialized cube and indices, not the raw dataset."""
 
 
 def _front_quantify(context: ServiceContext, request: _QuantifyRequest, fbox) -> dict:
@@ -807,6 +940,7 @@ def _common_query_fields() -> list[dict]:
         _field(
             "measure", "string",
             "distance measure; defaults to the dataset's default_measure",
+            enum=tuple(available_measures()),
         ),
         _field(
             "allow_stale", "boolean",
@@ -866,14 +1000,55 @@ def _explain_fields() -> list[dict]:
     ]
 
 
+def _whatif_fields() -> list[dict]:
+    return [
+        _field(
+            "dataset", "string",
+            "registered dataset name (see GET /v1/datasets); must be a "
+            "group-ranking (marketplace) dataset",
+            required=True,
+        ),
+        _field(
+            "group", "string",
+            "group to repair the ranking for, attr=value[,attr=value]",
+            required=True,
+        ),
+        _field("query", "string", "query of the cell to re-rank", required=True),
+        _field("location", "string", "location of the cell to re-rank", required=True),
+        _field(
+            "intervention", "string", "registered re-ranking intervention",
+            required=True, enum=tuple(available_interventions()),
+        ),
+        _field("alpha", "number", "FA*IR significance level, in (0, 0.5)"),
+        _field(
+            "p", "number",
+            "FA*IR null-hypothesis protected probability; defaults to the "
+            "group's share of the ranking",
+        ),
+        _field(
+            "seed", "integer",
+            "deterministic tie-break seed for exposure_lp", default=0,
+        ),
+        _field(
+            "allow_stale", "boolean",
+            "opt in to a degraded last-known-good answer when the deadline "
+            "fires or a breaker is open",
+            default=False,
+        ),
+    ]
+
+
 def service_schema() -> dict:
     """The ``GET /v1/schema`` document.
 
     Generated from the same constants the validators consult
     (``_DIMENSIONS``, ``_ORDERS``, the algorithm tables, the batch op list
-    and size cap) and from :func:`~repro.service.errors.error_catalog`, so
-    the advertised enums and error codes can never drift from what the
-    service actually accepts and raises.
+    and size cap), from the live measure and intervention registries
+    (:func:`~repro.core.measures.base.available_measures` and friends — a
+    measure registered at runtime appears here with no service edits), and
+    from :func:`~repro.service.errors.error_catalog`, so the advertised
+    enums and error codes can never drift from what the service actually
+    accepts and raises.
     """
     endpoint = lambda method, path, description, **extra: {  # noqa: E731
         "method": method,
@@ -885,6 +1060,13 @@ def service_schema() -> dict:
     return {
         "version": API_VERSION,
         "mount": API_PREFIX,
+        "measures": [
+            measure_info(name).describe() for name in available_measures()
+        ],
+        "interventions": [
+            intervention_info(name).describe()
+            for name in available_interventions()
+        ],
         "legacy": {
             "deprecated": True,
             "sunset": LEGACY_SUNSET,
@@ -906,6 +1088,13 @@ def service_schema() -> dict:
                 "POST", "/explain",
                 "decompose one d<g,q,l> cell into contributions",
                 request_fields=_explain_fields(),
+            ),
+            endpoint(
+                "POST", "/whatif",
+                "hypothetically re-rank one cell's worker ranking with a "
+                "fairness intervention; reports before/after for every "
+                "registered group-ranking measure",
+                request_fields=_whatif_fields(),
             ),
             endpoint(
                 "POST", "/batch",

@@ -33,6 +33,7 @@ from typing import Callable
 from ..core.attributes import default_schema
 from ..core.colstore import ColumnarFBox, SegmentSpace
 from ..core.fbox import FBox
+from ..core.measures.base import default_measure_for_site
 from ..data.io import load_marketplace_dataset, load_search_dataset
 from ..exceptions import ReproError
 from .errors import NotFound, ServiceError, Unprocessable
@@ -82,8 +83,9 @@ class DatasetSpec:
         Zero-argument callable returning the dataset object.  Called at most
         once per registry.
     default_measure:
-        Measure used when a request omits one (``emd`` for marketplaces,
-        ``kendall`` for search engines).
+        Measure used when a request omits one; defaults to whichever
+        registered measure declares itself ``default_for`` the site (see
+        :func:`repro.core.measures.base.default_measure_for_site`).
     description:
         One line for the ``/datasets`` listing.
     """
@@ -99,9 +101,7 @@ class DatasetSpec:
             raise ReproError(f"site must be one of {_SITES}, got {self.site!r}")
         if not self.default_measure:
             object.__setattr__(
-                self,
-                "default_measure",
-                "emd" if self.site == "taskrabbit" else "kendall",
+                self, "default_measure", default_measure_for_site(self.site)
             )
 
 
