@@ -60,7 +60,7 @@ def _teardown(server, thread) -> None:
 
 
 def _scrape(base: str) -> dict:
-    with urllib.request.urlopen(base + "/metrics") as response:
+    with urllib.request.urlopen(base + "/v1/metrics") as response:
         text = response.read().decode("utf-8")
     return {
         "sorted": _metric(text, 'fbox_index_accesses_total{mode="sorted"}'),
@@ -80,7 +80,7 @@ def test_batch_vs_sequential():
     try:
         started = perf_counter()
         for payload in grid:
-            document = _post(server.url, "/quantify", payload)
+            document = _post(server.url, "/v1/quantify", payload)
             assert document["cached"] is False
         sequential_seconds = perf_counter() - started
         sequential = _scrape(server.url)
@@ -91,7 +91,7 @@ def test_batch_vs_sequential():
     try:
         started = perf_counter()
         envelope = _post(
-            server.url, "/batch", [{"op": "quantify", **payload} for payload in grid]
+            server.url, "/v1/batch", [{"op": "quantify", **payload} for payload in grid]
         )
         batch_seconds = perf_counter() - started
         batched = _scrape(server.url)

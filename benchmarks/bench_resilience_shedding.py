@@ -53,7 +53,7 @@ def _injector() -> FaultInjector:
 
 def _post(base: str) -> tuple[float, int]:
     request = urllib.request.Request(
-        base + "/quantify",
+        base + "/v1/quantify",
         data=json.dumps(_PAYLOAD).encode("utf-8"),
         headers={"Content-Type": "application/json"},
     )

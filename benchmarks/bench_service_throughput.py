@@ -90,13 +90,13 @@ def _run_backend(dataset, backend: str, cold: int, warm: int) -> dict:
     base = server.url
     try:
         build_seconds = _post(
-            base, "/quantify", {"dataset": "taskrabbit", "dimension": "group", "k": 11}
+            base, "/v1/quantify", {"dataset": "taskrabbit", "dimension": "group", "k": 11}
         )
         cold_latencies = [
-            _post(base, "/quantify", payload) for payload in _cold_population(cold)
+            _post(base, "/v1/quantify", payload) for payload in _cold_population(cold)
         ]
         hot = {"dataset": "taskrabbit", "dimension": "group", "k": 11}
-        warm_latencies = [_post(base, "/quantify", hot) for _ in range(warm)]
+        warm_latencies = [_post(base, "/v1/quantify", hot) for _ in range(warm)]
     finally:
         server.shutdown()
         thread.join(timeout=10)

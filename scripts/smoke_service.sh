@@ -25,11 +25,20 @@
 #      while a background FBoxClient query loop hammers both datasets —
 #      the loop must see zero failures (only transparent retries), the
 #      post-resize answers must match the pre-resize ones, and the replayed
-#      batch must still answer from the migrated idempotency ledger.
+#      batch must still answer from the migrated idempotency ledger;
+#   8. scenarios + loadgen: boot sharded with an admin token, register the
+#      `null_no_bias` scenario at runtime through POST /v1/datasets, list
+#      it via GET /v1/scenarios, then replay the seeded traffic mix with
+#      `repro loadgen --quick` — the run must finish with zero hard
+#      failures and non-zero throughput.
 #
-# All seven passes run once per transport backend (`--backend threads`,
+# All eight passes run once per transport backend (`--backend threads`,
 # then `--backend asyncio`) — the two fronts share one application layer,
 # so every pass must behave identically on both.
+#
+# Unversioned paths are retired (410 by default); pass 1 asserts the 410
+# pointer, pass 4 boots with `--legacy-routes serve` to cover the
+# deprecated straggler passthrough.
 #
 # Exits nonzero on any failure.
 #
@@ -114,7 +123,7 @@ boot_server() {
     while true; do
         kill -0 "$SERVER_PID" 2>/dev/null || fail "server process died during boot"
         local result status
-        result="$(http GET "$BASE/healthz")"
+        result="$(http GET "$BASE/v1/healthz")"
         status="${result%% *}"
         if [ "$status" = "200" ]; then
             break
@@ -151,24 +160,33 @@ run_passes() {
 # ----------------------------------------------------------------------
 
 boot_server
-expect 200 "readyz" GET "$BASE/readyz" >/dev/null
+expect 200 "readyz" GET "$BASE/v1/readyz" >/dev/null
 echo "smoke: healthz + readyz ok"
 
-BODY="$(expect 200 "quantify" POST "$BASE/quantify" '{"dataset": "taskrabbit", "dimension": "group", "k": 3}')"
+# The unversioned mount is retired: a known legacy path answers 410 with a
+# machine-readable pointer to its /v1 home.
+BODY="$(expect 410 "retired legacy path" GET "$BASE/healthz")"
+case "$BODY" in
+    *'"v1_path": "/v1/healthz"'*|*'"v1_path":"/v1/healthz"'*) ;;
+    *) fail "410 body lacks the v1_path pointer: $BODY" ;;
+esac
+echo "smoke: legacy 410 pointer ok"
+
+BODY="$(expect 200 "quantify" POST "$BASE/v1/quantify" '{"dataset": "taskrabbit", "dimension": "group", "k": 3}')"
 case "$BODY" in
     *'"unfairness"'*) ;;
     *) fail "quantify body lacks unfairness values: $BODY" ;;
 esac
 echo "smoke: quantify ok"
 
-BODY="$(expect 200 "batch" POST "$BASE/batch" '[{"op": "quantify", "dataset": "taskrabbit", "dimension": "group", "k": 2}, {"op": "quantify", "dataset": "taskrabbit", "dimension": "group", "k": 4}]')"
+BODY="$(expect 200 "batch" POST "$BASE/v1/batch" '[{"op": "quantify", "dataset": "taskrabbit", "dimension": "group", "k": 2}, {"op": "quantify", "dataset": "taskrabbit", "dimension": "group", "k": 4}]')"
 case "$BODY" in
     *'"sweep_groups": 1'*|*'"sweep_groups":1'*) ;;
     *) fail "batch envelope lacks a shared sweep group: $BODY" ;;
 esac
 echo "smoke: batch ok"
 
-BODY="$(expect 200 "metrics" GET "$BASE/metrics")"
+BODY="$(expect 200 "metrics" GET "$BASE/v1/metrics")"
 case "$BODY" in
     *fbox_requests_total*) ;;
     *) fail "metrics exposition lacks fbox_requests_total" ;;
@@ -191,15 +209,15 @@ boot_server --breaker-failures 2 --breaker-reset 1
 unset FBOX_FAULTS
 
 # Two injected load crashes surface as 500s and open the circuit ...
-expect 500 "chaos quantify #1" POST "$BASE/quantify" "$GOOGLE" >/dev/null
-expect 500 "chaos quantify #2" POST "$BASE/quantify" "$GOOGLE" >/dev/null
+expect 500 "chaos quantify #1" POST "$BASE/v1/quantify" "$GOOGLE" >/dev/null
+expect 500 "chaos quantify #2" POST "$BASE/v1/quantify" "$GOOGLE" >/dev/null
 # ... so the next request is rejected instantly with the breaker state ...
-BODY="$(expect 503 "quarantined quantify" POST "$BASE/quantify" "$GOOGLE")"
+BODY="$(expect 503 "quarantined quantify" POST "$BASE/v1/quantify" "$GOOGLE")"
 case "$BODY" in
     *circuit_open*) ;;
     *) fail "quarantined response lacks circuit_open: $BODY" ;;
 esac
-BODY="$(expect 503 "readyz while quarantined" GET "$BASE/readyz")"
+BODY="$(expect 503 "readyz while quarantined" GET "$BASE/v1/readyz")"
 case "$BODY" in
     *'"unavailable"'*) ;;
     *) fail "readyz should be unavailable while quarantined: $BODY" ;;
@@ -208,12 +226,12 @@ echo "smoke: breaker opened ok"
 
 # ... and after the 1s backoff a half-open probe (fault budget spent) heals it.
 sleep 1.2
-BODY="$(expect 200 "recovered quantify" POST "$BASE/quantify" "$GOOGLE")"
+BODY="$(expect 200 "recovered quantify" POST "$BASE/v1/quantify" "$GOOGLE")"
 case "$BODY" in
     *'"unfairness"'*) ;;
     *) fail "recovered quantify lacks unfairness values: $BODY" ;;
 esac
-expect 200 "readyz after recovery" GET "$BASE/readyz" >/dev/null
+expect 200 "readyz after recovery" GET "$BASE/v1/readyz" >/dev/null
 echo "smoke: breaker recovered ok"
 stop_server
 
@@ -228,15 +246,15 @@ boot_server --timeout 2
 unset FBOX_FAULTS
 
 # The first request is exempt (skip=1) and warms the last-known-good store.
-expect 200 "warming quantify" POST "$BASE/quantify" "$STALE" >/dev/null
+expect 200 "warming quantify" POST "$BASE/v1/quantify" "$STALE" >/dev/null
 # The second stalls past the 2s deadline; allow_stale must round-trip the
 # stale answer, loudly marked.
-BODY="$(expect 200 "degraded quantify" POST "$BASE/quantify" "$STALE")"
+BODY="$(expect 200 "degraded quantify" POST "$BASE/v1/quantify" "$STALE")"
 case "$BODY" in
     *'"degraded": true'*|*'"degraded":true'*) ;;
     *) fail "stalled quantify was not served degraded: $BODY" ;;
 esac
-BODY="$(expect 200 "metrics after degraded" GET "$BASE/metrics")"
+BODY="$(expect 200 "metrics after degraded" GET "$BASE/v1/metrics")"
 case "$BODY" in
     *'fbox_degraded_responses_total 1'*) ;;
     *) fail "metrics do not count the degraded response" ;;
@@ -248,7 +266,9 @@ stop_server
 # Pass 4: sharded execution (--shards 2) behind the versioned /v1 API
 # ----------------------------------------------------------------------
 
-boot_server --shards 2
+# --legacy-routes serve keeps the straggler passthrough alive so the
+# RFC 8594 deprecation headers stay covered.
+boot_server --shards 2 --legacy-routes serve
 expect 200 "sharded readyz" GET "$BASE/v1/readyz" >/dev/null
 
 BODY="$(expect 200 "sharded quantify (taskrabbit)" POST "$BASE/v1/quantify" '{"dataset": "taskrabbit", "dimension": "group", "k": 3}')"
@@ -490,6 +510,54 @@ case "$BODY" in
     *) fail "metrics do not count both resizes: $BODY" ;;
 esac
 echo "smoke: resize state + metrics ok"
+stop_server
+
+# ----------------------------------------------------------------------
+# Pass 8: runtime scenario registration + the seeded loadgen mix
+# ----------------------------------------------------------------------
+
+boot_server --shards 2 --admin-token smoke-token
+
+# GET /v1/scenarios advertises the preset catalog (paginated).
+BODY="$(expect 200 "scenario catalog" GET "$BASE/v1/scenarios")"
+case "$BODY" in
+    *'"null_no_bias"'*) ;;
+    *) fail "scenario catalog lacks null_no_bias: $BODY" ;;
+esac
+echo "smoke: scenario catalog ok"
+
+# Register the null scenario at runtime; the admin gate must hold first.
+BODY="$(expect 403 "unauthorized dataset registration" POST "$BASE/v1/datasets" '{"name": "nb", "scenario": "null_no_bias"}')"
+case "$BODY" in
+    *forbidden*) ;;
+    *) fail "unauthorized registration lacks the forbidden error kind: $BODY" ;;
+esac
+python3 - "$BASE" <<'EOF' || fail "scenario registration via POST /v1/datasets failed"
+import sys
+from repro.client import FBoxClient, RetryPolicy
+
+with FBoxClient(sys.argv[1], retry=RetryPolicy(max_attempts=1, seed=0)) as client:
+    document = client.register_scenario("nb", "null_no_bias", token="smoke-token")
+    assert document["dataset"] == "nb", document
+    assert document["scenario"] == "null_no_bias", document
+    listing = {entry["name"]: entry for entry in client.datasets()["datasets"]}
+    assert listing["nb"]["loaded"] is False, listing["nb"]  # lazy until queried
+EOF
+echo "smoke: runtime dataset registration ok"
+
+# Replay the seeded traffic mix against the registered dataset.  The CLI
+# exits nonzero on any hard failure, so the && is the error-budget gate.
+LOADGEN_OUT="$(python3 -m repro loadgen "$BASE" --dataset nb \
+    --scenario null_no_bias --quick --seed 3 2>&1)" \
+    || fail "repro loadgen reported hard failures: $LOADGEN_OUT"
+case "$LOADGEN_OUT" in
+    *'hard=0'*) ;;
+    *) fail "loadgen report lacks a zero hard-failure count: $LOADGEN_OUT" ;;
+esac
+THROUGHPUT="$(printf '%s\n' "$LOADGEN_OUT" | grep -o 'throughput=[0-9.]*' | cut -d= -f2)"
+python3 -c "import sys; sys.exit(0 if float('${THROUGHPUT:-0}') > 0 else 1)" \
+    || fail "loadgen measured no throughput: $LOADGEN_OUT"
+echo "smoke: loadgen mix ok (zero hard failures, ${THROUGHPUT} req/s)"
 stop_server
 
 }

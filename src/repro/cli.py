@@ -12,9 +12,16 @@ Commands
 ``simulate``   stream live observation batches from a simulator (JSONL)
 ``ingest``     POST observation batches to a running service's /v1/observations
 ``whatif``     hypothetically re-rank one cell with a fairness intervention
+``loadgen``    replay a seeded traffic mix against a running service
 
 ``quantify`` and ``compare`` accept ``--json`` to emit the same documents
 the service returns (shared encoder: :mod:`repro.service.encoding`).
+
+``generate`` and ``simulate`` accept ``--scenario NAME [--override k=v]``
+as an alternative to the positional site: the named preset from
+:mod:`repro.scenarios` fixes every generation knob (population, catalogs,
+demographic mix, bias intensities, seed) so the artifact is reproducible
+from its name alone.
 """
 
 from __future__ import annotations
@@ -54,7 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     generate = subparsers.add_parser("generate", help="build and save a dataset")
-    generate.add_argument("site", choices=["taskrabbit", "google"])
+    generate.add_argument(
+        "site", nargs="?", choices=["taskrabbit", "google"],
+        help="site to simulate (omit when --scenario names a preset)",
+    )
     generate.add_argument("output", help="output JSONL path")
     generate.add_argument("--seed", type=int, default=DEFAULT_SEED)
     generate.add_argument(
@@ -65,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--design", choices=["paper", "full"], default="full",
         help="Google study design",
     )
+    _add_scenario_arguments(generate)
 
     quantify = subparsers.add_parser("quantify", help="Problem 1: top/bottom-k")
     _add_dataset_arguments(quantify)
@@ -249,12 +260,21 @@ def build_parser() -> argparse.ArgumentParser:
         "= flat numpy blocks in shared-memory segments (workers re-attach "
         "after restarts; sharded fronts answer reads from the segments)",
     )
+    serve.add_argument(
+        "--legacy-routes", choices=["serve", "gone"], default="gone",
+        help="unversioned (pre-/v1) paths: gone = answer 410 with a v1_path "
+        "pointer (default); serve = deprecated passthrough with "
+        "Deprecation/Sunset headers for stragglers",
+    )
 
     simulate = subparsers.add_parser(
         "simulate",
         help="stream live observation batches from a simulator (JSONL)",
     )
-    simulate.add_argument("site", choices=["taskrabbit", "google"])
+    simulate.add_argument(
+        "site", nargs="?", choices=["taskrabbit", "google"],
+        help="site to simulate (omit when --scenario names a preset)",
+    )
     simulate.add_argument("--seed", type=int, default=DEFAULT_SEED)
     simulate.add_argument(
         "--scope", choices=["small", "full"], default="small",
@@ -276,6 +296,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--dataset-name", default=None,
         help="dataset name stamped on each batch (defaults to the site name)",
     )
+    _add_scenario_arguments(simulate)
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="replay a seeded traffic mix against a running service",
+    )
+    loadgen.add_argument("url", help="service base URL, e.g. http://127.0.0.1:8080")
+    loadgen.add_argument(
+        "--dataset", default="taskrabbit",
+        help="registered dataset name the operations target",
+    )
+    loadgen.add_argument(
+        "--scenario", default="paper_taskrabbit",
+        help="scenario preset the payload corpus is drawn from (must match "
+        "what the target dataset serves)",
+    )
+    loadgen.add_argument(
+        "--override", action="append", default=[], metavar="KEY=VALUE",
+        help="scenario field override (repeatable)",
+    )
+    loadgen.add_argument(
+        "--mode", choices=["closed", "open"], default="closed",
+        help="closed = N workers in lockstep request loops; open = seeded "
+        "Poisson arrivals at --rate (latency measured from the scheduled "
+        "arrival, so queueing delay is not hidden)",
+    )
+    loadgen.add_argument("--workers", type=int, default=4)
+    loadgen.add_argument("--requests", type=int, default=200)
+    loadgen.add_argument(
+        "--rate", type=float, default=50.0,
+        help="open-loop target arrival rate (requests/second)",
+    )
+    loadgen.add_argument(
+        "--warmup", type=int, default=0,
+        help="leading requests excluded from the latency report",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--mix", default=None,
+        help='operation mix as "op=weight,..." over '
+        "quantify|compare|batch|whatif|observations "
+        "(default 45/20/15/10/10)",
+    )
+    loadgen.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request client timeout in seconds",
+    )
+    loadgen.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke settings: 40 requests, 2 workers, 8 warmup",
+    )
+    loadgen.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
 
     ingest = subparsers.add_parser(
         "ingest",
@@ -293,6 +367,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="dataset name for bare-array lines",
     )
     return parser
+
+
+def _add_scenario_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--scenario", default=None,
+        help="named scenario preset (see repro.scenarios / GET /v1/scenarios)",
+    )
+    sub.add_argument(
+        "--override", action="append", default=[], metavar="KEY=VALUE",
+        help="scenario field override, e.g. seed=11 or "
+        '"cities=Boston, MA;Chicago, IL" (repeatable)',
+    )
+
+
+def _parse_override_pairs(pairs: list[str]) -> dict:
+    """``KEY=VALUE`` strings → an override mapping for ``with_overrides``."""
+    overrides = {}
+    for pair in pairs:
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise ReproError(f"override {pair!r} is not KEY=VALUE")
+        overrides[key.strip()] = value
+    return overrides
+
+
+def _scenario_config(args):
+    """Resolve ``--scenario``/``--override`` into a ScenarioConfig."""
+    from .scenarios import get_scenario
+
+    config = get_scenario(args.scenario)
+    overrides = _parse_override_pairs(args.override)
+    return config.with_overrides(overrides) if overrides else config
 
 
 def _add_dataset_arguments(sub: argparse.ArgumentParser) -> None:
@@ -331,6 +437,24 @@ def _load_fbox(args) -> FBox:
 
 
 def _command_generate(args) -> int:
+    if args.scenario:
+        from .scenarios import build_scenario
+
+        config = _scenario_config(args)
+        dataset = build_scenario(config)
+        if config.site == "taskrabbit":
+            save_marketplace_dataset(dataset, args.output)
+            detail = f"{len(dataset.workers)} workers"
+        else:
+            save_search_dataset(dataset, args.output)
+            detail = f"{len(dataset.users)} users"
+        print(
+            f"wrote {len(dataset)} observations ({detail}) to {args.output} "
+            f"[scenario {config.name}, seed {config.seed}]"
+        )
+        return 0
+    if not args.site:
+        raise ReproError("generate needs a site argument or --scenario NAME")
     if args.site == "taskrabbit":
         dataset = build_taskrabbit_dataset(seed=args.seed, level=args.level)
         save_marketplace_dataset(dataset, args.output)
@@ -534,7 +658,7 @@ def _command_batch(args) -> int:
         import urllib.request
 
         request = urllib.request.Request(
-            args.url.rstrip("/") + "/batch",
+            args.url.rstrip("/") + "/v1/batch",
             data=json.dumps(payload).encode("utf-8"),
             headers={"Content-Type": "application/json"},
         )
@@ -543,7 +667,7 @@ def _command_batch(args) -> int:
                 document = json.loads(response.read())
         except urllib.error.HTTPError as error:
             print(error.read().decode("utf-8", "replace"), file=sys.stderr)
-            print(f"error: POST /batch answered {error.code}", file=sys.stderr)
+            print(f"error: POST /v1/batch answered {error.code}", file=sys.stderr)
             return 1
     else:
         from .service.cache import LRUCache
@@ -605,6 +729,7 @@ def _command_serve(args) -> int:
         alert_threshold=args.alert_threshold if args.alert_threshold > 0 else None,
         core=args.core,
         admin_token=args.admin_token,
+        legacy_routes=args.legacy_routes,
     )
 
 
@@ -617,6 +742,51 @@ def _command_simulate(args) -> int:
     )
     from .service.registry import SMALL_CITIES
 
+    if args.scenario:
+        from .scenarios import build_scenario, build_scenario_site
+
+        config = _scenario_config(args)
+        name = args.dataset_name or config.name
+        dataset = build_scenario(config)
+        if config.site == "taskrabbit":
+            from .marketplace.crawl import emit_observations
+
+            stream = emit_observations(
+                build_scenario_site(config),
+                dataset,
+                batches=args.batches,
+                batch_size=args.batch_size,
+                seed=config.seed,
+                swaps=args.swaps,
+            )
+        else:
+            from .searchengine.study import emit_observations
+
+            stream = emit_observations(
+                dataset,
+                batches=args.batches,
+                batch_size=args.batch_size,
+                seed=config.seed,
+                swaps=args.swaps,
+            )
+        if not args.stream:
+            print(
+                f"{config.name} ({config.site}): {len(dataset)} observations "
+                f"over {len(dataset.queries)} queries × "
+                f"{len(dataset.locations)} locations; --stream emits "
+                f"{args.batches} batches of {args.batch_size}"
+            )
+            return 0
+        for position, batch in enumerate(stream):
+            line = {
+                "dataset": name,
+                "batch_id": f"sim-{config.name}-{config.seed}-{position}",
+                "observations": batch,
+            }
+            print(json.dumps(line, sort_keys=True))
+        return 0
+    if not args.site:
+        raise ReproError("simulate needs a site argument or --scenario NAME")
     name = args.dataset_name or args.site
     if args.site == "taskrabbit":
         from .marketplace.crawl import emit_observations
@@ -659,6 +829,57 @@ def _command_simulate(args) -> int:
         }
         print(json.dumps(line, sort_keys=True))
     return 0
+
+
+def _command_loadgen(args) -> int:
+    """Replay a seeded traffic mix against a running service, print a report.
+
+    Exit code 1 when any *hard* failure occurred (non-backpressure client
+    error, transport failure, or shed requests that exhausted retries) —
+    429/503 answers that eventually succeeded are backpressure working as
+    designed and do not fail the run.  This is the contract the smoke
+    harness and CI gate rely on.
+    """
+    from .scenarios import format_report, run_loadgen
+
+    config = _scenario_config(args)
+    requests = args.requests
+    workers = args.workers
+    warmup = args.warmup
+    if args.quick:
+        requests, workers, warmup = 40, 2, 8
+    mix = None
+    if args.mix:
+        mix = {}
+        for pair in args.mix.split(","):
+            op, separator, weight = pair.partition("=")
+            if not separator:
+                raise ReproError(f"mix entry {pair!r} is not op=weight")
+            try:
+                mix[op.strip()] = float(weight)
+            except ValueError:
+                raise ReproError(f"mix weight {weight!r} is not a number") from None
+    report = run_loadgen(
+        args.url,
+        args.dataset,
+        config,
+        mode=args.mode,
+        requests=requests,
+        workers=workers,
+        rate=args.rate,
+        warmup=warmup,
+        seed=args.seed,
+        mix=mix,
+        timeout=args.timeout,
+    )
+    if args.json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+    else:
+        print(format_report(report))
+    hard = report["errors"]["hard"]
+    if hard:
+        print(f"error: {hard} hard failures", file=sys.stderr)
+    return 1 if hard else 0
 
 
 def _command_ingest(args) -> int:
@@ -723,6 +944,7 @@ _COMMANDS = {
     "serve": _command_serve,
     "simulate": _command_simulate,
     "ingest": _command_ingest,
+    "loadgen": _command_loadgen,
 }
 
 

@@ -94,9 +94,11 @@ class FBoxClient:
     """Thin, retrying HTTP client for one F-Box service instance.
 
     Endpoint sugar (``quantify``, ``datasets``, ...) speaks the versioned
-    ``/v1`` API; the raw :meth:`request`/:meth:`post`/:meth:`get` methods
-    use whatever path the caller passes, so legacy unversioned paths stay
-    reachable for compatibility testing.
+    ``/v1`` API exclusively — there is no legacy fallback.  The raw
+    :meth:`request`/:meth:`post`/:meth:`get` methods use whatever path the
+    caller passes; note that servers answer unversioned paths with a
+    non-retryable ``410 gone`` by default (``--legacy-routes serve``
+    restores the deprecated passthrough).
     """
 
     api_prefix = "/v1"
@@ -404,6 +406,32 @@ class FBoxClient:
             headers=headers,
             idempotent=True,
         )
+
+    def register_scenario(
+        self,
+        name: str,
+        scenario: str,
+        overrides: dict | None = None,
+        token: str | None = None,
+    ) -> dict:
+        """``POST /v1/datasets`` — register a dataset from a named scenario.
+
+        ``overrides`` tweak scenario fields (``seed``, ``workers``,
+        ``bias_scale``, ...); ``token`` is sent as ``X-Admin-Token`` when
+        the server was started with ``--admin-token``.  Deliberately *not*
+        idempotent-retried: a replay that lands after the first attempt
+        succeeded answers 409 ``dataset_exists``, which is meaningful to
+        the caller, not noise to be retried through.
+        """
+        headers = {"X-Admin-Token": token} if token is not None else None
+        payload: dict = {"name": name, "scenario": scenario}
+        if overrides:
+            payload["overrides"] = dict(overrides)
+        return self.post(self._api("/datasets"), payload, headers=headers)
+
+    def scenarios(self) -> dict:
+        """``GET /v1/scenarios`` — the scenario-preset registry."""
+        return self.get(self._api("/scenarios"))[1]
 
     def trends(
         self, dataset: str, group: str, query: str, location: str, **params

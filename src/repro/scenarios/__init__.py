@@ -1,0 +1,56 @@
+"""Declarative scenarios: named synthetic worlds + the load harness.
+
+One frozen :class:`ScenarioConfig` names a world (population, catalogs,
+demographic mix, bias intensities, seed); :data:`PRESETS` registers the
+five named regimes; :func:`build_scenario` is the single generation funnel
+shared by the CLI, the in-process registry, and ``POST /v1/datasets``; and
+:func:`run_loadgen` replays realistic traffic mixes against a running
+server with seeded arrivals and a p50/p95/p99 + error-budget report.
+"""
+
+from __future__ import annotations
+
+from .build import (
+    build_scenario,
+    build_scenario_site,
+    decode_overrides,
+    encode_overrides,
+    scenario_spec,
+)
+from .config import SITES, ScenarioConfig
+from .loadgen import (
+    DEFAULT_MIX,
+    MODES,
+    arrival_schedule,
+    format_report,
+    latency_keys,
+    plan_operations,
+    report_keys,
+    run_loadgen,
+)
+from .presets import PRESETS, describe_scenarios, get_scenario, scenario_names
+from .scaled import PAGE_SLOTS, ScaledMarketplaceSite
+
+__all__ = [
+    "ScenarioConfig",
+    "SITES",
+    "PRESETS",
+    "get_scenario",
+    "scenario_names",
+    "describe_scenarios",
+    "build_scenario",
+    "build_scenario_site",
+    "scenario_spec",
+    "encode_overrides",
+    "decode_overrides",
+    "ScaledMarketplaceSite",
+    "PAGE_SLOTS",
+    "DEFAULT_MIX",
+    "MODES",
+    "plan_operations",
+    "arrival_schedule",
+    "run_loadgen",
+    "format_report",
+    "report_keys",
+    "latency_keys",
+]

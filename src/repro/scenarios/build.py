@@ -1,0 +1,125 @@
+"""One build path for every surface: scenario -> dataset / site / spec.
+
+``build_scenario`` is the single funnel the CLI (``repro generate
+--scenario``), the in-process :class:`DatasetRegistry`, and ``POST
+/v1/datasets`` all call, which is what makes the byte-identity acceptance
+criterion hold: identical ``(preset, overrides, seed)`` resolves to the
+same frozen config, and every generation knob downstream is derived from
+that config alone.
+
+``scenario_spec`` wraps the funnel in a :class:`DatasetSpec` whose
+``scenario``/``overrides`` fields are plain JSON-safe strings, so a sharded
+front can broadcast a runtime registration to its workers over the frame
+protocol and each worker rebuilds the identical spec locally.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..experiments.datasets import build_google_dataset, build_taskrabbit_dataset
+from ..marketplace.crawl import run_crawl
+from ..marketplace.site import TaskRabbitSite
+from ..service.errors import Unprocessable
+from ..service.registry import DatasetSpec
+from .config import ScenarioConfig
+from .presets import get_scenario
+from .scaled import ScaledMarketplaceSite
+
+__all__ = [
+    "build_scenario",
+    "build_scenario_site",
+    "scenario_spec",
+    "encode_overrides",
+    "decode_overrides",
+]
+
+
+def build_scenario(config: ScenarioConfig):
+    """Materialize the scenario's ground-truth dataset, deterministically.
+
+    Standard marketplace populations delegate to the memoized
+    paper-exact builders; scaled populations crawl a
+    :class:`ScaledMarketplaceSite` in bounded memory; Google scenarios run
+    the user study.
+    """
+    if config.site == "google":
+        return build_google_dataset(
+            seed=config.seed,
+            design=config.design,
+            personalization_scale=config.personalization_scale,
+        )
+    if config.is_scaled:
+        site = ScaledMarketplaceSite(config)
+        report = run_crawl(
+            site,
+            level=config.level,
+            jobs=list(config.queries) if config.queries else None,
+            cities=list(site.cities),
+            label_error_rate=config.label_error_rate,
+        )
+        return report.dataset
+    return build_taskrabbit_dataset(
+        seed=config.seed,
+        level=config.level,
+        jobs=config.queries or None,
+        cities=config.cities or None,
+        bias_scale=config.bias_scale,
+        label_error_rate=config.label_error_rate,
+    )
+
+
+def build_scenario_site(config: ScenarioConfig):
+    """The live marketplace behind a scenario (for ``repro simulate``).
+
+    Only marketplace scenarios have a searchable site; the Google stream
+    protocol replays the study dataset instead.
+    """
+    if config.site != "taskrabbit":
+        raise Unprocessable(
+            f"scenario {config.name!r} is a {config.site} scenario and has "
+            "no marketplace site"
+        )
+    if config.is_scaled:
+        return ScaledMarketplaceSite(config)
+    return TaskRabbitSite(seed=config.seed, bias_scale=config.bias_scale)
+
+
+def encode_overrides(overrides) -> tuple[tuple[str, str], ...]:
+    """Canonical, hashable, JSON-safe override encoding for specs."""
+    if not overrides:
+        return ()
+    return tuple(
+        sorted(
+            (str(key), json.dumps(value, sort_keys=True))
+            for key, value in dict(overrides).items()
+        )
+    )
+
+
+def decode_overrides(encoded) -> dict:
+    """Invert :func:`encode_overrides` back into an override mapping."""
+    return {key: json.loads(value) for key, value in encoded or ()}
+
+
+def scenario_spec(
+    name: str,
+    scenario: str,
+    overrides=None,
+    description: str | None = None,
+) -> DatasetSpec:
+    """A lazily building :class:`DatasetSpec` for a named scenario.
+
+    Raises :class:`NotFound` for unknown scenario names and
+    :class:`Unprocessable` for bad overrides, so HTTP registration answers
+    404/422 and the CLI prints the same message.
+    """
+    config = get_scenario(scenario).with_overrides(overrides)
+    return DatasetSpec(
+        name=name,
+        site=config.site,
+        loader=lambda: build_scenario(config),
+        description=description or config.description,
+        scenario=scenario,
+        overrides=encode_overrides(overrides),
+    )

@@ -1,0 +1,330 @@
+"""The declarative scenario surface: one frozen object names a world.
+
+A :class:`ScenarioConfig` captures everything that decides *which* synthetic
+world a dataset describes — population size, city and query catalogs,
+demographic mix, bias intensities, noise sources, and the seed — so CLI,
+in-process registry, and HTTP dataset registration all build from one value
+and produce byte-identical ground truth.  Sühr et al.'s interplay study
+(PAPERS.md) is the motivation: conclusions about interventions flip with
+population size, mix, and bias intensity, so those knobs must be first-class
+and reproducible, not ad-hoc flags.
+
+Overrides arrive as loosely typed key/value pairs (CLI ``--override k=v``
+strings, JSON numbers over HTTP) and are coerced to the field's declared
+type by :meth:`ScenarioConfig.with_overrides`; the frozen dataclass
+re-validates on every replacement.  Validation problems raise
+:class:`~repro.service.errors.Unprocessable` so the HTTP layer answers 422
+and the CLI prints the same message.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..marketplace.catalog import ALL_JOBS, CATEGORIES, CITIES
+from ..marketplace.site import AVAILABILITY_QUOTA
+from ..marketplace.workers import TOTAL_WORKERS
+from ..service.errors import Unprocessable
+
+__all__ = ["ScenarioConfig", "SITES"]
+
+SITES = ("taskrabbit", "google")
+
+_LEVELS = ("category", "job")
+_DESIGNS = ("paper", "full")
+
+#: Fields that name the scenario itself and therefore cannot be overridden —
+#: an override that changed ``site`` would silently build a different world
+#: under the preset's name.
+_PROTECTED_FIELDS = frozenset({"name", "site", "description"})
+
+_KNOWN_PROFILES = frozenset(AVAILABILITY_QUOTA)
+
+
+def _as_int(name: str, value) -> int:
+    if isinstance(value, bool):
+        raise Unprocessable(f"scenario field {name!r} must be an integer")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        try:
+            return int(value, 10)
+        except ValueError:
+            pass
+    raise Unprocessable(f"scenario field {name!r} must be an integer, got {value!r}")
+
+
+def _as_float(name: str, value) -> float:
+    if isinstance(value, bool):
+        raise Unprocessable(f"scenario field {name!r} must be a number")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            pass
+    raise Unprocessable(f"scenario field {name!r} must be a number, got {value!r}")
+
+
+def _as_str(name: str, value) -> str:
+    if not isinstance(value, str) or not value:
+        raise Unprocessable(
+            f"scenario field {name!r} must be a non-empty string, got {value!r}"
+        )
+    return value
+
+
+def _as_tuple(name: str, value) -> tuple[str, ...]:
+    """City/query lists: a ``;``-separated string (city names contain commas)
+    or a JSON array of strings."""
+    if isinstance(value, str):
+        parts = [part.strip() for part in value.split(";")]
+        return tuple(part for part in parts if part)
+    if isinstance(value, (list, tuple)) and all(isinstance(v, str) for v in value):
+        return tuple(value)
+    raise Unprocessable(
+        f"scenario field {name!r} must be a ';'-separated string or an array "
+        f"of strings, got {value!r}"
+    )
+
+
+def _as_mix(name: str, value) -> tuple[tuple[str, str, float], ...]:
+    """Demographic mix: ``Gender:Ethnicity:weight`` triples, ``;``-separated,
+    or an array of ``[gender, ethnicity, weight]`` rows."""
+    rows: list[tuple[str, str, float]] = []
+    if isinstance(value, str):
+        for part in value.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            pieces = part.split(":")
+            if len(pieces) != 3:
+                raise Unprocessable(
+                    f"scenario field {name!r} entries must look like "
+                    f"'Gender:Ethnicity:weight', got {part!r}"
+                )
+            rows.append((pieces[0], pieces[1], _as_float(name, pieces[2])))
+        return tuple(rows)
+    if isinstance(value, (list, tuple)):
+        for row in value:
+            if not isinstance(row, (list, tuple)) or len(row) != 3:
+                raise Unprocessable(
+                    f"scenario field {name!r} rows must be "
+                    f"[gender, ethnicity, weight] triples, got {row!r}"
+                )
+            rows.append((str(row[0]), str(row[1]), _as_float(name, row[2])))
+        return tuple(rows)
+    raise Unprocessable(
+        f"scenario field {name!r} must be 'Gender:Ethnicity:weight[;...]' or "
+        f"an array of triples, got {value!r}"
+    )
+
+
+_COERCERS = {
+    "seed": _as_int,
+    "workers": _as_int,
+    "cities": _as_tuple,
+    "queries": _as_tuple,
+    "level": _as_str,
+    "demographic_mix": _as_mix,
+    "bias_scale": _as_float,
+    "label_error_rate": _as_float,
+    "design": _as_str,
+    "personalization_scale": _as_float,
+}
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One declarative synthetic world.
+
+    Parameters
+    ----------
+    name / site / description:
+        Identity: the registry key, which simulator family builds it
+        (``"taskrabbit"`` or ``"google"``), and one line for listings.
+        Protected from overrides.
+    seed:
+        Root seed; identical ``(preset, seed)`` pairs materialize
+        byte-identical datasets on every build surface.
+    workers:
+        Marketplace population size; ``0`` means the paper's 3,311.  Any
+        other value (or a custom ``demographic_mix``) switches generation to
+        the scaled virtual-population path, which builds in bounded memory.
+    cities / queries:
+        Crawl scope restrictions; empty tuples mean the full catalogs.
+    level:
+        Marketplace crawl granularity: ``"category"`` (448 queries) or
+        ``"job"`` (all 5,361).
+    demographic_mix:
+        ``(gender, ethnicity, weight)`` triples reshaping both the
+        population and the per-query availability page; empty means the
+        paper's composition.
+    bias_scale:
+        Multiplier on the calibrated demographic penalty (``0.0`` =
+        bias-free world, ``> 1`` = adversarial).
+    label_error_rate:
+        AMT labeling noise: per-contributor error rate of the simulated
+        majority vote over worker demographics.
+    design / personalization_scale:
+        Google knobs: the study layout (``"paper"`` = Table 7's sparse 60
+        studies, ``"full"`` = every query at every location) and the
+        personalization-noise multiplier.
+    """
+
+    name: str
+    site: str
+    description: str = ""
+    seed: int = 7
+    workers: int = 0
+    cities: tuple[str, ...] = ()
+    queries: tuple[str, ...] = ()
+    level: str = "category"
+    demographic_mix: tuple[tuple[str, str, float], ...] = ()
+    bias_scale: float = 1.0
+    label_error_rate: float = 0.0
+    design: str = "paper"
+    personalization_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise Unprocessable(
+                f"scenario site must be one of {SITES}, got {self.site!r}"
+            )
+        if self.level not in _LEVELS:
+            raise Unprocessable(
+                f"scenario level must be one of {_LEVELS}, got {self.level!r}"
+            )
+        if self.design not in _DESIGNS:
+            raise Unprocessable(
+                f"scenario design must be one of {_DESIGNS}, got {self.design!r}"
+            )
+        if self.workers < 0:
+            raise Unprocessable(f"scenario workers must be >= 0, got {self.workers}")
+        if self.bias_scale < 0:
+            raise Unprocessable(
+                f"scenario bias_scale must be >= 0, got {self.bias_scale}"
+            )
+        if not 0.0 <= self.label_error_rate < 1.0:
+            raise Unprocessable(
+                "scenario label_error_rate must be in [0, 1), got "
+                f"{self.label_error_rate}"
+            )
+        if self.personalization_scale < 0:
+            raise Unprocessable(
+                "scenario personalization_scale must be >= 0, got "
+                f"{self.personalization_scale}"
+            )
+        if self.site == "taskrabbit":
+            unknown_cities = [c for c in self.cities if c not in CITIES]
+            if unknown_cities:
+                raise Unprocessable(
+                    f"scenario cities not in the catalog: {unknown_cities!r}"
+                )
+            catalog = CATEGORIES if self.level == "category" else ALL_JOBS
+            unknown_queries = [q for q in self.queries if q not in catalog]
+            if unknown_queries:
+                raise Unprocessable(
+                    f"scenario queries not in the {self.level} catalog: "
+                    f"{unknown_queries!r}"
+                )
+        for gender, ethnicity, weight in self.demographic_mix:
+            if (gender, ethnicity) not in _KNOWN_PROFILES:
+                raise Unprocessable(
+                    f"scenario demographic_mix profile ({gender!r}, "
+                    f"{ethnicity!r}) is not one of the labeled profiles "
+                    f"{sorted(_KNOWN_PROFILES)}"
+                )
+            if weight <= 0:
+                raise Unprocessable(
+                    "scenario demographic_mix weights must be positive, got "
+                    f"{weight}"
+                )
+
+    # ------------------------------------------------------------------
+    # Derived facts
+    # ------------------------------------------------------------------
+
+    @property
+    def population(self) -> int:
+        """Effective marketplace population size (0 for Google scenarios)."""
+        if self.site != "taskrabbit":
+            return 0
+        return self.workers or TOTAL_WORKERS
+
+    @property
+    def is_scaled(self) -> bool:
+        """Whether generation must use the bounded-memory scaled path.
+
+        The paper-exact path (the memoized 3,311-worker site) is kept for
+        standard populations so those presets stay bit-compatible with the
+        pre-scenario builders; any non-standard population size or custom
+        demographic mix switches to the virtual-population generator.
+        """
+        if self.site != "taskrabbit":
+            return False
+        return bool(self.demographic_mix) or self.workers not in (0, TOTAL_WORKERS)
+
+    # ------------------------------------------------------------------
+    # Overrides
+    # ------------------------------------------------------------------
+
+    def with_overrides(self, overrides) -> "ScenarioConfig":
+        """A copy with ``overrides`` applied (typed coercion + revalidation).
+
+        Accepts CLI-style string values and JSON-typed ones alike; unknown
+        or protected keys are 422s so a typo can never silently build the
+        default world.
+        """
+        if not overrides:
+            return self
+        if not isinstance(overrides, dict):
+            try:
+                overrides = dict(overrides)
+            except (TypeError, ValueError):
+                raise Unprocessable(
+                    "scenario overrides must be a mapping of field -> value"
+                ) from None
+        changes = {}
+        for key, raw in overrides.items():
+            if key in _PROTECTED_FIELDS:
+                raise Unprocessable(
+                    f"scenario field {key!r} is part of the scenario's "
+                    "identity and cannot be overridden"
+                )
+            coerce = _COERCERS.get(key)
+            if coerce is None:
+                raise Unprocessable(
+                    f"unknown scenario override {key!r}; overridable fields: "
+                    f"{sorted(_COERCERS)}"
+                )
+            changes[key] = coerce(key, raw)
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+
+    def to_document(self) -> dict:
+        """The full config echo for ``GET /v1/scenarios`` and dataset specs."""
+        return {
+            "name": self.name,
+            "site": self.site,
+            "description": self.description,
+            "seed": self.seed,
+            "population": self.population,
+            "cities": list(self.cities),
+            "queries": list(self.queries),
+            "level": self.level,
+            "demographic_mix": [
+                {"gender": gender, "ethnicity": ethnicity, "weight": weight}
+                for gender, ethnicity, weight in self.demographic_mix
+            ],
+            "bias_scale": self.bias_scale,
+            "label_error_rate": self.label_error_rate,
+            "design": self.design,
+            "personalization_scale": self.personalization_scale,
+            "scaled": self.is_scaled,
+        }

@@ -1,0 +1,435 @@
+"""Open- and closed-loop traffic generation against a running F-Box server.
+
+The harness replays a realistic operation mix — quantify / compare / batch
+/ whatif / observations at configurable ratios — from N worker threads and
+reports p50/p95/p99 latency, throughput, and an error budget split into
+*hard* failures (non-retryable 4xx/5xx or connection death after retries)
+and *shed* requests (429/503 that survived the client's retry budget; the
+service doing load shedding as designed).
+
+Two loop disciplines, both seeded:
+
+* **closed** — each of N threads issues its next request as soon as the
+  previous one answers; measures the server's saturated service rate.
+* **open** — arrivals follow a seeded Poisson process at ``rate`` req/s,
+  dispatched to a bounded thread pool; latency is measured from the
+  *scheduled* arrival, so queueing delay under overload is visible
+  (avoiding closed-loop coordinated omission).
+
+Request *schedules* are pure functions of the seed
+(:func:`plan_operations`, :func:`arrival_schedule`) so runs are replayable;
+thread interleaving under load is the only nondeterminism, and it only
+affects timings, never which requests are sent.  Ingest traffic sends
+deterministic per-request ``batch_id`` values and no ``sequence``, so
+concurrent observation batches never trip the idempotency ledger's 409.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from random import Random
+
+from ..client import ClientError, FBoxClient, RetryPolicy
+from ..service.errors import Unprocessable
+from ..service.ingest import encode_observation
+from .build import build_scenario
+from .config import ScenarioConfig
+
+__all__ = [
+    "DEFAULT_MIX",
+    "MODES",
+    "plan_operations",
+    "arrival_schedule",
+    "run_loadgen",
+    "format_report",
+]
+
+MODES = ("closed", "open")
+
+#: Default operation mix (weights, not percentages): read-heavy analytics
+#: with a writer minority, the shape a live fairness dashboard produces.
+DEFAULT_MIX: dict[str, float] = {
+    "quantify": 45,
+    "compare": 20,
+    "batch": 15,
+    "whatif": 10,
+    "observations": 10,
+}
+
+#: Statuses the client retries; reaching the caller anyway means the retry
+#: budget ran out under deliberate shedding — an availability datum, not a
+#: correctness failure.
+_SHED_STATUSES = (429, 503)
+
+_REPORT_KEYS = frozenset(
+    {
+        "kind",
+        "mode",
+        "dataset",
+        "scenario",
+        "seed",
+        "workers",
+        "rate",
+        "requests",
+        "warmup",
+        "measured",
+        "duration_s",
+        "throughput_rps",
+        "latency_ms",
+        "errors",
+        "mix",
+        "hard_failure_samples",
+    }
+)
+
+_LATENCY_KEYS = frozenset({"p50", "p95", "p99", "mean", "max"})
+
+
+def plan_operations(mix, count: int, seed: int) -> tuple[str, ...]:
+    """The deterministic operation sequence for one run.
+
+    A pure function of ``(mix, count, seed)``: the i-th request of a run is
+    always the same operation, whichever thread ends up sending it.
+    """
+    mix = dict(mix or DEFAULT_MIX)
+    operations = sorted(op for op, weight in mix.items() if weight > 0)
+    if not operations:
+        raise Unprocessable("loadgen mix must give positive weight to some operation")
+    unknown = sorted(set(mix) - set(DEFAULT_MIX))
+    if unknown:
+        raise Unprocessable(
+            f"unknown loadgen operations {unknown!r}; known: {sorted(DEFAULT_MIX)}"
+        )
+    weights = [float(mix[op]) for op in operations]
+    rng = Random(seed)
+    return tuple(rng.choices(operations, weights=weights, k=count))
+
+
+def arrival_schedule(rate: float, count: int, seed: int) -> tuple[float, ...]:
+    """Cumulative arrival offsets (seconds) of a seeded Poisson process."""
+    if rate <= 0:
+        raise Unprocessable(f"loadgen rate must be positive, got {rate}")
+    rng = Random(seed)
+    offsets = []
+    clock = 0.0
+    for _ in range(count):
+        clock += rng.expovariate(rate)
+        offsets.append(clock)
+    return tuple(offsets)
+
+
+class _Workload:
+    """Payload factory over one scenario's materialized ground truth.
+
+    Request parameters (cells, dimensions, k) are drawn from the dataset
+    the target server is serving, so every generated request addresses
+    defined cube cells and validation failures genuinely indicate bugs.
+    """
+
+    def __init__(self, dataset_name: str, config: ScenarioConfig, dataset=None):
+        self.name = dataset_name
+        self.site = config.site
+        dataset = dataset if dataset is not None else build_scenario(config)
+        observations = list(dataset.observations())
+        if not observations:
+            raise Unprocessable(f"scenario {config.name!r} produced no observations")
+        self.pairs = [(o.query, o.location) for o in observations]
+        self.locations = sorted({location for _, location in self.pairs})
+        self.queries = sorted({query for query, _ in self.pairs})
+        self.encoded = [encode_observation(o) for o in observations]
+        self.groups = ("gender=Female", "gender=Male", "ethnicity=White")
+
+    def payload(self, op: str, rng: Random) -> tuple[str, dict]:
+        """(path, payload) for one request; draws come from ``rng``."""
+        if op == "whatif" and self.site != "taskrabbit":
+            op = "quantify"  # interventions re-rank marketplace cells only
+        if op == "quantify":
+            return "/quantify", {
+                "dataset": self.name,
+                "dimension": rng.choice(("group", "query", "location")),
+                "k": rng.randint(1, 5),
+            }
+        if op == "compare":
+            if len(self.locations) < 2:
+                return self.payload("quantify", rng)
+            r1, r2 = rng.sample(self.locations, 2)
+            return "/compare", {
+                "dataset": self.name,
+                "dimension": "location",
+                "r1": r1,
+                "r2": r2,
+                "breakdown": "query",
+            }
+        if op == "batch":
+            return "/batch", {
+                "requests": [
+                    {
+                        "op": "quantify",
+                        "dataset": self.name,
+                        "dimension": dimension,
+                        "k": rng.randint(1, 5),
+                    }
+                    for dimension in ("group", "query", "location")
+                ]
+            }
+        if op == "whatif":
+            query, location = rng.choice(self.pairs)
+            return "/whatif", {
+                "dataset": self.name,
+                "group": rng.choice(self.groups),
+                "query": query,
+                "location": location,
+                "intervention": "fair",
+            }
+        if op == "observations":
+            base = rng.choice(self.encoded)
+            return "/observations", {
+                "dataset": self.name,
+                "observations": [self._perturbed(base, rng)],
+            }
+        raise Unprocessable(f"unknown loadgen operation {op!r}")
+
+    def _perturbed(self, encoded: dict, rng: Random) -> dict:
+        """A fresh observation: the base ranking with seeded adjacent swaps."""
+        item = dict(encoded)
+        if "ranking" in item:
+            item["ranking"] = _swap(list(item["ranking"]), rng)
+            item.pop("scores", None)  # swapped ranks invalidate displayed scores
+        else:
+            item["results_by_user"] = {
+                user: _swap(list(ranking), rng)
+                for user, ranking in item["results_by_user"].items()
+            }
+        return item
+
+
+def _swap(items: list, rng: Random, swaps: int = 2) -> list:
+    for _ in range(swaps):
+        if len(items) < 2:
+            break
+        index = rng.randrange(len(items) - 1)
+        items[index], items[index + 1] = items[index + 1], items[index]
+    return items
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def run_loadgen(
+    base_url: str,
+    dataset: str,
+    config: ScenarioConfig,
+    *,
+    mode: str = "closed",
+    requests: int = 200,
+    workers: int = 4,
+    rate: float = 50.0,
+    warmup: int = 0,
+    seed: int = 0,
+    mix=None,
+    timeout: float = 30.0,
+    prebuilt=None,
+) -> dict:
+    """Run one load-generation pass and return the report document.
+
+    ``warmup`` requests at the head of the schedule are sent but excluded
+    from latency/throughput statistics (cold caches and first-touch dataset
+    builds would otherwise dominate the tail).  ``prebuilt`` reuses an
+    already materialized dataset for payload vocabulary.
+    """
+    if mode not in MODES:
+        raise Unprocessable(f"loadgen mode must be one of {MODES}, got {mode!r}")
+    if requests <= 0:
+        raise Unprocessable(f"loadgen requests must be positive, got {requests}")
+    if workers <= 0:
+        raise Unprocessable(f"loadgen workers must be positive, got {workers}")
+    if not 0 <= warmup < requests:
+        raise Unprocessable(
+            f"loadgen warmup must be in [0, requests), got {warmup}"
+        )
+    workload = _Workload(dataset, config, dataset=prebuilt)
+    operations = plan_operations(mix, requests, seed)
+    offsets = arrival_schedule(rate, requests, seed) if mode == "open" else None
+
+    # Per-request slots, filled by whichever thread sends request i.
+    records: list[tuple[str, float, str | None, str | None]] = [None] * requests  # type: ignore[list-item]
+    next_index = [0]
+    index_lock = threading.Lock()
+    start_gate = threading.Event()
+    t0 = [0.0]
+
+    def send(client: FBoxClient, rng: Random, index: int, scheduled: float | None):
+        op = operations[index]
+        path, payload = workload.payload(op, rng)
+        if path == "/observations":
+            payload = dict(payload, batch_id=f"lg-{seed}-{index:06d}")
+        began = time.perf_counter()
+        reference = began if scheduled is None else t0[0] + scheduled
+        outcome = None
+        detail = None
+        try:
+            client.post(
+                client._api(path), payload, idempotent=(path == "/observations")
+            )
+        except ClientError as error:
+            if error.status in _SHED_STATUSES:
+                outcome = "shed"
+            else:
+                outcome = "hard"
+                detail = f"{op} -> {error.status}: {error}"
+        latency = time.perf_counter() - reference
+        records[index] = (op, latency, outcome, detail)
+
+    def closed_worker(worker_index: int):
+        client = FBoxClient(
+            base_url, timeout=timeout, retry=RetryPolicy(seed=seed * 1_000 + worker_index)
+        )
+        rng = Random((seed + 1) * 7_919 + worker_index)
+        start_gate.wait()
+        with client:
+            while True:
+                with index_lock:
+                    index = next_index[0]
+                    if index >= requests:
+                        return
+                    next_index[0] = index + 1
+                send(client, rng, index, None)
+
+    def open_worker(worker_index: int, queue: list):
+        client = FBoxClient(
+            base_url, timeout=timeout, retry=RetryPolicy(seed=seed * 1_000 + worker_index)
+        )
+        rng = Random((seed + 1) * 7_919 + worker_index)
+        start_gate.wait()
+        with client:
+            while True:
+                with index_lock:
+                    if not queue:
+                        return
+                    index, scheduled = queue.pop(0)
+                clock = time.perf_counter() - t0[0]
+                if clock < scheduled:
+                    time.sleep(scheduled - clock)
+                send(client, rng, index, scheduled)
+
+    if mode == "closed":
+        threads = [
+            threading.Thread(target=closed_worker, args=(i,), daemon=True)
+            for i in range(workers)
+        ]
+    else:
+        queue = [(index, offsets[index]) for index in range(requests)]
+        threads = [
+            threading.Thread(target=open_worker, args=(i, queue), daemon=True)
+            for i in range(workers)
+        ]
+    for thread in threads:
+        thread.start()
+    t0[0] = time.perf_counter()
+    start_gate.set()
+    for thread in threads:
+        thread.join()
+    total_elapsed = time.perf_counter() - t0[0]
+
+    measured = [record for record in records[warmup:] if record is not None]
+    latencies = sorted(latency for _, latency, _, _ in measured)
+    hard = sum(1 for _, _, outcome, _ in measured if outcome == "hard")
+    shed = sum(1 for _, _, outcome, _ in measured if outcome == "shed")
+    # Warmup requests still count toward error totals: a hard failure during
+    # warmup is a real failure, just not a latency datum.
+    head = [record for record in records[:warmup] if record is not None]
+    hard += sum(1 for _, _, outcome, _ in head if outcome == "hard")
+    shed += sum(1 for _, _, outcome, _ in head if outcome == "shed")
+    samples = [
+        record[3]
+        for record in records
+        if record is not None and record[2] == "hard" and record[3]
+    ][:5]
+    per_op: dict[str, dict] = {}
+    for op, latency, outcome, _ in measured:
+        entry = per_op.setdefault(
+            op, {"requests": 0, "hard": 0, "shed": 0, "_latencies": []}
+        )
+        entry["requests"] += 1
+        if outcome == "hard":
+            entry["hard"] += 1
+        elif outcome == "shed":
+            entry["shed"] += 1
+        entry["_latencies"].append(latency)
+    mix_report = {}
+    for op in sorted(per_op):
+        entry = per_op[op]
+        values = sorted(entry.pop("_latencies"))
+        entry["p50_ms"] = round(_percentile(values, 0.50) * 1_000, 3)
+        mix_report[op] = entry
+    # Duration for throughput excludes the warmup head in closed mode by
+    # approximating with total wall time; at the sizes involved the warmup
+    # head is a negligible slice and the number stays comparable across runs.
+    throughput = len(measured) / total_elapsed if total_elapsed > 0 else 0.0
+    return {
+        "kind": "loadgen",
+        "mode": mode,
+        "dataset": dataset,
+        "scenario": config.name,
+        "seed": seed,
+        "workers": workers,
+        "rate": rate if mode == "open" else None,
+        "requests": requests,
+        "warmup": warmup,
+        "measured": len(measured),
+        "duration_s": round(total_elapsed, 3),
+        "throughput_rps": round(throughput, 2),
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1_000, 3),
+            "p95": round(_percentile(latencies, 0.95) * 1_000, 3),
+            "p99": round(_percentile(latencies, 0.99) * 1_000, 3),
+            "mean": round(
+                (sum(latencies) / len(latencies) * 1_000) if latencies else 0.0, 3
+            ),
+            "max": round((latencies[-1] * 1_000) if latencies else 0.0, 3),
+        },
+        "errors": {"hard": hard, "shed": shed},
+        "mix": mix_report,
+        "hard_failure_samples": samples,
+    }
+
+
+def report_keys() -> frozenset[str]:
+    """The stable top-level report schema (tests pin this)."""
+    return _REPORT_KEYS
+
+
+def latency_keys() -> frozenset[str]:
+    """The stable latency sub-document schema."""
+    return _LATENCY_KEYS
+
+
+def format_report(report: dict) -> str:
+    """Human-readable rendering for the CLI and the committed benchmark."""
+    lines = [
+        f"loadgen {report['mode']}-loop  scenario={report['scenario']}  "
+        f"dataset={report['dataset']}  seed={report['seed']}",
+        f"  requests={report['requests']} (warmup {report['warmup']}), "
+        f"workers={report['workers']}"
+        + (f", rate={report['rate']}/s" if report["rate"] is not None else ""),
+        f"  duration={report['duration_s']}s  "
+        f"throughput={report['throughput_rps']} req/s",
+        "  latency p50={p50}ms p95={p95}ms p99={p99}ms mean={mean}ms "
+        "max={max}ms".format(**report["latency_ms"]),
+        f"  errors: hard={report['errors']['hard']} "
+        f"shed={report['errors']['shed']}",
+    ]
+    for op, entry in report["mix"].items():
+        lines.append(
+            f"    {op:<13} requests={entry['requests']:<5} "
+            f"hard={entry['hard']} shed={entry['shed']} "
+            f"p50={entry['p50_ms']}ms"
+        )
+    for sample in report["hard_failure_samples"]:
+        lines.append(f"    ! {sample}")
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""The named-scenario registry.
+
+Five presets cover the paper's two studies plus the regimes the evaluation
+plan needs: a million-worker stress world for the "millions of users" north
+star, an adversarial high-bias world, and a bias-free null world for
+calibration checks (a fairness measure that flags the null world is broken).
+Presets are plain :class:`~repro.scenarios.config.ScenarioConfig` values;
+``get_scenario(name).with_overrides({...})`` is the one resolution path the
+CLI, the in-process registry, and ``POST /v1/datasets`` all share.
+"""
+
+from __future__ import annotations
+
+from ..service.errors import NotFound
+from ..service.registry import SMALL_CITIES
+from .config import ScenarioConfig
+
+__all__ = ["PRESETS", "scenario_names", "get_scenario", "describe_scenarios"]
+
+PRESETS: dict[str, ScenarioConfig] = {
+    config.name: config
+    for config in (
+        ScenarioConfig(
+            name="paper_taskrabbit",
+            site="taskrabbit",
+            description=(
+                "The paper's TaskRabbit crawl: 3,311 workers across 56 "
+                "cities, category-level queries, calibrated bias."
+            ),
+        ),
+        ScenarioConfig(
+            name="paper_google",
+            site="google",
+            design="paper",
+            description=(
+                "The paper's Google user study: Table 7's 60-study design "
+                "with calibrated personalization noise."
+            ),
+        ),
+        ScenarioConfig(
+            name="mega_marketplace",
+            site="taskrabbit",
+            workers=1_000_000,
+            description=(
+                "A 10^6-worker marketplace with the paper's demographic "
+                "mix; builds lazily in bounded memory (only sampled "
+                "workers materialize)."
+            ),
+        ),
+        ScenarioConfig(
+            name="adversarial_bias",
+            site="taskrabbit",
+            bias_scale=3.0,
+            cities=SMALL_CITIES,
+            description=(
+                "A worst-case regime: triple the calibrated demographic "
+                "penalty over the six-city scope, for stress-testing "
+                "measures and interventions."
+            ),
+        ),
+        ScenarioConfig(
+            name="null_no_bias",
+            site="taskrabbit",
+            bias_scale=0.0,
+            cities=SMALL_CITIES,
+            description=(
+                "The bias-free null world over the six-city scope; any "
+                "measure that flags unfairness here is miscalibrated."
+            ),
+        ),
+    )
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Registered preset names, sorted."""
+    return tuple(sorted(PRESETS))
+
+
+def get_scenario(name: str) -> ScenarioConfig:
+    """Resolve a preset by name; unknown names are 404s."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise NotFound(
+            f"unknown scenario {name!r}; known scenarios: {sorted(PRESETS)}"
+        ) from None
+
+
+def describe_scenarios() -> list[dict]:
+    """Full config echoes for every preset, for ``GET /v1/scenarios``."""
+    return [PRESETS[name].to_document() for name in scenario_names()]

@@ -1,0 +1,200 @@
+"""Bounded-memory marketplace generation for million-worker scenarios.
+
+A :class:`ScaledMarketplaceSite` mirrors the :class:`TaskRabbitSite` API —
+``search``, ``all_workers``, ``seed``, ``cities`` — over a *virtual*
+population: worker counts per (city, profile) cell are fixed up front, but a
+worker only materializes (features drawn, profile built) when an
+availability sample actually picks their index.  Because ranked pages are
+capped at :data:`~repro.marketplace.site.RESULT_CAP` and the availability
+quota sums to 52 slots per query, a full category-level crawl over 56
+cities touches at most ``448 queries × 52 slots ≈ 23k`` workers of a
+10^6-strong roster — memory stays proportional to the crawl, not the
+population.
+
+Determinism mirrors the standard site: availability draws are keyed
+``derive(seed, "availability", city, job, gender, ethnicity)`` over the
+cell's index range, worker features are keyed by the worker's stable
+identity ``derive(seed, "scaled-worker", city, gender, ethnicity, index)``,
+and scoring reuses the calibrated :class:`ScoringModel`, whose draws are
+worker-id-keyed and therefore independent of materialization order.
+``run_crawl`` works verbatim on this site: it performs every search before
+asking for ``all_workers()``, so all observed workers are memoized by then.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from ..calibration import PROFILE_PENALTY, profile_key
+from ..core.rankings import RankedList
+from ..data.schema import WorkerProfile
+from ..exceptions import DataError
+from ..marketplace.catalog import CITIES, category_of
+from ..marketplace.scoring import ScoringModel
+from ..marketplace.site import AVAILABILITY_QUOTA, RESULT_CAP
+from ..marketplace.workers import _worker_features
+from ..stats.rng import derive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .config import ScenarioConfig
+
+__all__ = ["ScaledMarketplaceSite", "PAGE_SLOTS"]
+
+#: Ranked-page availability slots per query (the standard site's 52).
+PAGE_SLOTS = sum(AVAILABILITY_QUOTA.values())
+
+_PROFILE_SLUG = {
+    ("Male", "White"): "mw",
+    ("Male", "Black"): "mb",
+    ("Male", "Asian"): "ma",
+    ("Female", "White"): "fw",
+    ("Female", "Black"): "fb",
+    ("Female", "Asian"): "fa",
+    ("Unknown", "Unknown"): "uu",
+}
+
+
+def _largest_remainder(weights: dict, total: int) -> dict:
+    """Apportion ``total`` integer units across keys proportionally.
+
+    Deterministic: fractional-part ties break on the key's position in the
+    (insertion-ordered) ``weights`` mapping, so every build surface splits
+    populations identically.
+    """
+    mass = sum(weights.values())
+    if mass <= 0:
+        raise DataError("weights must have positive mass")
+    exact = {key: total * weight / mass for key, weight in weights.items()}
+    counts = {key: int(math.floor(value)) for key, value in exact.items()}
+    leftovers = total - sum(counts.values())
+    by_fraction = sorted(
+        weights,
+        key=lambda key: exact[key] - counts[key],
+        reverse=True,
+    )
+    for key in by_fraction[:leftovers]:
+        counts[key] += 1
+    return counts
+
+
+class ScaledMarketplaceSite:
+    """A lazily materialized marketplace of arbitrary size and mix."""
+
+    def __init__(self, config: "ScenarioConfig") -> None:
+        if config.site != "taskrabbit":
+            raise DataError("ScaledMarketplaceSite only models marketplace scenarios")
+        self.seed = config.seed
+        self._cities: tuple[str, ...] = config.cities or CITIES
+        self.scoring = ScoringModel(config.seed, bias_scale=config.bias_scale)
+        if config.demographic_mix:
+            mix = {
+                (gender, ethnicity): weight
+                for gender, ethnicity, weight in config.demographic_mix
+            }
+        else:
+            mix = {profile: float(quota) for profile, quota in AVAILABILITY_QUOTA.items()}
+        #: Per-query availability slots per profile; with the default mix this
+        #: reproduces AVAILABILITY_QUOTA exactly (integer weights apportion to
+        #: themselves).
+        self._quota = _largest_remainder(mix, PAGE_SLOTS)
+        per_city = _largest_remainder(
+            {city: 1.0 for city in self._cities}, config.population
+        )
+        #: (city, profile) -> virtual worker count; workers materialize by
+        #: index into that range.
+        self._cell_counts: dict[tuple[str, str, str], int] = {}
+        for city in self._cities:
+            profile_counts = _largest_remainder(mix, per_city[city])
+            for (gender, ethnicity), count in profile_counts.items():
+                self._cell_counts[(city, gender, ethnicity)] = count
+        self._materialized: dict[tuple[str, str, str, int], WorkerProfile] = {}
+        self._by_id: dict[str, WorkerProfile] = {}
+
+    @property
+    def cities(self) -> tuple[str, ...]:
+        """The scenario's city catalog."""
+        return self._cities
+
+    @property
+    def cell_counts(self) -> dict[tuple[str, str, str], int]:
+        """Virtual worker counts per (city, gender, ethnicity) cell."""
+        return dict(self._cell_counts)
+
+    def materialized_ids(self) -> list[str]:
+        """Ids of the workers built so far (the memory bound's witness)."""
+        return sorted(self._by_id)
+
+    def all_workers(self) -> list[WorkerProfile]:
+        """Every worker materialized so far, in worker-id order.
+
+        Valid for :func:`~repro.marketplace.crawl.run_crawl`, which calls
+        this only after all searches: every observed id is memoized by then.
+        """
+        return [self._by_id[worker_id] for worker_id in sorted(self._by_id)]
+
+    def _worker(self, city: str, gender: str, ethnicity: str, index: int) -> WorkerProfile:
+        key = (city, gender, ethnicity, index)
+        worker = self._materialized.get(key)
+        if worker is not None:
+            return worker
+        city_slug = city.replace(" ", "").replace(",", "")
+        slug = _PROFILE_SLUG[(gender, ethnicity)]
+        rng = derive(self.seed, "scaled-worker", city, gender, ethnicity, index)
+        penalty = PROFILE_PENALTY.get(profile_key(gender, ethnicity), 0.0)
+        worker = WorkerProfile(
+            worker_id=f"w-{city_slug}-{slug}-{index:07d}",
+            attributes={"gender": gender, "ethnicity": ethnicity, "city": city},
+            features=_worker_features(rng, penalty),
+        )
+        self._materialized[key] = worker
+        self._by_id[worker.worker_id] = worker
+        return worker
+
+    def _available_workers(self, job: str, city: str) -> list[WorkerProfile]:
+        """Sample the availability page over index space, then materialize.
+
+        The standard site samples quota indices from each profile's city
+        pool; here the pool is the virtual index range ``[0, count)``, so no
+        unpicked worker is ever built.
+        """
+        if city not in self._cities:
+            raise DataError(f"unknown city {city!r}")
+        chosen: list[WorkerProfile] = []
+        for (gender, ethnicity), quota in self._quota.items():
+            count = self._cell_counts.get((city, gender, ethnicity), 0)
+            if count <= 0 or quota <= 0:
+                continue
+            if count <= quota:
+                picks = range(count)
+            else:
+                rng = derive(self.seed, "availability", city, job, gender, ethnicity)
+                picks = sorted(
+                    int(i) for i in rng.choice(count, size=quota, replace=False)
+                )
+            chosen.extend(self._worker(city, gender, ethnicity, index) for index in picks)
+        if not chosen:
+            raise DataError(f"no workers available for {job!r} in {city!r}")
+        return chosen
+
+    def search(
+        self, job: str, city: str, limit: int = RESULT_CAP, with_scores: bool = False
+    ) -> RankedList:
+        """Rank the availability sample for ``job``; same contract as the
+        standard site (deterministic ties on worker id, optional min-max
+        normalized scores)."""
+        category_of(job)  # validates the job name
+        pool = self._available_workers(job, city)
+        scored = sorted(
+            ((self.scoring.raw_score(worker, job, city), worker) for worker in pool),
+            key=lambda pair: (-pair[0], pair[1].worker_id),
+        )
+        top = scored[:limit]
+        items = [worker.worker_id for _, worker in top]
+        scores = None
+        if with_scores:
+            raw_values = [raw for raw, _ in top]
+            low, high = min(raw_values), max(raw_values)
+            span = (high - low) or 1.0
+            scores = {worker.worker_id: (raw - low) / span for raw, worker in top}
+        return RankedList(items, scores)

@@ -47,7 +47,9 @@ from .cache import LRUCache
 from .errors import (
     BadRequest,
     CircuitOpen,
+    DatasetExists,
     Forbidden,
+    Gone,
     NotFound,
     RequestTimeout,
     ServiceError,
@@ -68,6 +70,7 @@ from .handlers import (
     handle_healthz,
     handle_quantify,
     handle_readyz,
+    handle_scenarios,
     handle_schema,
     handle_whatif,
     resolve_degraded,
@@ -99,6 +102,12 @@ def _admin_shards_unrouted(context, payload):
     )
 
 
+def _register_dataset_unrouted(context, payload):
+    # Same placeholder pattern as /admin/shards: POST /datasets is always
+    # intercepted by FBoxApp's dispatch ahead of admission control.
+    raise Unprocessable("runtime dataset registration is handled by the front")
+
+
 POST_ROUTES = {
     "/quantify": handle_quantify,
     "/compare": handle_compare,
@@ -112,14 +121,22 @@ POST_ROUTES = {
     "/trends": trends_document,
     # Operations surface: grow/shrink the worker pool while serving.
     "/admin/shards": _admin_shards_unrouted,
+    # Scenario-first registration: a dataset spec born from a named
+    # scenario, admin-gated and dispatched ahead of admission control.
+    "/datasets": _register_dataset_unrouted,
 }
 GET_ROUTES = {
     "/datasets": handle_datasets,
+    "/scenarios": handle_scenarios,
     "/healthz": handle_healthz,
     "/readyz": handle_readyz,
     "/schema": handle_schema,
     "/trends": handle_trends,
 }
+
+LEGACY_MODES = ("serve", "gone")
+"""``--legacy-routes`` values: keep answering unversioned paths with
+deprecation headers, or retire them with 410 + a ``v1_path`` pointer."""
 
 _METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -314,11 +331,18 @@ class FBoxApp:
         request_timeout: float | None = 30.0,
         executor_workers: int | None = None,
         admin_token: str | None = None,
+        legacy_routes: str = "gone",
     ) -> None:
+        if legacy_routes not in LEGACY_MODES:
+            raise ValueError(
+                f"legacy_routes must be one of {LEGACY_MODES}, got {legacy_routes!r}"
+            )
         self.context = context
         self.request_timeout = request_timeout
         self.executor_workers = executor_workers
         self.admin_token = admin_token
+        self.legacy_routes = legacy_routes
+        self._register_lock = threading.Lock()
         self.max_body_bytes = 1 << 20  # 1 MiB is plenty for query parameters
         self.max_drain_bytes = 8 << 20  # past this, closing beats draining
         self.post_routes = dict(POST_ROUTES)
@@ -436,6 +460,10 @@ class FBoxApp:
         (:func:`run_with_deadline`) on the calling thread's behalf.
         """
         request.path, legacy = self.canonical_path(request.path)
+        if legacy:
+            retired = self._legacy_gone(request)
+            if retired is not None:
+                return self._finish(request, retired)
         route = self._route(request)
         if isinstance(route, Response):
             return self._finish(request, route, legacy)
@@ -492,6 +520,10 @@ class FBoxApp:
 
     async def _handle_async(self, request: Request) -> Response:
         request.path, legacy = self.canonical_path(request.path)
+        if legacy:
+            retired = self._legacy_gone(request)
+            if retired is not None:
+                return self._finish(request, retired)
         route = self._route(request)
         if isinstance(route, Response):
             return self._finish(request, route, legacy)
@@ -514,6 +546,33 @@ class FBoxApp:
             response.headers.setdefault("Deprecation", "true")
             response.headers.setdefault("Sunset", LEGACY_SUNSET)
         return response
+
+    def _legacy_gone(self, request: Request) -> Response | None:
+        """410 for retired unversioned paths (``--legacy-routes gone``).
+
+        Only paths that *would* route get the pointer — an unknown legacy
+        path stays an ordinary 404, so probes don't learn retired-route
+        names that never existed.  In ``serve`` mode this returns ``None``
+        and the deprecated passthrough (headers attached by
+        :meth:`_finish`) still answers.
+        """
+        if self.legacy_routes != "gone":
+            return None
+        bare = request.path.partition("?")[0]
+        known = (
+            bare in self.post_routes
+            or bare in self.get_routes
+            or bare == "/metrics"
+        )
+        if not known:
+            return None
+        return self._error_response(
+            Gone(
+                f"unversioned path {bare!r} was retired; use "
+                f"{API_PREFIX}{bare} (see GET {API_PREFIX}/schema)",
+                extra={"v1_path": API_PREFIX + bare},
+            )
+        )
 
     def _shutdown_response(self) -> Response:
         response = self._error_response(
@@ -744,6 +803,64 @@ class FBoxApp:
             )
         return router.resize(payload.get("count"))
 
+    def _register_dataset(self, request: Request, payload) -> dict:
+        """``POST /datasets`` — register a scenario-backed dataset at runtime.
+
+        Admin-gated like the resize surface, and dispatched ahead of
+        admission control for the same reason: registration is operator
+        traffic, not query traffic.  The dataset stays lazy — the first
+        query against it triggers the build on whichever side owns it.
+        Name collisions are a hard 409 (:class:`DatasetExists`); generation
+        semantics match re-registering a spec (the tag starts at 1 and
+        every later ingest bumps it).
+        """
+        self._require_admin(request)
+        if not isinstance(payload, dict):
+            raise BadRequest(
+                f"request body must be a JSON object, got {type(payload).__name__}"
+            )
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise BadRequest("field 'name' must be a non-empty string")
+        scenario = payload.get("scenario")
+        if not isinstance(scenario, str) or not scenario:
+            raise BadRequest("field 'scenario' must be a non-empty string")
+        overrides = payload.get("overrides")
+        if overrides is None:
+            overrides = {}
+        if not isinstance(overrides, dict):
+            raise BadRequest("field 'overrides' must be a JSON object")
+        description = payload.get("description")
+        if description is not None and not isinstance(description, str):
+            raise BadRequest("field 'description' must be a string")
+        # Lazy import: repro.scenarios imports service modules for its
+        # error types, so the dependency must point this way at call time.
+        from ..scenarios import scenario_spec
+
+        registry = self.context.registry
+        with self._register_lock:
+            if name in registry.names():
+                raise DatasetExists(
+                    f"dataset {name!r} is already registered; runtime "
+                    "registration never replaces a live dataset"
+                )
+            spec = scenario_spec(name, scenario, overrides, description=description)
+            registry.register(spec)
+        router = self.context.router
+        if router is not None:
+            # Broadcast after the front registers: a worker that is down
+            # right now inherits the spec anyway when its respawn re-reads
+            # the front registry.
+            router.register_dataset(spec)
+        return {
+            "dataset": name,
+            "scenario": scenario,
+            "overrides": overrides,
+            "site": spec.site,
+            "generation": registry.generation(name),
+            "shard": router.shard_of(name) if router is not None else 0,
+        }
+
     def run_post(self, request: Request) -> tuple[int, dict]:
         """The sync pipeline body; raises :class:`ServiceError` on rejection."""
         context = self.context
@@ -751,6 +868,8 @@ class FBoxApp:
         payload = self._parse_payload(request)
         if path == "/admin/shards":
             return 200, self._admin_shards(request, payload)
+        if path == "/datasets":
+            return 200, self._register_dataset(request, payload)
         fast = self._fast_path(path, payload)
         if fast is not None:
             return 200, fast
@@ -793,6 +912,12 @@ class FBoxApp:
             admin = lambda: self._admin_shards(request, payload)  # noqa: E731
             return 200, await asyncio.wrap_future(
                 self._ensure_executor().submit(admin)
+            )
+        if path == "/datasets":
+            # Registration broadcasts over worker sockets; same pool hop.
+            register = lambda: self._register_dataset(request, payload)  # noqa: E731
+            return 200, await asyncio.wrap_future(
+                self._ensure_executor().submit(register)
             )
         fast = self._fast_path(path, payload)
         if fast is not None:
@@ -940,6 +1065,7 @@ def make_app(
     alert_threshold: float | None = None,
     core: str = "dict",
     admin_token: str | None = None,
+    legacy_routes: str = "gone",
 ) -> FBoxApp:
     """Build a ready-to-serve application (no sockets involved).
 
@@ -962,7 +1088,10 @@ def make_app(
     segment, and restarted workers re-attach instead of rebuilding).
     ``admin_token`` arms authentication for ``POST /v1/admin/shards`` (the
     live pool resize); unset, the admin surface is open — fine for local
-    development, not for anything shared.
+    development, not for anything shared.  ``legacy_routes`` decides what
+    unversioned paths get: ``"gone"`` (default) answers 410 with a
+    ``v1_path`` pointer, ``"serve"`` keeps the deprecated passthrough with
+    ``Deprecation``/``Sunset`` headers.
     """
     if core not in CORES:
         raise ValueError(f"core must be one of {CORES}, got {core!r}")
@@ -1024,4 +1153,5 @@ def make_app(
         request_timeout=request_timeout,
         executor_workers=executor_workers,
         admin_token=admin_token,
+        legacy_routes=legacy_routes,
     )

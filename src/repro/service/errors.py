@@ -29,9 +29,11 @@ __all__ = [
     "ServiceError",
     "BadRequest",
     "NotFound",
+    "Gone",
     "Forbidden",
     "Unprocessable",
     "Conflict",
+    "DatasetExists",
     "RequestTimeout",
     "TooManyRequests",
     "CircuitOpen",
@@ -76,6 +78,20 @@ class NotFound(ServiceError):
     kind = "not_found"
 
 
+class Gone(ServiceError):
+    """The path existed once but was retired: legacy unversioned routes
+    after the /v1 migration.  The error body carries a ``v1_path`` pointer
+    to the versioned equivalent.  Never retryable — the route will not come
+    back; the client must switch paths."""
+
+    status = 410
+    kind = "gone"
+
+    def __init__(self, message: str, extra: Mapping[str, object] | None = None) -> None:
+        super().__init__(message)
+        self.extra = extra
+
+
 class Forbidden(ServiceError):
     """The request addresses an admin endpoint without a valid admin token.
 
@@ -105,6 +121,18 @@ class Conflict(ServiceError):
 
     status = 409
     kind = "batch_conflict"
+
+
+class DatasetExists(ServiceError):
+    """``POST /v1/datasets`` named a dataset that is already registered.
+
+    Runtime registration never silently replaces a live dataset — replacing
+    ground truth under running queries is a resize/migration concern, not a
+    side effect of a name collision.  Not retryable: the same name will
+    collide until an operator retires the existing dataset."""
+
+    status = 409
+    kind = "dataset_exists"
 
 
 class RequestTimeout(ServiceError):
@@ -193,9 +221,11 @@ class ShardResizing(CircuitOpen):
 _CATALOG = (
     ("bad_request", BadRequest, "request envelope is malformed (bad JSON, missing or mistyped fields)"),
     ("not_found", NotFound, "no such endpoint or dataset"),
+    ("gone", Gone, "legacy unversioned path retired; follow the error's v1_path pointer"),
     ("forbidden", Forbidden, "admin endpoint called without a valid admin token"),
     ("unprocessable", Unprocessable, "well-formed but semantically invalid for this dataset"),
     ("batch_conflict", Conflict, "ingest batch was already applied but its result aged out of the idempotency ledger"),
+    ("dataset_exists", DatasetExists, "runtime dataset registration collided with an existing name"),
     ("overloaded", TooManyRequests, "admission control shed the request; honor Retry-After"),
     ("timeout", RequestTimeout, "the per-request deadline elapsed"),
     ("circuit_open", CircuitOpen, "the dataset's breaker is open after repeated load/build failures"),

@@ -818,6 +818,53 @@ def handle_batch(context: ServiceContext, payload) -> dict:
     return encode_batch(results, sweep_groups=len(plans), shared_items=shared_items)
 
 
+_DEFAULT_PAGE_LIMIT = 100
+"""Listing page size when the client sends no ``limit`` — large enough that
+small catalogs still arrive whole in one response."""
+
+_MAX_PAGE_LIMIT = 1_000
+
+
+def _page_params(payload) -> tuple[int, int]:
+    """Validated ``limit``/``offset`` query params (GET params are strings)."""
+    params = payload if isinstance(payload, dict) else {}
+
+    def parse(name: str, default: int, minimum: int) -> int:
+        raw = params.get(name, default)
+        try:
+            value = int(raw)
+        except (TypeError, ValueError):
+            raise BadRequest(
+                f"query param {name!r} must be an integer, got {raw!r}"
+            ) from None
+        if value < minimum:
+            raise BadRequest(
+                f"query param {name!r} must be >= {minimum}, got {value}"
+            )
+        return value
+
+    limit = min(parse("limit", _DEFAULT_PAGE_LIMIT, 1), _MAX_PAGE_LIMIT)
+    offset = parse("offset", 0, 0)
+    return limit, offset
+
+
+def _paginate(payload, entries: list) -> tuple[list, dict]:
+    """Slice a listing by ``limit``/``offset`` and build the cursor fields.
+
+    ``next_offset`` is the cursor: non-null while more entries remain, so a
+    client pages with ``?offset=<next_offset>`` until it comes back null.
+    """
+    limit, offset = _page_params(payload)
+    window = entries[offset : offset + limit]
+    next_offset = offset + limit if offset + limit < len(entries) else None
+    return window, {
+        "count": len(entries),
+        "offset": offset,
+        "limit": limit,
+        "next_offset": next_offset,
+    }
+
+
 def handle_datasets(context: ServiceContext, payload=None) -> tuple[int, dict]:
     """``GET /datasets`` — the registry listing.
 
@@ -825,13 +872,17 @@ def handle_datasets(context: ServiceContext, payload=None) -> tuple[int, dict]:
     sharding is off), ``generation``, and ``breaker`` state — so one call
     answers "where does this dataset live and is it servable".  Under
     sharding the listing is worker-truth: the router overlays each owning
-    worker's live load state.
+    worker's live load state.  ``limit``/``offset`` query params page the
+    listing (``next_offset`` is the cursor) so scenario-scale catalogs
+    never produce unbounded responses.
     """
     router = context.router
     if router is not None:
+        entries, page = _paginate(payload, router.describe())
         return 200, {
-            "datasets": router.describe(),
+            "datasets": entries,
             "resize": router.resize_status(),
+            **page,
         }
     registry = context.registry
     entries = []
@@ -843,9 +894,24 @@ def handle_datasets(context: ServiceContext, payload=None) -> tuple[int, dict]:
         entry["migrating"] = False
         entry.update(context.ingest.dataset_facts(name))
         entries.append(entry)
+    entries, page = _paginate(payload, entries)
     # "resize": null documents that an in-process instance has no worker
     # pool to resize (the sharded listing carries the live state machine).
-    return 200, {"datasets": entries, "resize": None}
+    return 200, {"datasets": entries, "resize": None, **page}
+
+
+def handle_scenarios(context: ServiceContext, payload=None) -> tuple[int, dict]:
+    """``GET /scenarios`` — the scenario-preset registry, full config echo.
+
+    Same ``limit``/``offset``/``next_offset`` pagination contract as the
+    dataset listing.  Lazy import keeps :mod:`repro.scenarios` (which
+    imports service modules for its error types) out of this module's
+    import cycle.
+    """
+    from ..scenarios import describe_scenarios
+
+    entries, page = _paginate(payload, describe_scenarios())
+    return 200, {"scenarios": entries, **page}
 
 
 def handle_healthz(context: ServiceContext, payload=None) -> tuple[int, dict]:
@@ -1070,8 +1136,10 @@ def service_schema() -> dict:
         "legacy": {
             "deprecated": True,
             "sunset": LEGACY_SUNSET,
-            "note": "unversioned paths answer identically but carry "
-            "Deprecation: true and Sunset headers",
+            "note": "unversioned paths are retired: the default "
+            "--legacy-routes gone answers 410 with a v1_path pointer; "
+            "--legacy-routes serve restores the deprecated passthrough "
+            "(Deprecation: true and Sunset headers) for stragglers",
         },
         "endpoints": [
             endpoint(
@@ -1155,8 +1223,38 @@ def service_schema() -> dict:
                 ],
             ),
             endpoint(
+                "POST", "/datasets",
+                "register a dataset from a named scenario at runtime; the "
+                "owning worker builds it lazily on first touch (auth: "
+                "X-Admin-Token when --admin-token is set; 409 on name "
+                "collision)",
+                request_fields=[
+                    _field(
+                        "name", "string",
+                        "registry key for the new dataset",
+                        required=True,
+                    ),
+                    _field(
+                        "scenario", "string",
+                        "preset name (see GET /v1/scenarios)",
+                        required=True,
+                    ),
+                    _field(
+                        "overrides", "object",
+                        "scenario field overrides (seed, workers, cities, "
+                        "bias_scale, ...); identity fields are protected",
+                    ),
+                ],
+            ),
+            endpoint(
                 "GET", "/datasets",
-                "registered datasets with shard, generation, and breaker state",
+                "registered datasets with shard, generation, and breaker "
+                "state (query params: limit, offset; next_offset cursor)",
+            ),
+            endpoint(
+                "GET", "/scenarios",
+                "named scenario presets with full config echo (query "
+                "params: limit, offset; next_offset cursor)",
             ),
             endpoint("GET", "/schema", "this document"),
             endpoint("GET", "/healthz", "liveness: the process is up"),

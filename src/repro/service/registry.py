@@ -24,6 +24,7 @@ datasets deterministically.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import time
@@ -88,6 +89,14 @@ class DatasetSpec:
         :func:`repro.core.measures.base.default_measure_for_site`).
     description:
         One line for the ``/datasets`` listing.
+    scenario / overrides:
+        Set when the spec was built from a named scenario (``repro generate
+        --scenario``, ``POST /v1/datasets``): the preset name and the
+        canonical ``(key, json_value)`` override pairs.  Plain JSON-safe
+        strings on purpose — a sharded front broadcasts them over the frame
+        protocol and each worker rebuilds the identical spec locally (see
+        :func:`repro.scenarios.scenario_spec`).  Empty for file- or
+        closure-backed specs.
     """
 
     name: str
@@ -95,6 +104,8 @@ class DatasetSpec:
     loader: Callable[[], object] = field(compare=False)
     default_measure: str = ""
     description: str = ""
+    scenario: str = ""
+    overrides: tuple[tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
         if self.site not in _SITES:
@@ -522,6 +533,11 @@ class DatasetRegistry:
                 "loaded": self.is_loaded(name),
                 "measures_ready": sorted(self.loaded_measures(name)),
             }
+            if spec.scenario:
+                entry["scenario"] = spec.scenario
+                entry["overrides"] = {
+                    key: json.loads(value) for key, value in spec.overrides
+                }
             if self.is_loaded(name):
                 dataset = self.dataset(name)
                 entry["observations"] = len(dataset)

@@ -60,6 +60,7 @@ def make_server(
     alert_threshold: float | None = None,
     core: str = "dict",
     admin_token: str | None = None,
+    legacy_routes: str = "gone",
 ) -> FBoxServer | AioFBoxServer:
     """Build a ready-to-serve F-Box server (``port=0`` picks an ephemeral one).
 
@@ -90,6 +91,7 @@ def make_server(
         alert_threshold=alert_threshold,
         core=core,
         admin_token=admin_token,
+        legacy_routes=legacy_routes,
     )
     if backend == "asyncio":
         return AioFBoxServer((host, port), app, quiet=quiet)
@@ -114,6 +116,7 @@ def serve(
     alert_threshold: float | None = None,
     core: str = "dict",
     admin_token: str | None = None,
+    legacy_routes: str = "gone",
 ) -> int:
     """Run the service until SIGTERM/SIGINT; returns a process exit code.
 
@@ -142,6 +145,7 @@ def serve(
         alert_threshold=alert_threshold,
         core=core,
         admin_token=admin_token,
+        legacy_routes=legacy_routes,
     )
     if preload:
         context = server.context

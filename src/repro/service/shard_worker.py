@@ -246,6 +246,42 @@ def _handle_import(
     }
 
 
+def _handle_register(
+    context: ServiceContext, faults: FaultInjector | None, message: dict
+) -> dict:
+    """Register a scenario-backed dataset spec broadcast by the front.
+
+    The frame carries only plain JSON — dataset name, scenario name,
+    canonical encoded overrides — and the spec is rebuilt locally through
+    the same :func:`repro.scenarios.scenario_spec` funnel the front used,
+    so both sides own byte-identical generation logic.  The chaos target
+    ``/admin/register:<dataset>`` lets a ``worker_exit`` rule kill a worker
+    mid-broadcast.
+    """
+    name = message.get("dataset")
+    _exit_fault(faults, f"/admin/register:{name}")
+    try:
+        from ..scenarios import decode_overrides, scenario_spec
+
+        if not isinstance(name, str) or not name:
+            raise NotFound("register_dataset frame carries no dataset name")
+        spec = scenario_spec(
+            name,
+            str(message.get("scenario") or ""),
+            decode_overrides(tuple((message.get("overrides") or {}).items())),
+            description=message.get("description") or None,
+        )
+        context.registry.register(spec)
+        document = {
+            "dataset": name,
+            "scenario": spec.scenario,
+            "generation": context.registry.generation(name),
+        }
+    except ServiceError as error:
+        return {"ok": False, "error": encode_error(error)}
+    return {"ok": True, "status": 200, "document": document}
+
+
 def _serve_connection(
     sock: socket.socket,
     app: FBoxApp,
@@ -271,6 +307,8 @@ def _serve_connection(
                 send_frame(sock, _handle_export(context, faults, message))
             elif op == "import_dataset":
                 send_frame(sock, _handle_import(context, faults, message))
+            elif op == "register_dataset":
+                send_frame(sock, _handle_register(context, faults, message))
             elif op == "shutdown":
                 send_frame(sock, {"ok": True})
                 os._exit(0)

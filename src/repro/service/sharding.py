@@ -942,6 +942,30 @@ class ShardRouter:
             return reply.get("document")
         raise decode_error(reply.get("error") or {})
 
+    def register_dataset(self, spec) -> None:
+        """Broadcast a runtime-registered scenario dataset to every worker.
+
+        Workers register **all** specs (routing mistakes then surface as
+        wrong-shard answers, not key errors), so the broadcast mirrors the
+        front registry onto each live worker; the spec travels as plain
+        JSON — scenario name plus canonical overrides — and each worker
+        rebuilds the identical :class:`DatasetSpec` locally.  A shard that
+        is down is skipped on purpose: its respawn re-reads the front
+        registry's spec list and inherits the dataset anyway.
+        """
+        message = {
+            "op": "register_dataset",
+            "dataset": spec.name,
+            "scenario": spec.scenario,
+            "overrides": dict(spec.overrides),
+            "description": spec.description,
+        }
+        for shard in list(self._shards):
+            try:
+                self._unwrap(self._call_shard(shard, message, self.request_timeout))
+            except ShardUnavailable:
+                continue
+
     # ------------------------------------------------------------------
     # The execution backend surface (called by FBoxApp)
     # ------------------------------------------------------------------

@@ -102,8 +102,15 @@ def _registry(small_marketplace_dataset, small_search_dataset) -> DatasetRegistr
 
 @pytest.fixture
 def service(start_service, small_marketplace_dataset, small_search_dataset):
+    # This suite predates /v1 and doubles as the straggler-passthrough
+    # oracle, so it pins ``legacy_routes="serve"``; retirement (the default
+    # ``gone`` mode) is covered by test_service_api_v1.TestLegacyRetired.
     registry = _registry(small_marketplace_dataset, small_search_dataset)
-    return ServiceHarness(start_service(registry=registry, request_timeout=60.0))
+    return ServiceHarness(
+        start_service(
+            registry=registry, request_timeout=60.0, legacy_routes="serve"
+        )
+    )
 
 
 # ----------------------------------------------------------------------
@@ -387,7 +394,9 @@ class TestConcurrency:
     ):
         registry = _registry(small_marketplace_dataset, small_search_dataset)
         harness = ServiceHarness(
-            start_service(registry=registry, request_timeout=120.0)
+            start_service(
+                registry=registry, request_timeout=120.0, legacy_routes="serve"
+            )
         )
         request = {"dataset": "taskrabbit", "dimension": "group", "k": 5}
         with ThreadPoolExecutor(max_workers=16) as pool:
@@ -424,7 +433,9 @@ class TestConcurrency:
     ):
         registry = _registry(small_marketplace_dataset, small_search_dataset)
         harness = ServiceHarness(
-            start_service(registry=registry, request_timeout=1e-4)
+            start_service(
+                registry=registry, request_timeout=1e-4, legacy_routes="serve"
+            )
         )
         status, body = harness.post(
             "/quantify", {"dataset": "taskrabbit", "dimension": "group"}
@@ -574,7 +585,9 @@ class TestAbandonedWorkers:
     ):
         registry = _registry(small_marketplace_dataset, small_search_dataset)
         harness = ServiceHarness(
-            start_service(registry=registry, request_timeout=1e-4)
+            start_service(
+                registry=registry, request_timeout=1e-4, legacy_routes="serve"
+            )
         )
         status, _ = harness.post(
             "/quantify", {"dataset": "taskrabbit", "dimension": "group"}

@@ -2,10 +2,11 @@
 the unified error envelope, and the machine-readable /v1/schema document.
 
 Every test runs over both transports *and* both execution backends (the
-``backend``/``shards`` conftest parameters): ``/v1/...`` and the legacy
-unversioned paths must answer with byte-identical bodies everywhere — the
-version prefix only controls the RFC 8594 ``Deprecation``/``Sunset``
-headers attached to legacy responses.
+``backend``/``shards`` conftest parameters).  Legacy unversioned paths are
+retired by default — known routes answer ``410 gone`` with a ``v1_path``
+pointer — and the straggler passthrough (``legacy_routes="serve"``) must
+stay byte-identical to ``/v1/...`` with the RFC 8594
+``Deprecation``/``Sunset`` headers attached.
 """
 
 from __future__ import annotations
@@ -64,7 +65,15 @@ def service(start_service, small_marketplace_dataset, small_search_dataset):
     registry = _registry(small_marketplace_dataset, small_search_dataset)
     # cache_size=0 keeps repeated POSTs byte-identical (no "cached" flip),
     # which is what lets the /v1-vs-legacy comparison demand equality.
-    return start_service(registry=registry, request_timeout=60.0, cache_size=0)
+    # legacy_routes="serve" opts into the straggler passthrough these
+    # compatibility tests exist to pin down; the retirement default is
+    # covered by TestLegacyRetired.
+    return start_service(
+        registry=registry,
+        request_timeout=60.0,
+        cache_size=0,
+        legacy_routes="serve",
+    )
 
 
 QUANTIFY = {"dataset": "taskrabbit", "dimension": "group", "k": 3}
@@ -114,6 +123,51 @@ class TestVersionedPaths:
         # but both must be the Prometheus exposition of the same families.
         assert b"fbox_requests_total" in legacy_body
         assert b"fbox_requests_total" in v1_body
+
+
+class TestLegacyRetired:
+    """The default build (no ``legacy_routes`` override) retires the
+    unversioned mount: known routes answer 410 with a pointer."""
+
+    @pytest.fixture
+    def gone_service(
+        self, start_service, small_marketplace_dataset, small_search_dataset
+    ):
+        registry = _registry(small_marketplace_dataset, small_search_dataset)
+        return start_service(registry=registry, request_timeout=60.0)
+
+    def test_known_legacy_paths_answer_410_with_pointer(self, gone_service):
+        for method, path, payload in PROBES:
+            if path == "/nope":
+                continue  # unknown everywhere; stays 404 below
+            status, body, _ = _exchange(gone_service.url, method, path, payload)
+            assert status == 410, path
+            error = json.loads(body)["error"]
+            assert error["code"] == "gone"
+            assert error["retryable"] is False
+            assert error["v1_path"] == API_PREFIX + path
+
+    def test_unknown_legacy_paths_stay_404(self, gone_service):
+        status, body, _ = _exchange(gone_service.url, "POST", "/nope", {"x": 1})
+        assert status == 404
+        assert json.loads(body)["error"]["code"] == "not_found"
+
+    def test_versioned_paths_are_unaffected(self, gone_service):
+        status, body, _ = _exchange(
+            gone_service.url, "POST", API_PREFIX + "/quantify", QUANTIFY
+        )
+        assert status == 200
+        assert json.loads(body)["kind"] == "quantification"
+
+    def test_client_surfaces_410_as_non_retryable(self, gone_service):
+        from repro.client import ClientError
+
+        with FBoxClient(
+            gone_service.url, retry=RetryPolicy(max_attempts=3, seed=0)
+        ) as client:
+            with pytest.raises(ClientError) as excinfo:
+                client.request("GET", "/healthz")
+        assert excinfo.value.status == 410
 
 
 class TestErrorEnvelope:

@@ -26,8 +26,14 @@ from tests.test_service import ServiceHarness, _registry
 
 @pytest.fixture
 def service(start_service, small_marketplace_dataset, small_search_dataset):
+    # Pre-/v1 suite: pins the straggler passthrough; retirement is covered
+    # by test_service_api_v1.TestLegacyRetired.
     registry = _registry(small_marketplace_dataset, small_search_dataset)
-    return ServiceHarness(start_service(registry=registry, request_timeout=120.0))
+    return ServiceHarness(
+        start_service(
+            registry=registry, request_timeout=120.0, legacy_routes="serve"
+        )
+    )
 
 
 def _quantify_item(k: int, **overrides) -> dict:
@@ -272,7 +278,11 @@ class TestSharedSweep:
         def boot():
             registry = _registry(small_marketplace_dataset, small_search_dataset)
             return ServiceHarness(
-                start_service(registry=registry, request_timeout=120.0)
+                start_service(
+                    registry=registry,
+                    request_timeout=120.0,
+                    legacy_routes="serve",
+                )
             )
 
         batched = boot()
@@ -349,7 +359,9 @@ class TestBatchConcurrency:
     ):
         registry = _registry(small_marketplace_dataset, small_search_dataset)
         harness = ServiceHarness(
-            start_service(registry=registry, request_timeout=120.0)
+            start_service(
+                registry=registry, request_timeout=120.0, legacy_routes="serve"
+            )
         )
         batch = [_quantify_item(k) for k in range(1, 9)]
         with ThreadPoolExecutor(max_workers=8) as pool:

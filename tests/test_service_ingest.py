@@ -266,7 +266,7 @@ class TestTrendsAndAlerts:
             "/v1/observations", {"dataset": "taskrabbit", "observations": batch}
         )
         assert document["alerts"] > 0  # threshold 0.0001 trips on real cells
-        _, text = service.get("/metrics")
+        _, text = service.get("/v1/metrics")
         lines = dict(
             line.rsplit(" ", 1)
             for line in text.splitlines()
@@ -300,7 +300,7 @@ class TestTrendsAndAlerts:
         assert status == 422, body
 
     def test_ingest_counters_render_on_every_backend(self, service):
-        _, text = service.get("/metrics")
+        _, text = service.get("/v1/metrics")
         for family in (
             "fbox_ingest_batches_total",
             "fbox_ingest_observations_total",

@@ -197,12 +197,12 @@ class TestGracefulDrain:
         )
         harness = ServiceHarness(server)
         payload = {"dataset": "taskrabbit", "dimension": "group", "k": 3}
-        assert harness.post("/quantify", payload)[0] == 200  # warm-up, no delay
+        assert harness.post("/v1/quantify", payload)[0] == 200  # warm-up, no delay
 
         outcomes: list[tuple[int, dict]] = []
 
         def slow_request():
-            outcomes.append(harness.post("/quantify", payload))
+            outcomes.append(harness.post("/v1/quantify", payload))
 
         # One request admitted (executing the 0.6s stall), one queued.
         workers = [
@@ -218,7 +218,7 @@ class TestGracefulDrain:
 
         # A new arrival while draining: refused, and told to hang up.
         request = urllib.request.Request(
-            harness.base + "/quantify",
+            harness.base + "/v1/quantify",
             data=json.dumps(payload).encode("utf-8"),
             headers={"Content-Type": "application/json"},
         )

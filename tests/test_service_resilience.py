@@ -72,6 +72,10 @@ def live_server(backend):
 
     @contextmanager
     def _live(**kwargs):
+        # This suite predates /v1 and exercises the straggler passthrough;
+        # retirement (the default --legacy-routes gone) is covered by
+        # tests/test_service_api_v1.py::TestLegacyRetired.
+        kwargs.setdefault("legacy_routes", "serve")
         server = make_server(port=0, backend=backend, **kwargs)
         thread = threading.Thread(target=server.serve_forever, daemon=True)
         thread.start()
